@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (table or figure), prints
+it in paper-like form, and asserts the reproduced *shape* claims.  Run
+with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def print_artifact():
+    """Print a regenerated artifact, visibly separated in the log."""
+
+    def _print(text: str) -> None:
+        print("\n" + "=" * 72)
+        print(text)
+        print("=" * 72)
+
+    return _print

@@ -1,0 +1,68 @@
+"""Bench A2 — ablation: CPWL vs Taylor vs Chebyshev approximation.
+
+Section III-A argues for CPWL over Taylor expansion and Chebyshev
+approximation on two grounds: (1) CPWL needs only the linear circuits
+the PEs already have, and (2) at matched low compute cost its accuracy
+is competitive.  The ablation measures max-error over the GELU domain
+for each method and the per-element op cost of evaluating it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cpwl import (
+    CPWLApproximator,
+    chebyshev_approximation,
+    taylor_approximation,
+)
+from repro.core.functions import get_function
+from repro.evaluation.reporting import format_table
+
+
+def sweep(function: str = "gelu"):
+    xs = np.linspace(-6.0, 6.0, 2000)
+    ref = get_function(function)(xs)
+    rows = []
+    for g in (0.1, 0.25, 0.5, 1.0):
+        approx = CPWLApproximator(function, g, fmt=None)
+        err = np.max(np.abs(approx(xs) - ref))
+        # One MHP pass: 1 multiply + 1 add per element.
+        rows.append({"method": f"cpwl(g={g})", "max_err": err, "ops_per_elem": 2})
+    for order in (3, 5):
+        err = np.max(np.abs(taylor_approximation(function, xs, order=order) - ref))
+        # Horner evaluation: order multiplies + order adds.
+        rows.append(
+            {"method": f"taylor(o={order})", "max_err": err, "ops_per_elem": 2 * order}
+        )
+    for degree in (5, 9):
+        err = np.max(np.abs(chebyshev_approximation(function, xs, degree=degree) - ref))
+        rows.append(
+            {"method": f"cheb(d={degree})", "max_err": err, "ops_per_elem": 2 * degree}
+        )
+    return rows
+
+
+def test_ablation_approximation(benchmark, print_artifact):
+    rows = benchmark(sweep)
+    print_artifact(
+        format_table(
+            ["method", "max_err", "ops_per_elem"],
+            [[r["method"], r["max_err"], r["ops_per_elem"]] for r in rows],
+            title="Ablation: approximation method accuracy vs op cost (GELU)",
+        )
+    )
+    by = {r["method"]: r for r in rows}
+
+    # CPWL at the default granularity beats low-order Taylor globally
+    # while costing a fraction of the ops.
+    assert by["cpwl(g=0.25)"]["max_err"] < by["taylor(o=3)"]["max_err"]
+    assert by["cpwl(g=0.25)"]["max_err"] < by["taylor(o=5)"]["max_err"]
+    assert by["cpwl(g=0.25)"]["ops_per_elem"] < by["taylor(o=3)"]["ops_per_elem"]
+    # And beats mid-degree Chebyshev at far lower cost.
+    assert by["cpwl(g=0.25)"]["max_err"] < by["cheb(d=5)"]["max_err"]
+    # CPWL error is monotone in granularity (the tuning knob).
+    assert (
+        by["cpwl(g=0.1)"]["max_err"]
+        < by["cpwl(g=0.25)"]["max_err"]
+        < by["cpwl(g=1.0)"]["max_err"]
+    )

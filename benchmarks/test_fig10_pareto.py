@@ -1,0 +1,69 @@
+"""Bench E7 — Fig. 10: latency/power design space and Pareto frontiers.
+
+Reproduced claims:
+
+* designs with more MACs achieve lower latency;
+* designs with >=16 MACs sit on or near the Pareto frontier;
+* the linear-computation optima are also (near-)optimal for the newly
+  enabled nonlinear computation;
+* nonlinear execution draws less power than linear execution at the
+  same design point (only the diagonal PEs toggle).
+"""
+
+import pytest
+
+from repro.evaluation.pareto_sweep import (
+    evaluate_design,
+    figure10_pareto,
+    frontier_mac_counts,
+    linear_optima_serve_nonlinear,
+    mac16_near_frontier,
+)
+from repro.evaluation.reporting import format_table
+
+
+def _format(sweep, mode):
+    rows = []
+    for dim, entry in sweep.items():
+        for p in entry["front"]:
+            rows.append([dim, p.label, round(p.latency_s * 1e6, 2), round(p.power_w, 2)])
+    return format_table(
+        ["matrix dim", "design", "latency (us)", "power (W)"],
+        rows,
+        title=f"Fig. 10 Pareto frontier ({mode})",
+    )
+
+
+def test_fig10_linear(benchmark, print_artifact):
+    sweep = benchmark(figure10_pareto, "linear")
+    print_artifact(_format(sweep, "linear"))
+
+    assert mac16_near_frontier(sweep)
+    # High-MAC designs dominate the frontier's fast end.
+    for dim, entry in sweep.items():
+        fastest = min(entry["front"], key=lambda p: p.latency_s)
+        assert fastest.macs >= 16, dim
+    # More MACs -> lower latency at the same grid.
+    a = evaluate_design(8, 8, 512, "linear")
+    b = evaluate_design(8, 32, 512, "linear")
+    assert b.latency_s < a.latency_s
+
+
+def test_fig10_nonlinear(benchmark, print_artifact):
+    sweep = benchmark(figure10_pareto, "nonlinear")
+    print_artifact(_format(sweep, "nonlinear"))
+
+    assert max(frontier_mac_counts(sweep)) >= 16
+    # Nonlinear mode draws less power than linear at the same point.
+    lin = evaluate_design(8, 16, 128, "linear")
+    non = evaluate_design(8, 16, 128, "nonlinear")
+    assert non.power_w < lin.power_w
+
+
+def test_fig10_cross_mode_claim(benchmark, print_artifact):
+    holds = benchmark(linear_optima_serve_nonlinear)
+    print_artifact(
+        "Linear-optimal (>=16 MAC) designs near the nonlinear frontier: "
+        f"{holds}"
+    )
+    assert holds

@@ -1,0 +1,35 @@
+"""Bench E1 — Fig. 1: op-type computation breakdown.
+
+Regenerates the two pie charts (as share tables) for the CIFAR-sized
+ResNet and BERT-base, in both the CPU view (the paper's figure) and the
+ONE-SA view (the motivation's "after" picture).
+"""
+
+import pytest
+
+from repro.evaluation.breakdown import (
+    PAPER_FIG1,
+    figure1_breakdown,
+    format_figure1,
+)
+
+
+def test_fig1_breakdown(benchmark, print_artifact):
+    mixes = benchmark(figure1_breakdown, "cpu")
+    print_artifact(format_figure1("cpu") + "\n\n" + format_figure1("array"))
+
+    resnet = mixes["resnet50"]
+    bert = mixes["bert-base"]
+    paper_resnet = PAPER_FIG1["resnet50"]
+    paper_bert = PAPER_FIG1["bert-base"]
+
+    # GEMM dominates both networks, as in the paper.
+    assert abs(resnet["gemm"] - paper_resnet["gemm"]) < 0.08
+    assert abs(bert["gemm"] - paper_bert["gemm"]) < 0.08
+    # ResNet: batchnorm is the largest nonlinear share (~21%).
+    assert abs(resnet["batchnorm"] - paper_resnet["batchnorm"]) < 0.08
+    assert resnet["batchnorm"] > resnet["relu"] > resnet["softmax"]
+    # BERT: gelu > layernorm > softmax, each within a few points.
+    assert abs(bert["gelu"] - paper_bert["gelu"]) < 0.03
+    assert abs(bert["layernorm"] - paper_bert["layernorm"]) < 0.03
+    assert abs(bert["softmax"] - paper_bert["softmax"]) < 0.03

@@ -1,0 +1,62 @@
+"""Bench E5/E10 — Fig. 8: GOPS/GNFS sweeps and the throughput cliff.
+
+Reproduced claims:
+
+* throughput grows with PEs and MACs up to a "throughput cliff";
+* the MAC count has the stronger influence on throughput;
+* small matrices on large arrays are drain-dominated — the Section V-C
+  example (32×32 on 16×16 PEs) spends ~85% of cycles transmitting
+  results (paper: 84.8%, we measure ~86%);
+* the same trends hold for the newly enabled nonlinear computation.
+"""
+
+import pytest
+
+from repro.evaluation.perf_sweep import (
+    figure8_linear,
+    figure8_nonlinear,
+    format_figure8,
+    throughput_cliff_example,
+)
+
+
+def test_fig8_linear(benchmark, print_artifact):
+    points = benchmark(figure8_linear)
+    print_artifact(format_figure8(points, "GOPS"))
+
+    by = {(p.pe_dim, p.macs, p.matrix_dim): p for p in points}
+
+    # Throughput grows with MACs (512-dim problems, 8x8 array).
+    assert by[(8, 16, 512)].achieved > 4 * by[(8, 2, 512)].achieved
+    # "The number of MACs exerts a more pronounced influence": per
+    # doubling of compute resources, MAC scaling yields at least the
+    # gain of PE scaling (quadrupling the grid = two doublings).
+    gain_macs = by[(8, 8, 512)].achieved / by[(8, 4, 512)].achieved
+    gain_pes = by[(16, 4, 512)].achieved / by[(8, 4, 512)].achieved
+    assert gain_macs >= 0.95 * gain_pes**0.5
+    # Cliff: small inputs on the largest array sit far below peak.
+    assert by[(16, 32, 32)].efficiency < 0.05
+    # Large inputs on moderate arrays approach peak.
+    assert by[(8, 16, 512)].efficiency > 0.95
+
+
+def test_fig8_nonlinear(benchmark, print_artifact):
+    points = benchmark(figure8_nonlinear)
+    print_artifact(format_figure8(points, "GNFS"))
+
+    by = {(p.pe_dim, p.macs, p.matrix_dim): p for p in points}
+    # GNFS scales with both PEs and MACs for large matrices.
+    assert by[(8, 16, 512)].achieved > 1.8 * by[(4, 16, 512)].achieved
+    assert by[(8, 16, 512)].achieved > 3.0 * by[(8, 4, 512)].achieved
+    # And shows the same small-matrix cliff.
+    assert by[(16, 32, 32)].efficiency < 0.6
+    assert by[(16, 32, 512)].efficiency > 0.9
+
+
+def test_throughput_cliff_example(benchmark, print_artifact):
+    example = benchmark(throughput_cliff_example)
+    print_artifact(
+        "Section V-C drain example (32x32 input, 16x16 PEs):\n"
+        + "\n".join(f"  {k}: {v}" for k, v in example.items())
+    )
+    assert example["drain_fraction"] == pytest.approx(0.848, abs=0.05)

@@ -1,0 +1,48 @@
+"""Bench E6 — Fig. 9: resource consumption across the design space.
+
+Reproduced claims:
+
+* LUT, FF and DSP grow linearly with the PE count; BRAM grows much
+  more slowly;
+* doubling MACs doubles DSPs, grows FFs by ~2.6–53.8%, barely moves
+  LUTs, and leaves BRAM unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reporting import format_table
+from repro.evaluation.resource_sweep import figure9_resource_sweep
+
+
+def test_fig9_resources(benchmark, print_artifact):
+    rows = benchmark(figure9_resource_sweep)
+    headers = ["n_pes", "macs", "lut", "ff", "dsp", "bram"]
+    print_artifact(
+        format_table(
+            headers,
+            [[r[h] for h in headers] for r in rows],
+            title="Fig. 9 resource sweep (ONE-SA)",
+        )
+    )
+
+    by = {(r["n_pes"], r["macs"]): r for r in rows}
+
+    # Linear growth in PEs at fixed MACs (16): 4x PEs -> ~4x LUT/FF/DSP.
+    for resource in ("lut", "ff", "dsp"):
+        ratio = by[(256, 16)][resource] / by[(64, 16)][resource]
+        assert 2.5 < ratio < 5.5, resource
+    # BRAM grows much more slowly than the PE count.
+    bram_ratio = by[(256, 16)]["bram"] / by[(16, 16)]["bram"]
+    assert bram_ratio < 4.0
+
+    # MAC doubling at fixed PEs (64): DSP exactly doubles.
+    assert by[(64, 32)]["dsp"] == 2 * by[(64, 16)]["dsp"]
+    # FF growth inside the paper's 2.6%-53.8% band.
+    for m in (2, 4, 8, 16):
+        growth = by[(64, 2 * m)]["ff"] / by[(64, m)]["ff"] - 1.0
+        assert 0.02 <= growth <= 0.538, m
+    # LUTs move only marginally (16% over a 16x MAC range, against the
+    # 16x DSP growth); BRAM not at all.
+    assert by[(64, 32)]["lut"] / by[(64, 2)]["lut"] < 1.25
+    assert by[(64, 32)]["bram"] == by[(64, 2)]["bram"]

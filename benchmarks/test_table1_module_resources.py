@@ -1,0 +1,32 @@
+"""Bench E2 — Table I: L3 buffer and PE resource consumption.
+
+The analytic model must reproduce the published module costs exactly
+(they are its calibration anchors) and the paper's stated ratios: the
+ONE-SA PE costs ~27% more FFs and identical BRAM/DSP; the ONE-SA L3
+needs 4.87x more LUTs and 1.14x more FFs.
+"""
+
+import pytest
+
+from repro.evaluation.resource_sweep import (
+    PAPER_TABLE1,
+    format_table1,
+    table1_module_resources,
+)
+
+
+def test_table1_module_resources(benchmark, print_artifact):
+    data = benchmark(table1_module_resources)
+    print_artifact(format_table1())
+
+    for (module, design), published in PAPER_TABLE1.items():
+        ours = data[module][design]
+        assert int(ours.bram) == published["bram"], (module, design, "bram")
+        assert int(ours.lut) == published["lut"], (module, design, "lut")
+        assert int(ours.ff) == published["ff"], (module, design, "ff")
+        assert int(ours.dsp) == published["dsp"], (module, design, "dsp")
+
+    pe_ratio = data["pe"]["one-sa"].ff / data["pe"]["sa"].ff
+    assert pe_ratio == pytest.approx(1.27, abs=0.02)
+    l3_lut_extra = (data["l3"]["one-sa"].lut - data["l3"]["sa"].lut) / data["l3"]["sa"].lut
+    assert l3_lut_extra == pytest.approx(4.87, abs=0.01)

@@ -1,0 +1,37 @@
+"""Bench E3 — Table II: total hardware resources across array sizes.
+
+The reproduced claim: ONE-SA adds 13.3%–24.1% flip-flops and virtually
+nothing else (BRAM +2, LUT <1.5%, DSP identical) at 4×4, 8×8 and 16×16.
+The model reproduces every published cell exactly.
+"""
+
+import pytest
+
+from repro.evaluation.resource_sweep import (
+    PAPER_TABLE2,
+    format_table2,
+    table2_total_resources,
+)
+
+
+def test_table2_total_resources(benchmark, print_artifact):
+    rows = benchmark(table2_total_resources)
+    print_artifact(format_table2())
+
+    for entry in rows:
+        dim = entry["dim"]
+        for design in ("sa", "one-sa"):
+            published = PAPER_TABLE2[(dim, design)]
+            ours = entry[design]
+            assert int(ours.bram) == published["bram"]
+            assert int(ours.lut) == published["lut"]
+            assert int(ours.ff) == published["ff"]
+            assert int(ours.dsp) == published["dsp"]
+        # Paper's headline band: 13.3% (4x4) to 24.1% (16x16) extra FFs.
+        assert 1.13 <= entry["ratio"]["ff"] <= 1.25
+        assert entry["ratio"]["lut"] <= 1.015
+        assert entry["ratio"]["dsp"] == pytest.approx(1.0)
+
+    ff_ratios = [e["ratio"]["ff"] for e in rows]
+    assert ff_ratios[0] == pytest.approx(1.133, abs=0.002)
+    assert ff_ratios[-1] == pytest.approx(1.241, abs=0.002)

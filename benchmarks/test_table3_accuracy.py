@@ -1,0 +1,67 @@
+"""Bench E4 — Table III: inference accuracy vs CPWL granularity.
+
+Trains the three family stand-in models on one task per family (the
+full 12-task table takes ~30 s and is exercised by the examples; the
+bench keeps one easy and one hard task per family for the claims) and
+reproduces the trends:
+
+* negligible loss at the default granularity 0.25;
+* loss grows (weakly monotone) with granularity;
+* the GCN family barely reacts (the paper's own observation);
+* the hardest task of each family degrades at least as much as the
+  easiest at the coarsest granularity.
+"""
+
+import pytest
+
+from repro.evaluation.accuracy import format_table3, table3_accuracy
+
+BENCH_TASKS = ["qmnist", "cifar100", "sst2", "cola", "cora", "citeseer"]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table3_accuracy(tasks=BENCH_TASKS)
+
+
+def test_table3_accuracy(benchmark, rows, print_artifact):
+    benchmark.pedantic(
+        table3_accuracy,
+        kwargs={"tasks": ["qmnist"], "granularities": (0.25,)},
+        iterations=1,
+        rounds=1,
+    )
+    print_artifact(format_table3(rows))
+
+    by_task = {r.task: r for r in rows}
+
+    # Claim 1: negligible loss at the paper's default granularity.
+    for row in rows:
+        assert abs(row.delta_at(0.25)) <= 0.03, row.task
+
+    # Claim 2: baselines land near the paper's Table III "Original".
+    for row in rows:
+        paper = {
+            "qmnist": 1.0,
+            "cifar100": 0.851,
+            "sst2": 0.923,
+            "cola": 0.565,
+            "cora": 0.843,
+            "citeseer": 0.646,
+        }[row.task]
+        assert abs(row.baseline - paper) < 0.1, row.task
+
+    # Claim 3: GCN is granularity-insensitive.
+    for task in ("cora", "citeseer"):
+        for g, delta in by_task[task].deltas.items():
+            assert abs(delta) <= 0.03, (task, g)
+
+    # Claim 4: the BERT family's hard task (CoLA) degrades more at the
+    # coarsest granularity than the easy one (SST-2).
+    assert by_task["cola"].delta_at(1.0) <= by_task["sst2"].delta_at(1.0) + 0.01
+
+    # Claim 5: coarse granularity never *helps* beyond noise on the
+    # sensitive family (BERT), i.e. 1.0 is no better than 0.1 + margin.
+    for task in ("sst2", "cola"):
+        row = by_task[task]
+        assert row.delta_at(1.0) <= row.delta_at(0.1) + 0.02

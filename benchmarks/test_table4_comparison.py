@@ -1,0 +1,51 @@
+"""Bench E8 — Table IV: ONE-SA vs CPU / GPU / SoC / ASIC accelerators.
+
+Reproduced claims (shapes and bands, per the paper's abstract):
+
+* ONE-SA runs *all three* network families; each specialized
+  accelerator runs exactly one;
+* large computation-efficiency gains over the CPU, several-fold over
+  the GPU, modest (>1x on at least one workload) over the embedded SoC;
+* comparable efficiency (paper: 83.4%–135.9%) to the
+  application-specific FPGA accelerators;
+* latency and power magnitudes near the paper's operating point
+  (26 / 26.24 / 5.87 ms at 7.61 W).
+"""
+
+import pytest
+
+from repro.evaluation.comparison import (
+    efficiency_gains,
+    format_table4,
+    table4_comparison,
+)
+
+
+def test_table4_comparison(benchmark, print_artifact):
+    entries = benchmark(table4_comparison)
+    print_artifact(format_table4(entries))
+
+    by = {(e.processor, e.workload): e for e in entries}
+    gains = efficiency_gains(entries)
+
+    # Flexibility: ONE-SA supports everything; ASIC designs do not.
+    for w in ("resnet50", "bert-base", "gcn"):
+        assert by[("ONE-SA", w)].supported
+    assert not by[("NPE", "resnet50")].supported
+    assert not by[("Angel-eye", "bert-base")].supported
+    assert not by[("FTRANS", "gcn")].supported
+
+    # Efficiency bands.
+    assert max(gains["Intel CPU i7-11700"].values()) > 20
+    assert max(gains["NVIDIA GPU 3090Ti"].values()) > 3
+    assert max(gains["NVIDIA SoC AGX ORIN"].values()) > 1.0
+    for accel in ("Angel-eye", "VGG16 accelerator", "NPE", "FTRANS"):
+        for value in gains[accel].values():
+            assert 0.6 < value < 1.7, (accel, value)
+
+    # Magnitudes near the paper's reported operating point.
+    assert by[("ONE-SA", "resnet50")].latency_s == pytest.approx(26e-3, rel=0.5)
+    assert by[("ONE-SA", "bert-base")].latency_s == pytest.approx(26.24e-3, rel=0.5)
+    assert by[("ONE-SA", "gcn")].latency_s == pytest.approx(5.87e-3, rel=0.8)
+    for w in ("resnet50", "bert-base", "gcn"):
+        assert by[("ONE-SA", w)].power_w == pytest.approx(7.61, rel=0.1)

@@ -1,0 +1,24 @@
+"""Bench E9 — Table V: buffer sizes of the Table IV design point.
+
+The buffer geometry derived in SystolicConfig must reproduce the
+published sizes and instance counts exactly.
+"""
+
+import pytest
+
+from repro.evaluation.resource_sweep import format_table5, table5_buffer_sizes
+
+
+def test_table5_buffer_sizes(benchmark, print_artifact):
+    rows = benchmark(table5_buffer_sizes)
+    print_artifact(format_table5())
+
+    table = {r["buffer"]: r for r in rows}
+    assert table["L3"]["size_kb"] == pytest.approx(0.28, abs=0.005)
+    assert table["L3"]["count"] == 3
+    assert table["L2"]["size_kb"] == pytest.approx(0.5)
+    assert table["L2"]["count"] == 24
+    assert table["PE"]["size_kb"] == pytest.approx(0.094, abs=0.001)
+    assert table["PE"]["count"] == 64
+    assert table["L1"]["size_kb"] == pytest.approx(0.031, abs=0.001)
+    assert table["L1"]["count"] == 64

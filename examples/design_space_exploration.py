@@ -1,0 +1,61 @@
+"""Design-space exploration: resources, power and Pareto frontiers.
+
+Sweeps the PE-grid × MACs-per-PE space the paper explores in Figs. 9
+and 10: prints per-design resources (with a Virtex-7 fit check), the
+latency/power scatter for linear and nonlinear computation, and the
+Pareto frontiers — ending with the paper's recommended design choice.
+
+    python examples/design_space_exploration.py
+"""
+
+from repro.evaluation.pareto_sweep import figure10_pareto
+from repro.evaluation.reporting import format_table
+from repro.hardware import VIRTEX7_XC7VX485T, power_watts, total_resources
+from repro.systolic.config import SystolicConfig
+
+
+def main() -> None:
+    rows = []
+    for dim in (2, 4, 8, 16):
+        for macs in (4, 16, 32):
+            config = SystolicConfig(pe_rows=dim, pe_cols=dim, macs_per_pe=macs)
+            res = total_resources(config)
+            fits = VIRTEX7_XC7VX485T.fits(res)
+            rows.append([
+                f"{dim}x{dim}x{macs}",
+                int(res.lut),
+                int(res.ff),
+                int(res.dsp),
+                int(res.bram),
+                f"{power_watts(config):.2f}",
+                "yes" if fits else "NO",
+            ])
+    print(format_table(
+        ["design", "LUT", "FF", "DSP", "BRAM", "power(W)", "fits XC7VX485T"],
+        rows,
+        title="ONE-SA design space (Fig. 9 view + device fit)",
+    ))
+
+    for mode in ("linear", "nonlinear"):
+        sweep = figure10_pareto(mode, matrix_dims=(128,))
+        front = sweep[128]["front"]
+        rows = [
+            [p.label, f"{p.latency_s * 1e6:.2f}", f"{p.power_w:.2f}"]
+            for p in sorted(front, key=lambda p: p.latency_s)
+        ]
+        print("\n" + format_table(
+            ["design", "latency (us)", "power (W)"],
+            rows,
+            title=f"Pareto frontier, {mode} 128x128 (Fig. 10 view)",
+        ))
+
+    print(
+        "\nRecommended design point (paper, Section V-D): 8x8 PEs with 16 "
+        "MACs per PE\n— on the Pareto frontier for linear computation, "
+        "near-optimal for nonlinear,\nand comfortably inside the Virtex-7 "
+        "XC7VX485T."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Granularity selection: the Section V-B trade-off, automated.
+
+The paper notes the approximation granularity is limited by the L3
+buffer size and the uncapped range, and that search ("NAS") can pick
+granularities per function.  This example runs the selection logic for
+every registered nonlinear function under two L3 budgets and two error
+targets, then validates the recommendation end to end on a trained
+network.
+
+    python examples/granularity_search.py
+"""
+
+from repro.core import FUNCTION_LIBRARY, recommend_granularity, sweep_granularity
+from repro.data import get_task
+from repro.evaluation.reporting import format_table
+from repro.nn.executor import CPWLBackend, QuantizedFloatBackend
+from repro.nn.models import SmallResNet
+from repro.nn.training import accuracy, train_classifier
+
+
+def main() -> None:
+    functions = ("gelu", "tanh", "sigmoid", "exp", "reciprocal", "rsqrt")
+
+    rows = []
+    for name in functions:
+        for budget in (128, 1024):
+            for max_error in (0.05, 0.01):
+                try:
+                    choice = recommend_granularity(
+                        name, max_error=max_error, l3_budget_bytes=budget
+                    )
+                    picked = f"g={choice.granularity} ({choice.storage_bytes} B)"
+                except ValueError:
+                    picked = "infeasible"
+                rows.append([name, budget, max_error, picked])
+    print(format_table(
+        ["function", "L3 budget (B)", "max error", "recommendation"],
+        rows,
+        title="Granularity recommendations (Section V-B trade-off)",
+    ))
+
+    # Validate the recommended default end to end on a trained CNN.
+    choice = recommend_granularity("gelu", max_error=0.05)
+    print(f"\nCoarsest GELU granularity within 0.05 max error: {choice.granularity}")
+
+    task = get_task("qmnist")
+    model = SmallResNet(in_channels=1, n_classes=task.n_classes, seed=0)
+    train_classifier(model, task.x_train, task.y_train, epochs=6, lr=3e-3)
+    base = accuracy(model.predict(task.x_test, QuantizedFloatBackend()), task.y_test)
+    acc = accuracy(model.predict(task.x_test, CPWLBackend(choice.granularity)), task.y_test)
+    print(f"End-to-end check on the QMNIST stand-in: baseline {base * 100:.1f}%, "
+          f"CPWL at g={choice.granularity}: {acc * 100:.1f}% "
+          f"({(acc - base) * 100:+.1f} points)")
+
+    print("\nFull sweep detail for GELU:")
+    for c in sweep_granularity("gelu"):
+        print(f"  g={c.granularity:<5} segments={c.n_segments:<4} "
+              f"max|err|={c.max_abs_error:.4f} rmse={c.rmse:.4f} "
+              f"fits-L3={c.fits_l3} shift-path={c.shift_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""CNN example: train the ResNet stand-in, infer it on ONE-SA.
+
+Trains the small residual CNN on the CIFAR-10 stand-in task, then runs
+inference three ways — exact float, INT16 with exact nonlinearities,
+and the full CPWL pipeline at several granularities — reproducing one
+CNN row of the paper's Table III, plus the Fig. 1(a) op-mix of the
+full-size ResNet-50 workload.
+
+    python examples/resnet_on_onesa.py
+"""
+
+import numpy as np
+
+from repro.data import get_task
+from repro.evaluation.reporting import format_table
+from repro.nn.executor import CPWLBackend, FloatBackend, QuantizedFloatBackend
+from repro.nn.models import SmallResNet
+from repro.nn.profiler import op_mix
+from repro.nn.training import accuracy, train_classifier
+from repro.nn.workload import resnet50_workload
+from repro.systolic.config import ONE_SA_PAPER_CONFIG
+
+
+def main() -> None:
+    task = get_task("cifar10")
+    print(f"Task: {task.name} ({task.n_classes} classes, "
+          f"{len(task.y_train)} train / {len(task.y_test)} test)")
+
+    model = SmallResNet(in_channels=task.x_train.shape[1],
+                        n_classes=task.n_classes, seed=0)
+    log = train_classifier(model, task.x_train, task.y_train, epochs=8, lr=3e-3)
+    print(f"Trained {log.accuracies[-1] * 100:.1f}% train accuracy "
+          f"in {len(log.losses)} epochs")
+
+    rows = []
+    base = accuracy(model.predict(task.x_test, QuantizedFloatBackend()), task.y_test)
+    rows.append(["float64", f"{accuracy(model.predict(task.x_test, FloatBackend()), task.y_test) * 100:.1f}%"])
+    rows.append(["INT16 exact nonlinear (baseline)", f"{base * 100:.1f}%"])
+    for g in (0.1, 0.25, 0.5, 0.75, 1.0):
+        acc = accuracy(model.predict(task.x_test, CPWLBackend(g)), task.y_test)
+        rows.append([f"ONE-SA CPWL, granularity {g}", f"{acc * 100:.1f}% ({(acc - base) * 100:+.1f})"])
+    print("\n" + format_table(["inference path", "test accuracy"], rows,
+                              title="CNN accuracy under CPWL (Table III row)"))
+
+    # Fig. 1(a) view of the full-size workload.
+    wl = resnet50_workload(image_size=32)
+    print("\nResNet-50 (CIFAR) op mix on general-purpose hardware:")
+    for kind, share in op_mix(wl).items():
+        print(f"  {kind:<10} {share * 100:5.1f}%")
+    latency = wl.latency_seconds(ONE_SA_PAPER_CONFIG)
+    print(f"\nFull ResNet-50 (224x224) on ONE-SA (64 PEs, 16 MACs): "
+          f"{resnet50_workload().latency_seconds(ONE_SA_PAPER_CONFIG) * 1e3:.2f} ms/inference")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Regenerate every paper table and figure in one run.
+
+    python examples/run_all_experiments.py          # full (slower Table III)
+    python examples/run_all_experiments.py --quick  # one task per family
+"""
+
+import sys
+
+from repro.evaluation.summary import print_report
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+    print_report(quick=quick)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so ``pip install -e .`` works in offline environments.
+
+The metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path (the environment has no ``wheel`` package, which
+PEP 517 editable installs require).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Comparison baselines for Table IV.
+
+Two kinds of baseline appear in the paper's headline comparison:
+
+* **general-purpose processors** (Intel i7-11700, NVIDIA 3090Ti, NVIDIA
+  AGX Orin) — the paper measured these directly with an oscilloscope
+  and OS timers; we encode the published measurements as calibration
+  anchors of simple throughput models
+  (:mod:`repro.baselines.processors`);
+* **application-specific FPGA accelerators** (Angel-eye, the VGG16
+  accelerator, NPE, FTRANS) — published specs quoted by the paper
+  (:mod:`repro.baselines.accelerators`).
+"""
+
+from repro.baselines.processors import PROCESSORS, ProcessorModel
+from repro.baselines.accelerators import ACCELERATORS, AcceleratorSpec
+
+__all__ = ["ProcessorModel", "PROCESSORS", "AcceleratorSpec", "ACCELERATORS"]

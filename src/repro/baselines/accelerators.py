@@ -1,0 +1,92 @@
+"""Published application-specific FPGA accelerators (Table IV rows).
+
+These are the specialized designs the paper compares against: each
+serves exactly one network family, which is the inflexibility ONE-SA
+removes.  Values are the published numbers the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One published accelerator operating point."""
+
+    name: str
+    platform: str
+    tech_node_nm: int
+    supported_workload: str  # the only workload family it runs
+    latency_s: float
+    throughput_gops: float
+    power_watts: float
+    reference: str
+
+    @property
+    def efficiency(self) -> float:
+        """Throughput per watt."""
+        return self.throughput_gops / self.power_watts
+
+    def supports(self, workload_name: str) -> bool:
+        """Whether the design can run a workload at all.
+
+        Application-specific accelerators return False for everything
+        but their target network — the flexibility gap Table IV's empty
+        cells represent.
+        """
+        return workload_name == self.supported_workload
+
+
+ACCELERATORS: Dict[str, AcceleratorSpec] = {
+    "angel-eye": AcceleratorSpec(
+        name="Angel-eye",
+        platform="Zynq Z-7020",
+        tech_node_nm=28,
+        supported_workload="resnet50",
+        latency_s=47.15e-3,
+        throughput_gops=84.3,
+        power_watts=3.5,
+        reference="Guo et al., IEEE TCAD 2018 [7]",
+    ),
+    "vgg16-accel": AcceleratorSpec(
+        name="VGG16 accelerator",
+        platform="Virtex-7 VX690T",
+        tech_node_nm=28,
+        supported_workload="resnet50",
+        latency_s=19.64e-3,
+        throughput_gops=202.42,
+        power_watts=10.81,
+        reference="Mei et al., GlobalSIP 2017 [18]",
+    ),
+    "npe": AcceleratorSpec(
+        name="NPE",
+        platform="Zynq Z-7100",
+        tech_node_nm=28,
+        supported_workload="bert-base",
+        latency_s=13.57e-3,
+        throughput_gops=405.30,
+        power_watts=20.0,
+        reference="Khan et al., arXiv 2021 [3]",
+    ),
+    "ftrans": AcceleratorSpec(
+        name="FTRANS",
+        platform="Virtex UltraScale+",
+        tech_node_nm=16,
+        supported_workload="bert-base",
+        latency_s=9.82e-3,
+        throughput_gops=559.85,
+        power_watts=25.0,
+        reference="Li et al., ISLPED 2020 [19]",
+    ),
+}
+
+
+def accelerators_for(workload_name: str) -> Dict[str, AcceleratorSpec]:
+    """Published accelerators applicable to one workload."""
+    return {
+        key: spec
+        for key, spec in ACCELERATORS.items()
+        if spec.supports(workload_name)
+    }

@@ -1,0 +1,103 @@
+"""Intermediate Parameter Fetching (IPF).
+
+IPF is the first of the two architecture-level events a nonlinear
+operation decomposes into (Section III-A, steps 1 and 2):
+
+1. compute the segment matrix ``S`` from the input matrix ``X`` — in
+   hardware this happens in the L3 buffer's data-addressing module, which
+   shifts the fixed-point input (power-of-two segment lengths) and caps
+   the result with the scale module (Fig. 5);
+2. gather the pre-stored slope/intercept parameters into matrices
+   ``K, B ∈ R^{M×N}`` and stage them (through DRAM, in the paper's
+   implementation) for the Matrix Hadamard Product.
+
+This module implements the event functionally, bit-faithful to the
+shift/cap datapath, and reports the traffic quantities the timing model
+charges for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.segment_table import QuantizedSegmentTable, SegmentTable
+from repro.fixedpoint import QFormat, dequantize
+
+
+@dataclass(frozen=True)
+class IPFResult:
+    """Output of one Intermediate Parameter Fetching event.
+
+    Attributes
+    ----------
+    segments:
+        The capped segment-index matrix ``S`` (int64, same shape as X).
+    k_raw, b_raw:
+        Raw fixed-point parameter matrices ``K`` and ``B``.
+    shift_path:
+        Whether the segment indices were produced by the pure-shift
+        datapath (power-of-two granularity) or needed the scale
+        multiplier.
+    elements:
+        Number of elements processed (traffic accounting).
+    """
+
+    segments: np.ndarray
+    k_raw: np.ndarray
+    b_raw: np.ndarray
+    shift_path: bool
+    elements: int
+
+
+def segment_indices(
+    x_raw: np.ndarray, table: SegmentTable, fmt: QFormat
+) -> np.ndarray:
+    """Segment matrix ``S`` from raw fixed-point inputs.
+
+    For power-of-two granularities this reproduces the data-shift module:
+    with ``granularity = 2**g`` and ``frac_bits = F`` fractional bits, the
+    uncapped index is ``(x_raw - x_min_raw) >> (F + g')`` where
+    ``g' = -log2(granularity)``; the scale module then caps it into the
+    valid range.  Non-power-of-two granularities go through the scale
+    multiplier, computing the same floor division.
+    """
+    x_raw = np.asarray(x_raw, dtype=np.int64)
+    if table.shift_path:
+        # Shift amount: index = floor((x - x_min) / 2**log2g)
+        # with x in raw units: (x_raw - x_min_raw) * 2**-F / 2**log2g.
+        log2g = int(np.round(np.log2(table.granularity)))
+        shift = fmt.frac_bits + log2g
+        x_min_raw = int(np.round(table.x_min * (1 << fmt.frac_bits)))
+        offset = x_raw - x_min_raw
+        if shift >= 0:
+            uncapped = offset >> shift
+        else:
+            # Granularity finer than one LSB: scale up (degenerate but legal).
+            uncapped = offset << (-shift)
+    else:
+        x_val = dequantize(x_raw, fmt)
+        uncapped = np.floor((x_val - table.x_min) / table.granularity).astype(
+            np.int64
+        )
+    return np.clip(uncapped, 0, table.n_segments - 1)
+
+
+def fetch_parameters(
+    x_raw: np.ndarray, qtable: QuantizedSegmentTable, fmt: QFormat
+) -> IPFResult:
+    """Run the full IPF event: addressing + parameter gather.
+
+    Returns the segment matrix and raw ``(K, B)`` matrices ready for the
+    Matrix Hadamard Product.
+    """
+    segments = segment_indices(x_raw, qtable.table, fmt)
+    k_raw, b_raw = qtable.lookup_raw(segments)
+    return IPFResult(
+        segments=segments,
+        k_raw=k_raw,
+        b_raw=b_raw,
+        shift_path=qtable.table.shift_path,
+        elements=int(np.asarray(x_raw).size),
+    )

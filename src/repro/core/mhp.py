@@ -1,0 +1,71 @@
+"""Matrix Hadamard Product (MHP).
+
+The second architecture-level event of a nonlinear operation
+(Section III-A, step 3): the element-wise calculation
+``Y = X ⊙ K + B``.  After the data-rearrange module pairs each ``k`` with
+its ``b`` and each ``x`` with the constant 1 (Fig. 6), every output
+element is a two-term dot product ``y = k*x + b*1`` executed by a
+computation PE on the array diagonal.
+
+This module provides the bit-accurate functional form; the dataflow
+(which PEs compute, how operands traverse the array, cycle costs) lives
+in :mod:`repro.systolic.mhp_dataflow`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fixedpoint import QFormat, fixed_hadamard_mac
+
+
+def matrix_hadamard_product(
+    x: np.ndarray,
+    k: np.ndarray,
+    b: np.ndarray,
+    fmt: Optional[QFormat] = None,
+) -> np.ndarray:
+    """Compute ``Y = X ⊙ K + B``.
+
+    Parameters
+    ----------
+    x, k, b:
+        Same-shaped matrices.  With ``fmt`` given they are raw
+        fixed-point integers and the result is the saturating INT16 value
+        the array produces; without, they are floats and the result is
+        the ideal product (used by float-mode analyses).
+    fmt:
+        Optional fixed-point format selecting the bit-accurate path.
+    """
+    x = np.asarray(x)
+    k = np.asarray(k)
+    b = np.asarray(b)
+    if not (x.shape == k.shape == b.shape):
+        raise ValueError(
+            f"MHP operands must share a shape, got {x.shape}, {k.shape}, {b.shape}"
+        )
+    if fmt is None:
+        return x.astype(np.float64) * k.astype(np.float64) + b.astype(np.float64)
+    return fixed_hadamard_mac(x, k, b, fmt)
+
+
+def rearranged_streams(
+    x: np.ndarray, k: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Produce the paired data streams of the data-rearrange module.
+
+    Returns ``(input_stream, weight_stream)`` where the input stream
+    interleaves ``(x, 1)`` and the weight stream interleaves ``(k, b)``
+    along the last axis, exactly as Fig. 6 shows.  The two-term dot
+    product of corresponding pairs reproduces the MHP; tests use this to
+    check the rearrangement is value-preserving.
+    """
+    x = np.asarray(x)
+    k = np.asarray(k)
+    b = np.asarray(b)
+    ones = np.ones_like(x)
+    input_stream = np.stack([x, ones], axis=-1).reshape(*x.shape[:-1], -1)
+    weight_stream = np.stack([k, b], axis=-1).reshape(*k.shape[:-1], -1)
+    return input_stream, weight_stream

@@ -1,0 +1,210 @@
+"""Composite nonlinear operations decomposed for the array.
+
+Section III-A uses GELU as the walk-through but notes "the same process
+can also be used to handle other nonlinear operations, such as Softmax
+and Layer normalization".  This module performs those decompositions: a
+composite op becomes a short program of
+
+* linear steps the array already supports (row reductions are
+  matrix-vector GEMMs, subtractions are adds), and
+* scalar CPWL stages (``exp``, ``1/x``, ``1/sqrt(x)``, ``gelu``, ...)
+  executed as IPF + MHP events, and
+* element-wise products, which are themselves MHPs with ``B = 0``.
+
+Every function takes float activations, quantizes to the datapath format,
+runs the bit-accurate fixed-point pipeline, and returns float results —
+i.e. the value the network would actually see when the op runs on
+ONE-SA.  Passing ``fmt=None`` selects an idealised float CPWL (no
+quantization), which the ablation uses to split error sources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cpwl import CPWLApproximator
+from repro.fixedpoint import QFormat, dequantize, quantize, saturate
+from repro.fixedpoint.qformat import INT16
+
+_APPROXIMATOR_CACHE: Dict[Tuple, CPWLApproximator] = {}
+
+
+def get_approximator(
+    name: str,
+    granularity: float,
+    fmt: Optional[QFormat] = INT16,
+    domain: Optional[tuple[float, float]] = None,
+) -> CPWLApproximator:
+    """Cached CPWL approximator (tables are preloaded once, like L3)."""
+    key = (name, float(granularity), fmt, domain)
+    approx = _APPROXIMATOR_CACHE.get(key)
+    if approx is None:
+        approx = CPWLApproximator(name, granularity, fmt=fmt, domain=domain)
+        _APPROXIMATOR_CACHE[key] = approx
+    return approx
+
+
+def clear_approximator_cache() -> None:
+    """Drop all cached tables (tests use this to control memory)."""
+    _APPROXIMATOR_CACHE.clear()
+
+
+def _roundtrip(x: np.ndarray, fmt: Optional[QFormat]) -> np.ndarray:
+    """Quantize-dequantize ``x`` when a fixed-point format is in use."""
+    if fmt is None:
+        return np.asarray(x, dtype=np.float64)
+    return dequantize(quantize(x, fmt), fmt)
+
+
+def cpwl_gelu(
+    x: np.ndarray, granularity: float, fmt: Optional[QFormat] = INT16
+) -> np.ndarray:
+    """GELU via one IPF + MHP event (the paper's running example)."""
+    return get_approximator("gelu", granularity, fmt)(x)
+
+
+def cpwl_relu(
+    x: np.ndarray, granularity: float, fmt: Optional[QFormat] = INT16
+) -> np.ndarray:
+    """ReLU via CPWL on the generic (mid-anchored) segment grid.
+
+    The L3 parameter store uses one segment grid for all functions,
+    anchored at the domain edge — it does not realign itself to each
+    function's kink.  We anchor the grid midway (``x_min = -(8 + g/2)``)
+    so the segment containing zero spans ``(-g/2, +g/2)`` and carries
+    the chord ``y = x/2 + g/4``: ReLU is approximated, not special-cased,
+    with error up to ``g/4`` concentrated exactly where batch-normalized
+    activations live.  This is the mechanism behind the CNN rows of the
+    accuracy-vs-granularity table; a kink-aligned grid would make ReLU
+    exact and the CNN artificially insensitive.
+    """
+    domain = (-8.0 - granularity / 2.0, 8.0 + granularity / 2.0)
+    return get_approximator("relu", granularity, fmt, domain=domain)(x)
+
+
+def cpwl_sigmoid(
+    x: np.ndarray, granularity: float, fmt: Optional[QFormat] = INT16
+) -> np.ndarray:
+    """Logistic sigmoid via one IPF + MHP event."""
+    return get_approximator("sigmoid", granularity, fmt)(x)
+
+
+def cpwl_tanh(
+    x: np.ndarray, granularity: float, fmt: Optional[QFormat] = INT16
+) -> np.ndarray:
+    """tanh via one IPF + MHP event."""
+    return get_approximator("tanh", granularity, fmt)(x)
+
+
+def cpwl_softmax(
+    x: np.ndarray,
+    granularity: float,
+    fmt: Optional[QFormat] = INT16,
+    axis: int = -1,
+) -> np.ndarray:
+    """Softmax decomposed into array events.
+
+    Program: (1) row max and subtraction — linear; (2) ``exp`` — CPWL
+    IPF+MHP; (3) row sum — matrix-vector GEMM against a ones vector;
+    (4) ``1/sum`` — CPWL; (5) elementwise scale — MHP with ``B = 0``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    shifted = _roundtrip(shifted, fmt)
+    exps = get_approximator("exp", granularity, fmt)(shifted)
+    # CPWL chords of a convex function overshoot slightly and the capped
+    # lower boundary segment can dip below zero; the hardware clamps the
+    # exponential to its known non-negative range on writeback.
+    exps = np.maximum(exps, 0.0)
+    denom = np.sum(exps, axis=axis, keepdims=True)
+    denom = _roundtrip(denom, fmt)
+    # Guard the reciprocal domain: a denominator this small only occurs
+    # when every exponent underflowed to zero; uniform output is correct.
+    recip_table = get_approximator("reciprocal", granularity, fmt)
+    lo = recip_table.table.x_min
+    safe_denom = np.maximum(denom, lo)
+    inv = recip_table(safe_denom)
+    out = exps * np.broadcast_to(inv, x.shape)
+    return _roundtrip(out, fmt)
+
+
+def cpwl_layernorm(
+    x: np.ndarray,
+    granularity: float,
+    gamma: Optional[np.ndarray] = None,
+    beta: Optional[np.ndarray] = None,
+    fmt: Optional[QFormat] = INT16,
+    axis: int = -1,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Layer normalization decomposed into array events.
+
+    Program: (1) row mean — matrix-vector GEMM; (2) centering — linear;
+    (3) squaring — elementwise MHP of ``x`` with itself (``K = X``,
+    ``B = 0``); (4) mean of squares — GEMM; (5) ``1/sqrt(var)`` — CPWL;
+    (6) scale by the inverse std — MHP; (7) affine ``gamma``/``beta`` —
+    another MHP.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[axis]
+    mean = np.sum(x, axis=axis, keepdims=True) / n
+    centered = _roundtrip(x - mean, fmt)
+    squares = _roundtrip(centered * centered, fmt)
+    var = np.sum(squares, axis=axis, keepdims=True) / n
+    var = _roundtrip(var + eps, fmt)
+    rsqrt_table = get_approximator("rsqrt", granularity, fmt)
+    lo = rsqrt_table.table.x_min
+    inv_std = rsqrt_table(np.maximum(var, lo))
+    normed = _roundtrip(centered * np.broadcast_to(inv_std, x.shape), fmt)
+    if gamma is not None:
+        normed = normed * np.asarray(gamma, dtype=np.float64)
+    if beta is not None:
+        normed = normed + np.asarray(beta, dtype=np.float64)
+    return _roundtrip(normed, fmt)
+
+
+def cpwl_rsqrt_range_reduced(
+    x: np.ndarray, granularity: float, fmt: Optional[QFormat] = INT16
+) -> np.ndarray:
+    """``1/sqrt(x)`` via CPWL with power-of-two range reduction.
+
+    The data-shift module normalizes the argument into ``[1, 4)`` by an
+    even power-of-two shift (``x = 4^j · x_r``), the CPWL table covers
+    only the well-conditioned reduced domain, and the result is
+    rescaled by ``2^-j`` — the standard PWL practice for steep roots
+    and exactly the kind of shift the L3 addressing datapath provides.
+    Used where the argument spans decades (batchnorm channel variances).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(x <= 0):
+        raise ValueError("rsqrt argument must be positive")
+    j = np.floor(np.log2(x) / 2.0)
+    x_reduced = x / np.power(4.0, j)
+    table = get_approximator("rsqrt", granularity, fmt, domain=(1.0, 4.0))
+    y_reduced = table(x_reduced)
+    return _roundtrip(y_reduced * np.power(2.0, -j), fmt)
+
+
+def cpwl_batchnorm(
+    x: np.ndarray,
+    scale: np.ndarray,
+    shift: np.ndarray,
+    fmt: Optional[QFormat] = INT16,
+    channel_axis: int = 1,
+) -> np.ndarray:
+    """Inference-time batch normalization as a single MHP.
+
+    With running statistics folded in, inference BN is the per-channel
+    affine ``y = x * scale + shift`` — exactly the Matrix Hadamard
+    Product with broadcast parameters, so it needs no CPWL table at all.
+    This is why Fig. 1 counts batchnorm among the operations ONE-SA
+    absorbs into the array.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shape = [1] * x.ndim
+    shape[channel_axis] = -1
+    k = np.asarray(scale, dtype=np.float64).reshape(shape)
+    b = np.asarray(shift, dtype=np.float64).reshape(shape)
+    return _roundtrip(x * k + b, fmt)

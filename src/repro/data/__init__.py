@@ -1,0 +1,32 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on 17 public benchmarks (QMNIST, Fashion-MNIST,
+CIFAR-10/100, GLUE tasks, citation/Reddit graphs).  This environment is
+offline, so each benchmark is replaced by a *synthetic stand-in task* of
+matching modality and controlled difficulty (DESIGN.md documents the
+substitution).  The stand-ins preserve what the accuracy experiment
+measures: a trained network's sensitivity to CPWL granularity, which
+grows with task difficulty.
+"""
+
+from repro.data.synthetic import (
+    GraphTask,
+    ImageTask,
+    SequenceTask,
+    make_graph_task,
+    make_image_task,
+    make_sequence_task,
+)
+from repro.data.registry import TASK_REGISTRY, TaskSpec, get_task
+
+__all__ = [
+    "ImageTask",
+    "SequenceTask",
+    "GraphTask",
+    "make_image_task",
+    "make_sequence_task",
+    "make_graph_task",
+    "TASK_REGISTRY",
+    "TaskSpec",
+    "get_task",
+]

@@ -1,0 +1,193 @@
+"""Synthetic task generators for the three modalities.
+
+Each generator produces a deterministic train/test split given a seed.
+Difficulty is controlled by class count, within-class noise and (for
+sequences/graphs) signal sparsity — the knobs that make the CPWL
+granularity sensitivity vary the way Table III's hard tasks do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.models.gcn import normalized_adjacency
+
+
+@dataclass(frozen=True)
+class ImageTask:
+    """An image-classification stand-in (templates + noise)."""
+
+    name: str
+    x_train: np.ndarray  # (N, C, H, W)
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+
+
+@dataclass(frozen=True)
+class SequenceTask:
+    """A token-sequence classification stand-in."""
+
+    name: str
+    x_train: np.ndarray  # (N, T) integer tokens
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+    vocab: int
+    seq_len: int
+
+
+@dataclass(frozen=True)
+class GraphTask:
+    """A node-classification stand-in (stochastic block model)."""
+
+    name: str
+    features: np.ndarray  # (V, F)
+    a_hat: np.ndarray  # (V, V) normalized adjacency
+    labels: np.ndarray  # (V,)
+    train_mask: np.ndarray
+    test_mask: np.ndarray
+    n_classes: int
+
+
+def make_image_task(
+    name: str,
+    n_classes: int = 10,
+    noise: float = 0.6,
+    n_train: int = 512,
+    n_test: int = 256,
+    shape: Tuple[int, int, int] = (1, 8, 8),
+    template_scale: float = 1.0,
+    borderline_fraction: float = 0.0,
+    seed: int = 0,
+) -> ImageTask:
+    """Class-template images with additive Gaussian noise.
+
+    Each class has a smooth random template; samples are the template
+    plus iid noise, clipped to a bounded range so INT16 quantization is
+    well conditioned.  Raising ``noise`` or ``n_classes`` (or shrinking
+    ``template_scale``, which tightens class margins) lowers the
+    achievable accuracy and steepens the granularity sensitivity.
+
+    ``borderline_fraction`` blends in samples drawn *between* the true
+    class template and a random other class (natural image datasets
+    have exactly this near-boundary mass), which is what makes accuracy
+    respond gradually to small inference perturbations rather than
+    being a step function.
+    """
+    rng = np.random.default_rng(seed)
+    c, h, w = shape
+    templates = template_scale * rng.normal(0.0, 1.0, size=(n_classes, c, h, w))
+    # Smooth the templates so nearby pixels correlate (image-like).
+    for axis in (2, 3):
+        templates = 0.5 * templates + 0.25 * (
+            np.roll(templates, 1, axis=axis) + np.roll(templates, -1, axis=axis)
+        )
+
+    def sample(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, n_classes, size=n)
+        xs = templates[labels] + rng.normal(0.0, noise, size=(n, c, h, w))
+        if borderline_fraction > 0:
+            borderline = rng.random(n) < borderline_fraction
+            others = (labels + rng.integers(1, n_classes, size=n)) % n_classes
+            # Mix the sample toward another class, just shy of ambiguity.
+            mix = rng.uniform(0.30, 0.48, size=n)[:, None, None, None]
+            xs = np.where(
+                borderline[:, None, None, None],
+                (1 - mix) * xs + mix * templates[others],
+                xs,
+            )
+        return np.clip(xs, -4.0, 4.0), labels
+
+    x_train, y_train = sample(n_train)
+    x_test, y_test = sample(n_test)
+    return ImageTask(name, x_train, y_train, x_test, y_test, n_classes)
+
+
+def make_sequence_task(
+    name: str,
+    n_classes: int = 2,
+    vocab: int = 32,
+    seq_len: int = 16,
+    signal_tokens: int = 4,
+    noise: float = 0.3,
+    n_train: int = 512,
+    n_test: int = 256,
+    seed: int = 0,
+) -> SequenceTask:
+    """Keyword-signal sequences.
+
+    Each class owns ``signal_tokens`` vocabulary items; a sample draws
+    most positions from a shared background distribution and, with
+    probability ``1 - noise`` per signal slot, plants class keywords.
+    Higher ``noise`` (fewer planted keywords) makes the task harder.
+    """
+    rng = np.random.default_rng(seed)
+    class_tokens = rng.permutation(vocab)[: n_classes * signal_tokens].reshape(
+        n_classes, signal_tokens
+    )
+
+    def sample(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, n_classes, size=n)
+        seqs = rng.integers(0, vocab, size=(n, seq_len))
+        slots = rng.integers(0, seq_len, size=(n, signal_tokens))
+        keep = rng.random((n, signal_tokens)) > noise
+        for i in range(n):
+            planted = class_tokens[labels[i]][keep[i]]
+            seqs[i, slots[i][keep[i]]] = planted
+        return seqs, labels
+
+    x_train, y_train = sample(n_train)
+    x_test, y_test = sample(n_test)
+    return SequenceTask(
+        name, x_train, y_train, x_test, y_test, n_classes, vocab, seq_len
+    )
+
+
+def make_graph_task(
+    name: str,
+    n_nodes: int = 200,
+    n_classes: int = 4,
+    n_features: int = 16,
+    p_in: float = 0.08,
+    p_out: float = 0.01,
+    feature_noise: float = 1.0,
+    train_fraction: float = 0.3,
+    seed: int = 0,
+) -> GraphTask:
+    """Stochastic-block-model graph with community-informative features.
+
+    Nodes in the same community connect with probability ``p_in``,
+    across communities ``p_out``; features are a community centroid plus
+    noise.  Lowering ``p_in / p_out`` contrast or raising
+    ``feature_noise`` makes the task harder.
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_classes, size=n_nodes)
+    probs = np.where(labels[:, None] == labels[None, :], p_in, p_out)
+    upper = np.triu(rng.random((n_nodes, n_nodes)) < probs, k=1)
+    adjacency = (upper | upper.T).astype(np.float64)
+    centroids = rng.normal(0.0, 1.0, size=(n_classes, n_features))
+    features = centroids[labels] + rng.normal(
+        0.0, feature_noise, size=(n_nodes, n_features)
+    )
+    features = np.clip(features, -4.0, 4.0)
+    order = rng.permutation(n_nodes)
+    n_train = int(train_fraction * n_nodes)
+    train_mask = np.zeros(n_nodes, dtype=bool)
+    train_mask[order[:n_train]] = True
+    test_mask = ~train_mask
+    return GraphTask(
+        name,
+        features,
+        normalized_adjacency(adjacency),
+        labels,
+        train_mask,
+        test_mask,
+        n_classes,
+    )

@@ -1,0 +1,25 @@
+"""Experiment harnesses: one entry point per paper table/figure.
+
+================  =====================================================
+Paper artifact    Harness
+================  =====================================================
+Fig. 1            :func:`repro.evaluation.breakdown.figure1_breakdown`
+Table I           :func:`repro.evaluation.resource_sweep.table1_module_resources`
+Table II          :func:`repro.evaluation.resource_sweep.table2_total_resources`
+Table III         :func:`repro.evaluation.accuracy.table3_accuracy`
+Fig. 8            :func:`repro.evaluation.perf_sweep.figure8_throughput`
+Fig. 9            :func:`repro.evaluation.resource_sweep.figure9_resource_sweep`
+Fig. 10           :func:`repro.evaluation.pareto_sweep.figure10_pareto`
+Table IV          :func:`repro.evaluation.comparison.table4_comparison`
+Table V           :func:`repro.evaluation.resource_sweep.table5_buffer_sizes`
+================  =====================================================
+
+Each harness returns plain data structures (lists of dict rows /
+series) and has a ``format_*`` companion producing the paper-style
+text table, so the benchmark suite can both assert on the data and
+print the artifact.
+"""
+
+from repro.evaluation.reporting import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,68 @@
+"""Fig. 1 — op-type computation breakdown of classic networks.
+
+The paper's introduction motivates ONE-SA with pie charts of where the
+computation goes in a CNN (ResNet on CIFAR-10) and a transformer (BERT
+on SST-2) on conventional hardware: GEMM dominates, but nonlinear op
+types (softmax, normalization, activations) claim meaningful shares
+because each of their elements costs many scalar operations.
+
+The harness profiles our exact workload descriptors under the
+CPU-equivalent cost weights and reports the same categories the figure
+uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.nn.profiler import ARRAY_COST_WEIGHTS, CPU_COST_WEIGHTS, op_mix
+from repro.nn.workload import bert_base_workload, resnet50_workload
+from repro.evaluation.reporting import as_percent, format_table
+
+#: Shares the paper reports in Fig. 1 (for the EXPERIMENTS.md record).
+PAPER_FIG1 = {
+    "resnet50": {
+        "gemm": 0.7233,
+        "multiply": 0.0019,
+        "add": 0.0093,
+        "softmax": 0.0016,
+        "batchnorm": 0.2149,
+        "relu": 0.0458,
+    },
+    "bert-base": {
+        "gemm": 0.8239,
+        "multiply": 0.0206,
+        "add": 0.0353,
+        "softmax": 0.0267,
+        "layernorm": 0.0305,
+        "gelu": 0.0629,
+    },
+}
+
+
+def figure1_breakdown(view: str = "cpu") -> Dict[str, Dict[str, float]]:
+    """Op-mix shares for the two Fig. 1 networks.
+
+    ``view='cpu'`` uses the general-purpose cost weights (the paper's
+    figure); ``view='array'`` shows the same workloads in ONE-SA MHP
+    passes — the "after" picture.
+    """
+    weights = CPU_COST_WEIGHTS if view == "cpu" else ARRAY_COST_WEIGHTS
+    # Fig. 1(a) profiles the CIFAR-10 ResNet (32x32 inputs); Fig. 1(b)
+    # BERT on SST-2-length sequences.
+    return {
+        "resnet50": op_mix(resnet50_workload(image_size=32), weights),
+        "bert-base": op_mix(bert_base_workload(), weights),
+    }
+
+
+def format_figure1(view: str = "cpu") -> str:
+    """Paper-style text rendering of the Fig. 1 breakdown."""
+    mixes = figure1_breakdown(view)
+    kinds = sorted({k for mix in mixes.values() for k in mix})
+    rows = []
+    for name, mix in mixes.items():
+        rows.append([name] + [as_percent(mix.get(k, 0.0)) for k in kinds])
+    return format_table(
+        ["network"] + kinds, rows, title=f"Fig. 1 op breakdown ({view} view)"
+    )

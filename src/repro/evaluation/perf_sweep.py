@@ -1,0 +1,130 @@
+"""Fig. 8 — linear (GOPS) and nonlinear (GNFS) throughput sweeps.
+
+The paper sweeps PE count (log4 axis: 4…256), MACs per PE (log2 axis:
+2…32) and input matrix dimension (32 / 128 / 512), plotting achieved
+throughput against the theoretical maximum and observing
+
+* throughput rises with both PEs and MACs up to a "throughput cliff",
+* MAC count has the stronger influence, and
+* small matrices on large arrays are drain-dominated (the 84.8%
+  transmit-cycle example of Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.evaluation.reporting import format_table
+from repro.systolic.config import SystolicConfig
+from repro.systolic.timing import (
+    gemm_cycles,
+    gemm_throughput_gops,
+    nonlinear_throughput_gnfs,
+    peak_gnfs,
+    peak_gops,
+)
+
+#: The paper's swept axes.
+PE_DIMS = (2, 4, 8, 16)  # grids: 4, 16, 64, 256 PEs
+MAC_COUNTS = (2, 4, 8, 16, 32)
+MATRIX_DIMS = (32, 128, 512)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One design point × problem size measurement."""
+
+    pe_dim: int
+    n_pes: int
+    macs: int
+    matrix_dim: int
+    achieved: float  # GOPS (linear) or GNFS (nonlinear)
+    maximum: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.achieved / self.maximum if self.maximum else 0.0
+
+
+def figure8_linear(
+    pe_dims: Sequence[int] = PE_DIMS,
+    mac_counts: Sequence[int] = MAC_COUNTS,
+    matrix_dims: Sequence[int] = MATRIX_DIMS,
+) -> List[SweepPoint]:
+    """Fig. 8(a): achieved GOPS of square GEMMs across the design space."""
+    points = []
+    for pe_dim in pe_dims:
+        for macs in mac_counts:
+            config = SystolicConfig(pe_rows=pe_dim, pe_cols=pe_dim, macs_per_pe=macs)
+            for dim in matrix_dims:
+                points.append(
+                    SweepPoint(
+                        pe_dim=pe_dim,
+                        n_pes=config.n_pes,
+                        macs=macs,
+                        matrix_dim=dim,
+                        achieved=gemm_throughput_gops(config, dim, dim, dim),
+                        maximum=peak_gops(config),
+                    )
+                )
+    return points
+
+
+def figure8_nonlinear(
+    pe_dims: Sequence[int] = PE_DIMS,
+    mac_counts: Sequence[int] = MAC_COUNTS,
+    matrix_dims: Sequence[int] = MATRIX_DIMS,
+) -> List[SweepPoint]:
+    """Fig. 8(b): achieved GNFS of square MHPs across the design space."""
+    points = []
+    for pe_dim in pe_dims:
+        for macs in mac_counts:
+            config = SystolicConfig(pe_rows=pe_dim, pe_cols=pe_dim, macs_per_pe=macs)
+            for dim in matrix_dims:
+                points.append(
+                    SweepPoint(
+                        pe_dim=pe_dim,
+                        n_pes=config.n_pes,
+                        macs=macs,
+                        matrix_dim=dim,
+                        achieved=nonlinear_throughput_gnfs(config, dim, dim),
+                        maximum=peak_gnfs(config),
+                    )
+                )
+    return points
+
+
+def throughput_cliff_example() -> Dict[str, float]:
+    """The Section V-C drain-share example: 32×32 input, 16×16 PEs.
+
+    Returns the measured drain fraction (paper: 84.8%) and the full
+    cycle decomposition.
+    """
+    config = SystolicConfig(pe_rows=16, pe_cols=16, macs_per_pe=16)
+    breakdown = gemm_cycles(config, 32, 32, 32)
+    return {
+        "drain_fraction": breakdown.drain_fraction,
+        "fill": float(breakdown.fill),
+        "compute": float(breakdown.compute),
+        "drain": float(breakdown.drain),
+        "total": float(breakdown.total),
+        "paper_drain_fraction": 0.848,
+    }
+
+
+def format_figure8(points: Sequence[SweepPoint], metric: str) -> str:
+    """Text rendering: one row per (PEs, MACs), one column per dim."""
+    dims = sorted({p.matrix_dim for p in points})
+    keys = sorted({(p.pe_dim, p.macs) for p in points})
+    index = {(p.pe_dim, p.macs, p.matrix_dim): p for p in points}
+    rows = []
+    for pe_dim, macs in keys:
+        any_point = index[(pe_dim, macs, dims[0])]
+        row = [f"{pe_dim}x{pe_dim}", macs] + [
+            round(index[(pe_dim, macs, d)].achieved, 2) for d in dims
+        ]
+        row.append(round(any_point.maximum, 2))
+        rows.append(row)
+    headers = ["PEs", "MACs"] + [f"{d} dims ({metric})" for d in dims] + ["max"]
+    return format_table(headers, rows, title=f"Fig. 8 {metric} sweep")

@@ -1,0 +1,180 @@
+"""Tables I, II, V and Fig. 9 — hardware resource accounting.
+
+All four artifacts are views over the analytic resource model
+(:mod:`repro.hardware.resources`) and the buffer geometry
+(:class:`~repro.systolic.config.SystolicConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.evaluation.reporting import format_table
+from repro.hardware.resources import (
+    ArrayResources,
+    l3_resources,
+    pe_resources,
+    total_resources,
+)
+from repro.systolic.config import SystolicConfig
+
+#: Published values recorded for the EXPERIMENTS.md comparison.
+PAPER_TABLE1 = {
+    ("l3", "sa"): {"bram": 0, "lut": 174, "ff": 566, "dsp": 0},
+    ("l3", "one-sa"): {"bram": 2, "lut": 1021, "ff": 1209, "dsp": 0},
+    ("pe", "sa"): {"bram": 1, "lut": 824, "ff": 1862, "dsp": 16},
+    ("pe", "one-sa"): {"bram": 1, "lut": 826, "ff": 2380, "dsp": 16},
+}
+
+PAPER_TABLE2 = {
+    (4, "sa"): {"bram": 470, "lut": 67976, "ff": 66924, "dsp": 256},
+    (4, "one-sa"): {"bram": 472, "lut": 68855, "ff": 75855, "dsp": 256},
+    (8, "sa"): {"bram": 822, "lut": 179247, "ff": 179247, "dsp": 1024},
+    (8, "one-sa"): {"bram": 824, "lut": 180222, "ff": 213042, "dsp": 1024},
+    (16, "sa"): {"bram": 1366, "lut": 730225, "ff": 552539, "dsp": 4096},
+    (16, "one-sa"): {"bram": 1368, "lut": 731584, "ff": 685790, "dsp": 4096},
+}
+
+
+def table1_module_resources(pe_rows: int = 8, macs: int = 16) -> Dict[str, Dict[str, ArrayResources]]:
+    """Table I: L3 buffer and PE costs, SA vs ONE-SA."""
+    return {
+        "l3": {
+            "sa": l3_resources(pe_rows, macs, nonlinear_output=False),
+            "one-sa": l3_resources(pe_rows, macs, nonlinear_output=True),
+        },
+        "pe": {
+            "sa": pe_resources(macs, nonlinear=False),
+            "one-sa": pe_resources(macs, nonlinear=True),
+        },
+    }
+
+
+def table2_total_resources(
+    pe_dims: Sequence[int] = (4, 8, 16), macs: int = 16
+) -> List[dict]:
+    """Table II: total resources for SA and ONE-SA at each array size."""
+    rows = []
+    for dim in pe_dims:
+        sa = total_resources(
+            SystolicConfig(pe_rows=dim, pe_cols=dim, macs_per_pe=macs, nonlinear_enabled=False)
+        )
+        one = total_resources(
+            SystolicConfig(pe_rows=dim, pe_cols=dim, macs_per_pe=macs, nonlinear_enabled=True)
+        )
+        rows.append(
+            {
+                "dim": dim,
+                "sa": sa,
+                "one-sa": one,
+                "ratio": {
+                    "bram": one.bram / sa.bram,
+                    "lut": one.lut / sa.lut,
+                    "ff": one.ff / sa.ff,
+                    "dsp": one.dsp / sa.dsp,
+                },
+            }
+        )
+    return rows
+
+
+def figure9_resource_sweep(
+    pe_dims: Sequence[int] = (2, 4, 8, 16),
+    mac_counts: Sequence[int] = (2, 4, 8, 16, 32),
+) -> List[dict]:
+    """Fig. 9: ONE-SA resource consumption across the design space."""
+    rows = []
+    for dim in pe_dims:
+        for macs in mac_counts:
+            config = SystolicConfig(pe_rows=dim, pe_cols=dim, macs_per_pe=macs)
+            res = total_resources(config)
+            rows.append(
+                {
+                    "n_pes": config.n_pes,
+                    "macs": macs,
+                    "lut": res.lut,
+                    "ff": res.ff,
+                    "dsp": res.dsp,
+                    "bram": res.bram,
+                }
+            )
+    return rows
+
+
+def table5_buffer_sizes(config: SystolicConfig = None) -> List[dict]:
+    """Table V: per-buffer sizes and instance counts."""
+    config = config or SystolicConfig(pe_rows=8, pe_cols=8, macs_per_pe=16)
+    return [
+        {
+            "buffer": "L3",
+            "size_kb": config.l3_bytes / 1024.0,
+            "count": config.n_l3_buffers,
+        },
+        {
+            "buffer": "L2",
+            "size_kb": config.l2_bytes / 1024.0,
+            "count": config.n_l2_banks,
+        },
+        {
+            "buffer": "PE",
+            "size_kb": config.pe_buffer_bytes / 1024.0,
+            "count": config.n_pes,
+        },
+        {
+            "buffer": "L1",
+            "size_kb": config.l1_bytes / 1024.0,
+            "count": config.n_pes,
+        },
+    ]
+
+
+def format_table1() -> str:
+    data = table1_module_resources()
+    rows = []
+    for module in ("l3", "pe"):
+        for design in ("sa", "one-sa"):
+            r = data[module][design]
+            rows.append(
+                [module.upper(), design.upper(), int(r.bram), int(r.lut), int(r.ff), int(r.dsp)]
+            )
+    return format_table(
+        ["Module", "Design", "BRAM", "LUT", "FF", "DSP"],
+        rows,
+        title="Table I: ONE-SA L3 and PE resources",
+    )
+
+
+def format_table2() -> str:
+    rows = []
+    for entry in table2_total_resources():
+        dim = entry["dim"]
+        sa, one, ratio = entry["sa"], entry["one-sa"], entry["ratio"]
+        rows.append([f"{dim}x{dim}", "SA", int(sa.bram), int(sa.lut), int(sa.ff), int(sa.dsp)])
+        rows.append(
+            [
+                f"{dim}x{dim}",
+                "OneSA",
+                f"{int(one.bram)} ({ratio['bram'] * 100:.1f}%)",
+                f"{int(one.lut)} ({ratio['lut'] * 100:.1f}%)",
+                f"{int(one.ff)} ({ratio['ff'] * 100:.1f}%)",
+                f"{int(one.dsp)} ({ratio['dsp'] * 100:.0f}%)",
+            ]
+        )
+    return format_table(
+        ["Dim", "Design", "BRAM", "LUT", "FF", "DSP"],
+        rows,
+        title="Table II: total hardware resources",
+    )
+
+
+def format_table5() -> str:
+    rows = [
+        [
+            entry["buffer"],
+            f"{entry['size_kb']:.3f}KB",
+            f"x{entry['count']}",
+        ]
+        for entry in table5_buffer_sizes()
+    ]
+    return format_table(["Buffer", "Size", "Count"], rows, title="Table V: buffer sizes")

@@ -1,0 +1,69 @@
+"""Run-everything driver: regenerate every paper artifact in one call.
+
+``full_report()`` executes each experiment harness and returns the
+formatted artifacts in paper order; ``examples/run_all_experiments.py``
+prints them.  The accuracy experiment is the slow one (~30 s for the
+full 12-task table); pass ``quick=True`` to restrict it to one task per
+family.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.accuracy import format_table3, table3_accuracy
+from repro.evaluation.breakdown import format_figure1
+from repro.evaluation.comparison import format_table4, table4_comparison
+from repro.evaluation.perf_sweep import (
+    figure8_linear,
+    figure8_nonlinear,
+    format_figure8,
+    throughput_cliff_example,
+)
+from repro.evaluation.resource_sweep import (
+    format_table1,
+    format_table2,
+    format_table5,
+)
+
+QUICK_TASKS = ("qmnist", "sst2", "cora")
+
+
+def full_report(quick: bool = False, seed: int = 0) -> Dict[str, str]:
+    """Regenerate every artifact; returns ``{artifact: formatted text}``.
+
+    Parameters
+    ----------
+    quick:
+        Restrict Table III to one task per family (fast smoke mode).
+    seed:
+        Seed for task generation / training in the accuracy experiment.
+    """
+    report: Dict[str, str] = {}
+    report["fig1"] = format_figure1("cpu") + "\n\n" + format_figure1("array")
+    report["table1"] = format_table1()
+    report["table2"] = format_table2()
+
+    tasks = list(QUICK_TASKS) if quick else None
+    report["table3"] = format_table3(table3_accuracy(tasks=tasks, seed=seed))
+
+    report["fig8_linear"] = format_figure8(figure8_linear(), "GOPS")
+    report["fig8_nonlinear"] = format_figure8(figure8_nonlinear(), "GNFS")
+    cliff = throughput_cliff_example()
+    report["fig8_cliff"] = (
+        "Section V-C drain example (32x32 input on 16x16 PEs): "
+        f"{cliff['drain_fraction'] * 100:.1f}% of cycles transmit results "
+        f"(paper: {cliff['paper_drain_fraction'] * 100:.1f}%)"
+    )
+    report["table4"] = format_table4(table4_comparison())
+    report["table5"] = format_table5()
+    return report
+
+
+def print_report(quick: bool = False, seed: int = 0) -> None:
+    """Print the full artifact set with separators (CLI convenience)."""
+    for name, text in full_report(quick=quick, seed=seed).items():
+        print("=" * 72)
+        print(f"[{name}]")
+        print(text)
+        print()

@@ -1,0 +1,100 @@
+"""Saturating fixed-point arithmetic primitives.
+
+These model the datapath operations available inside a ONE-SA processing
+element: INT16 multiply into a wide product, accumulation in the
+multi-layer accumulator (int64 model), and saturating writeback.  All
+functions operate on *raw* integer arrays (see :mod:`repro.fixedpoint`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+
+
+def saturate(raw: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Clamp raw integers to the representable range of ``fmt``."""
+    clipped = np.clip(np.asarray(raw, dtype=np.int64), fmt.raw_min, fmt.raw_max)
+    return clipped.astype(fmt.storage_dtype())
+
+
+def fixed_add(a: np.ndarray, b: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Saturating addition of two raw tensors in the same format."""
+    total = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return saturate(total, fmt)
+
+
+def fixed_mul(a: np.ndarray, b: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Saturating multiply of two raw tensors in the same format.
+
+    The exact product carries ``2 * frac_bits`` fractional bits; the
+    result is rounded back to ``frac_bits`` and saturated, matching a
+    single-MAC multiply with immediate writeback.
+    """
+    product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    half = np.int64(1) << (fmt.frac_bits - 1) if fmt.frac_bits > 0 else np.int64(0)
+    rounded = (product + half) >> fmt.frac_bits
+    return saturate(rounded, fmt)
+
+
+def fixed_mac(
+    acc: np.ndarray, a: np.ndarray, b: np.ndarray, fmt: QFormat
+) -> np.ndarray:
+    """One multiply-accumulate step: ``acc + a * b``.
+
+    ``acc`` is held in the wide accumulator format (product-aligned,
+    ``2 * frac_bits`` fractional bits, int64 storage).  No intermediate
+    saturation is applied — the hardware accumulator carries guard bits —
+    so only the final writeback (via :func:`accumulator_to_output`)
+    saturates.
+    """
+    product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    return np.asarray(acc, dtype=np.int64) + product
+
+
+def accumulator_to_output(acc: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Round and saturate a product-aligned accumulator back to ``fmt``.
+
+    Models the writeback from the multi-layer accumulator to the PE
+    output buffer (Fig. 7a).
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    half = np.int64(1) << (fmt.frac_bits - 1) if fmt.frac_bits > 0 else np.int64(0)
+    rounded = (acc + half) >> fmt.frac_bits
+    return saturate(rounded, fmt)
+
+
+def fixed_matmul(a: np.ndarray, b: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Bit-accurate fixed-point matrix multiply ``a @ b``.
+
+    This is the vectorised reference for what the systolic array computes
+    in GEMM mode: every output element is a dot product accumulated in
+    the wide accumulator and saturated once on writeback.  Inputs are raw
+    integers in ``fmt``; the output is raw integers in ``fmt``.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"fixed_matmul expects 2-D inputs, got {a.ndim}-D and {b.ndim}-D")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch for matmul: {a.shape} @ {b.shape}")
+    acc = a @ b  # exact in int64 for INT16 operands and practical K
+    return accumulator_to_output(acc, fmt)
+
+
+def fixed_hadamard_mac(
+    x: np.ndarray, k: np.ndarray, b: np.ndarray, fmt: QFormat
+) -> np.ndarray:
+    """Bit-accurate fixed-point ``x * k + b`` (the MHP computation).
+
+    Mirrors the rearranged two-term dot product each computation PE
+    executes: ``y = k*x + b*1`` with both products accumulated in the wide
+    accumulator before a single rounding/saturating writeback (Fig. 6).
+    """
+    x = np.asarray(x, dtype=np.int64)
+    k = np.asarray(k, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    one = np.int64(1) << fmt.frac_bits
+    acc = x * k + b * one
+    return accumulator_to_output(acc, fmt)

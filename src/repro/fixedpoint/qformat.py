@@ -1,0 +1,113 @@
+"""Q-format descriptor for signed fixed-point numbers.
+
+A ``QFormat(total_bits, frac_bits)`` describes signed two's-complement
+fixed point with ``total_bits - frac_bits - 1`` integer bits.  The paper's
+datapath is INT16; the default format used across the package is Q16.8
+(8 fractional bits), which covers the activation ranges of the evaluated
+networks after per-tensor scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Signed two's-complement fixed-point format.
+
+    Parameters
+    ----------
+    total_bits:
+        Total width of the representation, including the sign bit.
+    frac_bits:
+        Number of fractional bits.  The represented value of a raw
+        integer ``r`` is ``r * 2**-frac_bits``.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError(f"total_bits must be >= 2, got {self.total_bits}")
+        if self.frac_bits < 0:
+            raise ValueError(f"frac_bits must be >= 0, got {self.frac_bits}")
+        if self.frac_bits >= self.total_bits:
+            raise ValueError(
+                f"frac_bits ({self.frac_bits}) must be < total_bits "
+                f"({self.total_bits})"
+            )
+
+    @property
+    def int_bits(self) -> int:
+        """Number of integer (magnitude) bits, excluding the sign bit."""
+        return self.total_bits - self.frac_bits - 1
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit (2**-frac_bits)."""
+        return 2.0 ** -self.frac_bits
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest representable raw integer."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min * self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max * self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Alias of :attr:`scale`: the quantization step."""
+        return self.scale
+
+    def storage_dtype(self) -> np.dtype:
+        """Smallest numpy signed integer dtype that holds raw values."""
+        if self.total_bits <= 8:
+            return np.dtype(np.int8)
+        if self.total_bits <= 16:
+            return np.dtype(np.int16)
+        if self.total_bits <= 32:
+            return np.dtype(np.int32)
+        return np.dtype(np.int64)
+
+    def accumulator(self, extra_bits: int = 16) -> "QFormat":
+        """Wider format used by the PE multi-layer accumulator.
+
+        The hardware accumulates products (which are ``2 * total_bits``
+        wide before truncation) into a guard-banded register; modelling it
+        as ``total_bits + extra_bits`` wide with the same binary point as
+        a *product* (``2 * frac_bits``) matches how the multi-layer
+        accumulator in Fig. 7 chains its adder tree.
+        """
+        return QFormat(self.total_bits + extra_bits, 2 * self.frac_bits)
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``'Q16.8 [-128.0, 127.996]'``."""
+        return (
+            f"Q{self.total_bits}.{self.frac_bits} "
+            f"[{self.min_value}, {self.max_value}]"
+        )
+
+
+#: The paper's default datapath precision (INT16, Section V-A).
+INT16 = QFormat(16, 8)
+
+#: A wider debugging format used by some tests to isolate CPWL error
+#: from quantization error.
+INT32 = QFormat(32, 16)

@@ -1,0 +1,79 @@
+"""Quantization between floating point and fixed-point raw integers."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def quantize(values: ArrayLike, fmt: QFormat, rounding: str = "nearest") -> np.ndarray:
+    """Quantize real ``values`` to raw fixed-point integers.
+
+    Values outside the representable range saturate to the format limits,
+    matching the saturating writeback of the PE output buffer.
+
+    Parameters
+    ----------
+    values:
+        Scalar or array of real numbers.
+    fmt:
+        Target fixed-point format.
+    rounding:
+        ``'nearest'`` (round half away from zero, the HLS default used by
+        the paper's toolchain) or ``'floor'`` (truncation).
+
+    Returns
+    -------
+    numpy.ndarray
+        Raw integers in ``fmt.storage_dtype()``.
+    """
+    scaled = np.asarray(values, dtype=np.float64) * (1 << fmt.frac_bits)
+    if rounding == "nearest":
+        raw = np.where(scaled >= 0, np.floor(scaled + 0.5), np.ceil(scaled - 0.5))
+    elif rounding == "floor":
+        raw = np.floor(scaled)
+    else:
+        raise ValueError(f"unknown rounding mode: {rounding!r}")
+    raw = np.clip(raw, fmt.raw_min, fmt.raw_max)
+    return raw.astype(fmt.storage_dtype())
+
+
+def dequantize(raw: ArrayLike, fmt: QFormat) -> np.ndarray:
+    """Convert raw fixed-point integers back to real values."""
+    return np.asarray(raw, dtype=np.float64) * fmt.scale
+
+
+def requantize(raw: ArrayLike, src: QFormat, dst: QFormat) -> np.ndarray:
+    """Re-scale raw integers from one Q-format to another with saturation.
+
+    This models the shift-and-saturate stage between the PE accumulator
+    (a wide product-aligned format) and the INT16 output buffer.
+    """
+    raw = np.asarray(raw, dtype=np.int64)
+    shift = src.frac_bits - dst.frac_bits
+    if shift > 0:
+        # Round-to-nearest on the discarded bits (add half then shift).
+        half = np.int64(1) << (shift - 1)
+        rescaled = (raw + half) >> shift
+    elif shift < 0:
+        rescaled = raw << (-shift)
+    else:
+        rescaled = raw
+    rescaled = np.clip(rescaled, dst.raw_min, dst.raw_max)
+    return rescaled.astype(dst.storage_dtype())
+
+
+def quantization_error(values: ArrayLike, fmt: QFormat) -> float:
+    """Maximum absolute round-trip error of ``values`` under ``fmt``.
+
+    Useful for choosing fractional-bit budgets: for in-range values the
+    error is bounded by half an LSB under nearest rounding.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    round_trip = dequantize(quantize(values, fmt), fmt)
+    return float(np.max(np.abs(round_trip - values))) if values.size else 0.0

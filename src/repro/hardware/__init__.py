@@ -1,0 +1,39 @@
+"""FPGA cost models: resources, power, device limits, Pareto analysis.
+
+The paper implements ONE-SA on a Xilinx Virtex-7 XC7VX485T via Vivado
+HLS and reports BRAM/LUT/FF/DSP utilization (Tables I and II, Fig. 9)
+and XPE power (Fig. 10, Table IV).  We replace synthesis with an
+*analytic* model whose structure is derived from the published anchors:
+
+* the per-PE and per-L3 costs reproduce Table I;
+* the ONE-SA-over-SA delta is structural and exact —
+  ``n_PEs × (2 LUT, 518 FF)`` for the control logics plus
+  ``(2 BRAM, 847 LUT, 643 FF)`` for the extended output L3 — which
+  reproduces every delta in Table II to the digit;
+* the remaining fabric (L2 banks, interconnect, control) is interpolated
+  from the Table II anchor totals.
+
+Power is a static + per-resource dynamic model calibrated to the
+Table IV operating point (7.61 W at 64 PEs × 16 MACs).
+"""
+
+from repro.hardware.resources import (
+    ArrayResources,
+    l3_resources,
+    pe_resources,
+    total_resources,
+)
+from repro.hardware.device import VIRTEX7_XC7VX485T, FPGADevice
+from repro.hardware.power import power_watts
+from repro.hardware.pareto import pareto_front
+
+__all__ = [
+    "ArrayResources",
+    "pe_resources",
+    "l3_resources",
+    "total_resources",
+    "FPGADevice",
+    "VIRTEX7_XC7VX485T",
+    "power_watts",
+    "pareto_front",
+]

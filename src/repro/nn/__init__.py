@@ -1,0 +1,33 @@
+"""Neural-network substrate.
+
+The paper evaluates ONE-SA on three network families — CNN (ResNet),
+transformer (BERT) and GNN (GCN).  Reproducing the accuracy experiment
+(Table III) needs *trained* networks whose inference can be re-run with
+CPWL-approximated nonlinearities, so this subpackage provides:
+
+* a minimal reverse-mode autograd engine over numpy
+  (:mod:`repro.nn.autograd`);
+* layers and models for the three families (:mod:`repro.nn.layers`,
+  :mod:`repro.nn.models`);
+* training loops (:mod:`repro.nn.training`);
+* swappable inference backends — exact float, CPWL+INT16, or the full
+  systolic-array path (:mod:`repro.nn.executor`);
+* op-count-exact *workload descriptors* of the full-size published
+  models (ResNet-50, BERT-base, GCN) for the performance experiments
+  (:mod:`repro.nn.workload`) and the Fig. 1 op-mix profiler
+  (:mod:`repro.nn.profiler`).
+"""
+
+from repro.nn.autograd import Tensor
+from repro.nn.executor import ArrayBackend, CPWLBackend, FloatBackend
+from repro.nn.workload import GemmOp, NonlinearOp, Workload
+
+__all__ = [
+    "Tensor",
+    "FloatBackend",
+    "CPWLBackend",
+    "ArrayBackend",
+    "Workload",
+    "GemmOp",
+    "NonlinearOp",
+]

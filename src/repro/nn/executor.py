@@ -1,0 +1,273 @@
+"""Inference backends: exact float, CPWL+INT16, and the full array.
+
+A backend supplies the primitive operations a model's ``infer`` path
+needs.  Swapping the backend re-runs the *same trained network* under
+different execution models:
+
+* :class:`FloatBackend` — exact float64 (the "Original" column of
+  Table III is this backend after INT16 round-trip of activations);
+* :class:`CPWLBackend` — every GEMM in saturating INT16, every
+  nonlinearity through the capped-piecewise-linear pipeline at a chosen
+  granularity (the 0.1 … 1.0 columns of Table III);
+* :class:`ArrayBackend` — same arithmetic as :class:`CPWLBackend` but
+  routed through a :class:`~repro.systolic.array.SystolicArray`
+  instance, which additionally produces the cycle trace (used by the
+  integration tests and the end-to-end examples).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core import nonlinear_ops as NL
+from repro.core.functions import get_function
+from repro.fixedpoint import QFormat, dequantize, fixed_matmul, quantize
+from repro.fixedpoint.qformat import INT16
+
+
+class FloatBackend:
+    """Exact float64 reference backend."""
+
+    name = "float"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def linear(self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        return x @ weight.T + bias
+
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def gelu(self, x: np.ndarray) -> np.ndarray:
+        return get_function("gelu")(x)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        return get_function("sigmoid")(x)
+
+    def softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        shifted = x - x.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=axis, keepdims=True)
+
+    def layernorm(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        eps: float = 1e-5,
+    ) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mean) / np.sqrt(var + eps) * gamma + beta
+
+    def batchnorm(
+        self,
+        x: np.ndarray,
+        scale: np.ndarray,
+        shift: np.ndarray,
+        channel_axis: int = 1,
+    ) -> np.ndarray:
+        shape = [1] * x.ndim
+        shape[channel_axis] = -1
+        return x * scale.reshape(shape) + shift.reshape(shape)
+
+    def batchnorm_stats(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        mean: np.ndarray,
+        var: np.ndarray,
+        eps: float = 1e-5,
+        channel_axis: int = 1,
+    ) -> np.ndarray:
+        """Batchnorm from stored statistics.
+
+        The accelerator keeps ``(gamma, beta, mean, var)`` and derives
+        the affine on the fly — ``1/sqrt(var + eps)`` is a genuine
+        nonlinear stage (CPWL on the array, exact here), which is why
+        batchnorm shows up as real computation in Fig. 1 rather than a
+        free pre-folded affine.
+        """
+        inv_std = 1.0 / np.sqrt(var + eps)
+        scale = gamma * inv_std
+        shift = beta - mean * scale
+        return self.batchnorm(x, scale, shift, channel_axis)
+
+
+class QuantizedFloatBackend(FloatBackend):
+    """Float math with INT16 round-trips (the "Original" baseline).
+
+    Table III's first column is "the original DNN models with INT16
+    quantization": exact nonlinearities, quantized tensors.  This
+    backend rounds every operation's inputs and outputs through the
+    datapath format but keeps the nonlinear functions exact.
+    """
+
+    name = "int16-exact-nonlinear"
+
+    def __init__(self, fmt: QFormat = INT16):
+        self.fmt = fmt
+
+    def _q(self, x: np.ndarray) -> np.ndarray:
+        return dequantize(quantize(x, self.fmt), self.fmt)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._q(super().matmul(self._q(a), self._q(b)))
+
+    def linear(self, x, weight, bias):
+        return self._q(super().linear(self._q(x), self._q(weight), self._q(bias)))
+
+    def relu(self, x):
+        return self._q(super().relu(self._q(x)))
+
+    def gelu(self, x):
+        return self._q(super().gelu(self._q(x)))
+
+    def tanh(self, x):
+        return self._q(super().tanh(self._q(x)))
+
+    def sigmoid(self, x):
+        return self._q(super().sigmoid(self._q(x)))
+
+    def softmax(self, x, axis: int = -1):
+        return self._q(super().softmax(self._q(x), axis=axis))
+
+    def layernorm(self, x, gamma, beta, eps: float = 1e-5):
+        return self._q(super().layernorm(self._q(x), gamma, beta, eps=eps))
+
+    def batchnorm(self, x, scale, shift, channel_axis: int = 1):
+        return self._q(super().batchnorm(self._q(x), scale, shift, channel_axis))
+
+    def batchnorm_stats(self, x, gamma, beta, mean, var, eps=1e-5, channel_axis=1):
+        inv_std = 1.0 / np.sqrt(var + eps)
+        scale = self._q(gamma * inv_std)
+        shift = self._q(beta - mean * scale)
+        return self.batchnorm(x, scale, shift, channel_axis)
+
+
+class CPWLBackend:
+    """INT16 GEMMs + capped-piecewise-linear nonlinearities.
+
+    This is the fast bit-faithful model of running the network on
+    ONE-SA: matrix products through :func:`fixed_matmul` (wide
+    accumulate, saturating writeback) and nonlinear operations through
+    the IPF+MHP pipeline of :mod:`repro.core.nonlinear_ops`.
+    """
+
+    name = "cpwl"
+
+    def __init__(self, granularity: float, fmt: QFormat = INT16):
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")
+        self.granularity = float(granularity)
+        self.fmt = fmt
+
+    # -- linear ---------------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim == 2 and b.ndim == 2:
+            raw = fixed_matmul(quantize(a, self.fmt), quantize(b, self.fmt), self.fmt)
+            return dequantize(raw, self.fmt)
+        # Batched matmul: fold leading axes into a loop of 2-D GEMMs —
+        # exactly how the executor tiles batched attention on the array.
+        lead = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+        a_b = np.broadcast_to(a, lead + a.shape[-2:]).reshape((-1,) + a.shape[-2:])
+        b_b = np.broadcast_to(b, lead + b.shape[-2:]).reshape((-1,) + b.shape[-2:])
+        outs = [self.matmul(x, y) for x, y in zip(a_b, b_b)]
+        return np.stack(outs).reshape(lead + (a.shape[-2], b.shape[-1]))
+
+    def linear(self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        orig_shape = x.shape
+        x2 = np.asarray(x, dtype=np.float64).reshape(-1, orig_shape[-1])
+        out = self.matmul(x2, weight.T) + dequantize(
+            quantize(bias, self.fmt), self.fmt
+        )
+        out = dequantize(quantize(out, self.fmt), self.fmt)
+        return out.reshape(orig_shape[:-1] + (weight.shape[0],))
+
+    # -- nonlinear ------------------------------------------------------
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        return NL.cpwl_relu(x, self.granularity, self.fmt)
+
+    def gelu(self, x: np.ndarray) -> np.ndarray:
+        return NL.cpwl_gelu(x, self.granularity, self.fmt)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return NL.cpwl_tanh(x, self.granularity, self.fmt)
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        return NL.cpwl_sigmoid(x, self.granularity, self.fmt)
+
+    def softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return NL.cpwl_softmax(x, self.granularity, self.fmt, axis=axis)
+
+    def layernorm(self, x, gamma, beta, eps: float = 1e-5) -> np.ndarray:
+        return NL.cpwl_layernorm(
+            x, self.granularity, gamma=gamma, beta=beta, fmt=self.fmt, eps=eps
+        )
+
+    def batchnorm(self, x, scale, shift, channel_axis: int = 1) -> np.ndarray:
+        return NL.cpwl_batchnorm(x, scale, shift, fmt=self.fmt, channel_axis=channel_axis)
+
+    def batchnorm_stats(self, x, gamma, beta, mean, var, eps=1e-5, channel_axis=1):
+        """Derive the affine on the array: range-reduced CPWL rsqrt + MHPs."""
+        safe_var = np.maximum(np.asarray(var, dtype=np.float64) + eps, 1e-6)
+        inv_std = NL.cpwl_rsqrt_range_reduced(safe_var, self.granularity, self.fmt)
+        scale = dequantize(quantize(gamma * inv_std, self.fmt), self.fmt)
+        shift = dequantize(quantize(beta - mean * scale, self.fmt), self.fmt)
+        return self.batchnorm(x, scale, shift, channel_axis)
+
+
+class ArrayBackend(CPWLBackend):
+    """CPWL backend routed through a SystolicArray with cycle tracing.
+
+    Linear ops call :meth:`SystolicArray.gemm_raw` and scalar
+    nonlinearities :meth:`SystolicArray.apply_nonlinear_raw`, so after a
+    model's ``infer`` the array's trace holds the per-op cycle account.
+    Composite nonlinearities (softmax, layernorm) keep their reduction
+    steps vectorized but execute the scalar stages on the array.
+    """
+
+    name = "array"
+
+    def __init__(self, array, granularity: float):
+        super().__init__(granularity, array.config.fmt)
+        self.array = array
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim == 2 and b.ndim == 2:
+            result = self.array.gemm_raw(
+                quantize(a, self.fmt), quantize(b, self.fmt)
+            )
+            return dequantize(result.raw, self.fmt)
+        return super().matmul(a, b)
+
+    def gelu(self, x: np.ndarray) -> np.ndarray:
+        return self._scalar_on_array("gelu", x)
+
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        # Same mid-anchored grid as the fast CPWL path (see cpwl_relu).
+        domain = (-8.0 - self.granularity / 2.0, 8.0 + self.granularity / 2.0)
+        return self._scalar_on_array("relu", x, domain=domain)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return self._scalar_on_array("tanh", x)
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        return self._scalar_on_array("sigmoid", x)
+
+    def _scalar_on_array(self, fn: str, x: np.ndarray, domain=None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.reshape(-1, x.shape[-1]) if x.ndim > 1 else x.reshape(1, -1)
+        out = self.array.apply_nonlinear(fn, flat, self.granularity, domain=domain)
+        return out.reshape(x.shape)

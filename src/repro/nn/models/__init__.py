@@ -1,0 +1,13 @@
+"""Model zoo: small trainable stand-ins for the paper's three families.
+
+Each module pairs a *trainable* small model (used by the Table III
+accuracy experiment) with the *workload descriptor* of the full-size
+published network (used by the performance experiments — the descriptor
+encodes exact layer shapes, hence exact op counts, without weights).
+"""
+
+from repro.nn.models.resnet import SmallResNet
+from repro.nn.models.bert import TinyBERT
+from repro.nn.models.gcn import GCN
+
+__all__ = ["SmallResNet", "TinyBERT", "GCN"]

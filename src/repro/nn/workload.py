@@ -1,0 +1,309 @@
+"""Workload descriptors: exact op inventories of the evaluated networks.
+
+The performance experiments (Fig. 1, Table IV) need the *op counts and
+layer shapes* of ResNet-50, BERT-base and a GCN — not their weights.  A
+:class:`Workload` is an ordered list of :class:`GemmOp` and
+:class:`NonlinearOp` entries built from the published architectures;
+the timing model maps each entry to cycles on a design point, and the
+profiler derives the Fig. 1 op mix from the same list.
+
+Composite nonlinearities are charged the number of array events their
+CPWL decomposition needs (see :mod:`repro.core.nonlinear_ops`):
+ReLU/GELU/tanh/sigmoid = 1 MHP pass, softmax = 3 (exp, reciprocal,
+scale), layernorm = 4 (square, rsqrt, scale, affine), batchnorm = 1
+(folded affine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.systolic.config import SystolicConfig
+from repro.systolic.timing import CycleBreakdown, gemm_cycles, nonlinear_cycles
+
+#: MHP passes per composite nonlinear kind.
+MHP_PASSES = {
+    "relu": 1,
+    "gelu": 1,
+    "tanh": 1,
+    "sigmoid": 1,
+    "softmax": 3,
+    "layernorm": 4,
+    "batchnorm": 1,
+    "multiply": 1,
+    "add": 1,
+}
+
+
+@dataclass(frozen=True)
+class GemmOp:
+    """One matrix multiplication ``(M, K) @ (K, N)``, repeated ``count``."""
+
+    m: int
+    k: int
+    n: int
+    count: int = 1
+    label: str = "gemm"
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n * self.count
+
+
+@dataclass(frozen=True)
+class NonlinearOp:
+    """One elementwise/composite op over an ``(M, N)`` matrix."""
+
+    kind: str
+    m: int
+    n: int
+    count: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in MHP_PASSES:
+            raise ValueError(
+                f"unknown nonlinear kind {self.kind!r}; known: {sorted(MHP_PASSES)}"
+            )
+
+    @property
+    def elements(self) -> int:
+        return self.m * self.n * self.count
+
+    @property
+    def mhp_passes(self) -> int:
+        return MHP_PASSES[self.kind]
+
+
+@dataclass
+class Workload:
+    """An ordered op inventory for one network inference."""
+
+    name: str
+    ops: List[object] = field(default_factory=list)
+
+    def add_gemm(self, m: int, k: int, n: int, count: int = 1, label: str = "gemm"):
+        self.ops.append(GemmOp(m, k, n, count, label))
+        return self
+
+    def add_nonlinear(self, kind: str, m: int, n: int, count: int = 1, label: str = ""):
+        self.ops.append(NonlinearOp(kind, m, n, count, label or kind))
+        return self
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def gemm_ops(self) -> List[GemmOp]:
+        return [op for op in self.ops if isinstance(op, GemmOp)]
+
+    @property
+    def nonlinear_ops(self) -> List[NonlinearOp]:
+        return [op for op in self.ops if isinstance(op, NonlinearOp)]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(op.macs for op in self.gemm_ops)
+
+    @property
+    def total_nonlinear_elements(self) -> int:
+        return sum(op.elements for op in self.nonlinear_ops)
+
+    def elements_by_kind(self) -> Dict[str, int]:
+        """Nonlinear element counts per kind (the Fig. 1 numerators)."""
+        out: Dict[str, int] = {}
+        for op in self.nonlinear_ops:
+            out[op.kind] = out.get(op.kind, 0) + op.elements
+        return out
+
+    # ------------------------------------------------------------------
+    # Timing on a design point
+    # ------------------------------------------------------------------
+    def latency_breakdown(self, config: SystolicConfig) -> CycleBreakdown:
+        """Total cycles of the whole inference on a design point."""
+        total = CycleBreakdown(0, 0, 0, 0)
+        for op in self.ops:
+            if isinstance(op, GemmOp):
+                one = gemm_cycles(config, op.m, op.k, op.n)
+                for _ in range(op.count):
+                    total = total.merged(one)
+            else:
+                one = nonlinear_cycles(config, op.m, op.n)
+                passes = op.mhp_passes * op.count
+                for _ in range(passes):
+                    total = total.merged(one)
+        return total
+
+    def latency_seconds(self, config: SystolicConfig) -> float:
+        return self.latency_breakdown(config).seconds(config.clock_hz)
+
+    def throughput_gops(self, config: SystolicConfig) -> float:
+        """Achieved GOPS over the whole inference (the Table IV metric).
+
+        Consistent with the paper's accounting, the op count includes
+        both the GEMM MACs and the elementwise work absorbed into MHPs.
+        """
+        seconds = self.latency_seconds(config)
+        ops = self.total_macs + self.total_nonlinear_elements
+        return ops / seconds / 1e9 if seconds else 0.0
+
+    def gemm_cycle_share(self, config: SystolicConfig) -> float:
+        """Fraction of cycles spent in GEMM (power-model phase weight)."""
+        gemm = 0
+        nl = 0
+        for op in self.ops:
+            if isinstance(op, GemmOp):
+                gemm += gemm_cycles(config, op.m, op.k, op.n).total * op.count
+            else:
+                nl += (
+                    nonlinear_cycles(config, op.m, op.n).total
+                    * op.mhp_passes
+                    * op.count
+                )
+        total = gemm + nl
+        return gemm / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Published architectures
+# ---------------------------------------------------------------------------
+
+
+def _conv_gemm(
+    wl: Workload,
+    spatial: int,
+    in_c: int,
+    out_c: int,
+    kernel: int,
+    stride: int = 1,
+    label: str = "conv",
+) -> int:
+    """Append an im2col conv GEMM; returns the output spatial size."""
+    out_spatial = spatial // stride
+    m = out_spatial * out_spatial
+    wl.add_gemm(m, in_c * kernel * kernel, out_c, label=label)
+    return out_spatial
+
+
+def resnet50_workload(image_size: int = 224, n_classes: int = 1000) -> Workload:
+    """ResNet-50 (He et al.) inference, batch 1, as im2col GEMMs.
+
+    Stage layout: 7×7/2 stem, max-pool /2, then bottleneck stages
+    [3, 4, 6, 3] with base widths 64/128/256/512 and expansion 4.  Each
+    conv is followed by batchnorm (folded affine) and, per the
+    architecture, a ReLU; residual adds are elementwise adds.
+    Total ≈ 2.05 G MACs at 224×224 — double-counted as mul+add this is
+    the ~4.1 GOP figure the paper's throughput implies.
+    """
+    wl = Workload("resnet50")
+    spatial = image_size // 2  # stem stride 2
+    wl.add_gemm(spatial * spatial, 3 * 7 * 7, 64, label="stem")
+    wl.add_nonlinear("batchnorm", spatial * spatial, 64, label="stem.bn")
+    wl.add_nonlinear("relu", spatial * spatial, 64, label="stem.relu")
+    spatial //= 2  # max-pool
+
+    in_c = 64
+    stage_blocks = (3, 4, 6, 3)
+    stage_width = (64, 128, 256, 512)
+    for stage, (blocks, width) in enumerate(zip(stage_blocks, stage_width)):
+        out_c = width * 4
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            label = f"s{stage + 1}b{block + 1}"
+            # 1x1 reduce
+            spatial_out = spatial // stride
+            wl.add_gemm(spatial_out * spatial_out, in_c * 1, width, label=f"{label}.c1")
+            wl.add_nonlinear("batchnorm", spatial_out * spatial_out, width)
+            wl.add_nonlinear("relu", spatial_out * spatial_out, width)
+            # 3x3
+            wl.add_gemm(
+                spatial_out * spatial_out, width * 9, width, label=f"{label}.c2"
+            )
+            wl.add_nonlinear("batchnorm", spatial_out * spatial_out, width)
+            wl.add_nonlinear("relu", spatial_out * spatial_out, width)
+            # 1x1 expand
+            wl.add_gemm(
+                spatial_out * spatial_out, width * 1, out_c, label=f"{label}.c3"
+            )
+            wl.add_nonlinear("batchnorm", spatial_out * spatial_out, out_c)
+            if block == 0:
+                # projection shortcut
+                wl.add_gemm(
+                    spatial_out * spatial_out, in_c * 1, out_c, label=f"{label}.proj"
+                )
+                wl.add_nonlinear("batchnorm", spatial_out * spatial_out, out_c)
+            wl.add_nonlinear("add", spatial_out * spatial_out, out_c)
+            wl.add_nonlinear("relu", spatial_out * spatial_out, out_c)
+            spatial = spatial_out
+            in_c = out_c
+    # global average pool is a reduction; classifier + softmax
+    wl.add_gemm(1, in_c, n_classes, label="fc")
+    wl.add_nonlinear("softmax", 1, n_classes, label="softmax")
+    return wl
+
+
+def bert_base_workload(seq_len: int = 64) -> Workload:
+    """BERT-base (12 layers, hidden 768, heads 12, FF 3072), batch 1.
+
+    The default sequence length of 64 matches the op magnitude implied
+    by the paper's Table IV (latency × throughput ≈ 5.5 G ops).
+    """
+    wl = Workload("bert-base")
+    hidden = 768
+    heads = 12
+    head_dim = hidden // heads
+    ff = 3072
+    for layer in range(12):
+        tag = f"l{layer}"
+        wl.add_gemm(seq_len, hidden, hidden, count=3, label=f"{tag}.qkv")
+        wl.add_gemm(seq_len, head_dim, seq_len, count=heads, label=f"{tag}.scores")
+        wl.add_nonlinear("softmax", seq_len, seq_len, count=heads, label=f"{tag}.sm")
+        wl.add_gemm(seq_len, seq_len, head_dim, count=heads, label=f"{tag}.ctx")
+        wl.add_gemm(seq_len, hidden, hidden, label=f"{tag}.out")
+        wl.add_nonlinear("add", seq_len, hidden, label=f"{tag}.res1")
+        wl.add_nonlinear("layernorm", seq_len, hidden, label=f"{tag}.ln1")
+        wl.add_gemm(seq_len, hidden, ff, label=f"{tag}.ff1")
+        wl.add_nonlinear("gelu", seq_len, ff, label=f"{tag}.gelu")
+        wl.add_gemm(seq_len, ff, hidden, label=f"{tag}.ff2")
+        wl.add_nonlinear("add", seq_len, hidden, label=f"{tag}.res2")
+        wl.add_nonlinear("layernorm", seq_len, hidden, label=f"{tag}.ln2")
+    wl.add_gemm(1, hidden, 2, label="classifier")
+    wl.add_nonlinear("softmax", 1, 2, label="softmax")
+    return wl
+
+
+def gcn_workload(
+    n_nodes: int = 16384,
+    n_features: int = 500,
+    hidden: int = 128,
+    n_classes: int = 16,
+    avg_degree: int = 30,
+) -> Workload:
+    """Two-layer GCN inference on a graph of the paper's op magnitude.
+
+    Feature transform ``X W`` is a dense GEMM; aggregation
+    ``A_hat (X W)`` is charged at the edge count (sparse matmul executed
+    as gathered dense rows).  Defaults give ≈1.2 G MACs, matching the
+    Table IV implied op count.
+    """
+    wl = Workload("gcn")
+    # Layer 1: transform then aggregate (one gathered row per edge).
+    wl.add_gemm(n_nodes, n_features, hidden, label="gc1.transform")
+    wl.add_gemm(n_nodes, avg_degree, hidden, label="gc1.aggregate")
+    wl.add_nonlinear("relu", n_nodes, hidden, label="gc1.relu")
+    # Layer 2.
+    wl.add_gemm(n_nodes, hidden, n_classes, label="gc2.transform")
+    wl.add_gemm(n_nodes, avg_degree, n_classes, label="gc2.aggregate")
+    wl.add_nonlinear("softmax", n_nodes, n_classes, label="softmax")
+    return wl
+
+
+#: Registry used by the comparison and profiling experiments.
+def paper_workloads() -> Dict[str, Workload]:
+    """The three Table IV workloads with the paper's evaluation shapes."""
+    return {
+        "resnet50": resnet50_workload(),
+        "bert-base": bert_base_workload(),
+        "gcn": gcn_workload(),
+    }

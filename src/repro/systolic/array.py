@@ -1,0 +1,223 @@
+"""The user-facing systolic array.
+
+:class:`SystolicArray` ties the microarchitecture modules together: it
+executes GEMMs with the output-stationary schedule, and nonlinear
+operations as the IPF → rearrange → MHP event chain, all bit-accurate in
+the configured fixed-point format and with cycle accounting recorded in
+an execution trace.
+
+Typical use::
+
+    from repro.systolic import SystolicArray, ONE_SA_PAPER_CONFIG
+
+    array = SystolicArray(ONE_SA_PAPER_CONFIG)
+    c = array.matmul(a, b)                    # float in, float out
+    y = array.apply_nonlinear("gelu", x, granularity=0.25)
+    print(array.trace.cycles_by_kind())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.nonlinear_ops import get_approximator
+from repro.fixedpoint import dequantize, quantize
+from repro.systolic.addressing import DataAddressing
+from repro.systolic.buffers import build_hierarchy
+from repro.systolic.config import ONE_SA_PAPER_CONFIG, SystolicConfig
+from repro.systolic.gemm import GemmSchedule, execute_gemm
+from repro.systolic.mhp_dataflow import MHPSchedule, execute_mhp
+from repro.systolic.rearrange import rearrange_for_mhp
+from repro.systolic.timing import CycleBreakdown, effective_out_width
+from repro.systolic.trace import Trace, TraceEvent
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Result of one operation on the array."""
+
+    kind: str
+    raw: np.ndarray
+    breakdown: CycleBreakdown
+    schedule: object = None
+
+    @property
+    def cycles(self) -> int:
+        return self.breakdown.total
+
+
+class SystolicArray:
+    """Functional + cycle-accounted model of one (ONE-)SA instance.
+
+    Parameters
+    ----------
+    config:
+        The design point.  Nonlinear operations require
+        ``config.nonlinear_enabled`` (the ONE-SA datapath); a plain SA
+        configuration raises on them, mirroring real hardware.
+    """
+
+    def __init__(self, config: SystolicConfig = ONE_SA_PAPER_CONFIG) -> None:
+        self.config = config
+        self.hierarchy = build_hierarchy(config)
+        self.addressing = DataAddressing(
+            config.fmt,
+            port_width=effective_out_width(config),
+        )
+        self.trace = Trace()
+
+    # ------------------------------------------------------------------
+    # Linear operations
+    # ------------------------------------------------------------------
+    def gemm_raw(
+        self, a_raw: np.ndarray, b_raw: np.ndarray, label: str = "gemm"
+    ) -> ExecutionResult:
+        """Bit-accurate GEMM on raw fixed-point operands."""
+        out, schedule = execute_gemm(self.config, a_raw, b_raw)
+        self.trace.record(
+            TraceEvent(
+                kind="gemm",
+                label=label,
+                cycles=schedule.breakdown.total,
+                ops=schedule.macs,
+                breakdown=schedule.breakdown,
+            )
+        )
+        return ExecutionResult(
+            kind="gemm", raw=out, breakdown=schedule.breakdown, schedule=schedule
+        )
+
+    def matmul(self, a: np.ndarray, b: np.ndarray, label: str = "gemm") -> np.ndarray:
+        """Float convenience wrapper: quantize, run, dequantize."""
+        fmt = self.config.fmt
+        result = self.gemm_raw(quantize(a, fmt), quantize(b, fmt), label=label)
+        return dequantize(result.raw, fmt)
+
+    # ------------------------------------------------------------------
+    # Nonlinear operations (the ONE-SA extension)
+    # ------------------------------------------------------------------
+    def apply_nonlinear_raw(
+        self,
+        function: str,
+        x_raw: np.ndarray,
+        granularity: float,
+        label: Optional[str] = None,
+        fused_ipf: bool = True,
+        domain: "tuple[float, float] | None" = None,
+    ) -> ExecutionResult:
+        """Run one nonlinear op as the full IPF → rearrange → MHP chain.
+
+        The chain exercises the microarchitecture modules (data
+        addressing with the shift/scale path, the k/b parameter store,
+        the data-rearrange pass and the diagonal MHP lanes); the result
+        is bit-identical to
+        :meth:`repro.core.cpwl.CPWLApproximator.evaluate_raw`, which the
+        test suite asserts.
+        """
+        if not self.config.nonlinear_enabled:
+            raise RuntimeError(
+                "this design point is a conventional SA; nonlinear "
+                "operations need nonlinear_enabled=True"
+            )
+        fmt = self.config.fmt
+        label = label or function
+        x_raw = np.atleast_2d(np.asarray(x_raw))
+        approx = get_approximator(function, granularity, fmt, domain=domain)
+
+        # --- IPF: preload (if needed) + addressing + parameter gather.
+        preloaded = self.addressing.preload(approx.qtable, self.hierarchy["params"])
+        if preloaded:
+            self.trace.record(
+                TraceEvent(
+                    kind="preload",
+                    label=f"{label}.table",
+                    cycles=-(-approx.qtable.n_segments * 2 // self.config.l3_in_width),
+                    ops=approx.qtable.n_segments,
+                )
+            )
+        ipf_result, ipf_stats = self.addressing.run(x_raw)
+        self.trace.record(
+            TraceEvent(
+                kind="ipf",
+                label=f"{label}.ipf",
+                cycles=0 if fused_ipf else ipf_stats.cycles,
+                ops=ipf_stats.elements,
+            )
+        )
+
+        # --- Rearrange: pair (k, b) and (x, 1) streams.
+        one_raw = 1 << fmt.frac_bits
+        rearranged = rearrange_for_mhp(
+            x_raw,
+            ipf_result.k_raw,
+            ipf_result.b_raw,
+            self.config.pe_rows,
+            one_raw,
+            port_width=self.config.l3_in_width,
+        )
+
+        # --- MHP on the diagonal computation PEs.
+        out, schedule = execute_mhp(
+            self.config, x_raw, ipf_result.k_raw, ipf_result.b_raw, fused_ipf=fused_ipf
+        )
+        self.trace.record(
+            TraceEvent(
+                kind="mhp",
+                label=f"{label}.mhp",
+                cycles=schedule.breakdown.total,
+                ops=schedule.elements,
+                breakdown=schedule.breakdown,
+            )
+        )
+        return ExecutionResult(
+            kind="mhp", raw=out, breakdown=schedule.breakdown, schedule=schedule
+        )
+
+    def apply_nonlinear(
+        self,
+        function: str,
+        x: np.ndarray,
+        granularity: float,
+        label: Optional[str] = None,
+        domain: "tuple[float, float] | None" = None,
+    ) -> np.ndarray:
+        """Float convenience wrapper around :meth:`apply_nonlinear_raw`."""
+        fmt = self.config.fmt
+        result = self.apply_nonlinear_raw(
+            function, quantize(x, fmt), granularity, label=label, domain=domain
+        )
+        return dequantize(result.raw, fmt)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        """Cycles accumulated over all traced operations."""
+        return self.trace.total_cycles
+
+    def elapsed_seconds(self) -> float:
+        """Wall-clock time of the traced work at the configured clock."""
+        return self.total_cycles / self.config.clock_hz
+
+    def utilization_summary(self) -> Dict[str, float]:
+        """Share of traced cycles per operation kind."""
+        total = self.total_cycles
+        if not total:
+            return {}
+        return {
+            kind: cycles / total
+            for kind, cycles in self.trace.cycles_by_kind().items()
+        }
+
+    def reset(self) -> None:
+        """Clear the trace and buffer accounting between experiments."""
+        self.trace.clear()
+        self.hierarchy = build_hierarchy(self.config)
+        self.addressing = DataAddressing(
+            self.config.fmt,
+            port_width=effective_out_width(self.config),
+        )

@@ -1,0 +1,132 @@
+"""GEMM dataflow schedule and tiling.
+
+The array computes ``C = A @ B`` as output-stationary P×P tiles: a
+weight tile is preloaded, the matching input rows stream through, every
+PE accumulates one output element (``macs_per_pe`` reduction lanes per
+cycle), and the finished tile drains through the L2 output banks into
+the single L3 output buffer.
+
+This module enumerates the tile schedule (used by the trace and energy
+accounting), computes per-tile cycle costs consistent with
+:mod:`repro.systolic.timing`, and provides the bit-accurate functional
+execution via :func:`repro.fixedpoint.fixed_matmul`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.fixedpoint import fixed_matmul
+from repro.systolic.config import SystolicConfig
+from repro.systolic.timing import CycleBreakdown, effective_out_width, gemm_cycles
+
+
+@dataclass(frozen=True)
+class GemmTile:
+    """One output tile of the GEMM schedule."""
+
+    row_start: int
+    row_end: int
+    col_start: int
+    col_end: int
+    index: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.row_end - self.row_start, self.col_end - self.col_start)
+
+    @property
+    def elements(self) -> int:
+        rows, cols = self.shape
+        return rows * cols
+
+
+@dataclass(frozen=True)
+class GemmSchedule:
+    """Complete schedule of one GEMM on a design point."""
+
+    config: SystolicConfig
+    m_dim: int
+    k_dim: int
+    n_dim: int
+    tiles: List[GemmTile]
+    breakdown: CycleBreakdown
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations."""
+        return self.m_dim * self.k_dim * self.n_dim
+
+    @property
+    def input_traffic(self) -> int:
+        """Operand elements streamed from L3 (A once per tile row pass,
+        B once per tile)."""
+        p = self.config.pe_rows
+        tiles_n = -(-self.n_dim // p)
+        tiles_m = -(-self.m_dim // p)
+        return tiles_n * self.m_dim * self.k_dim + tiles_m * self.k_dim * self.n_dim
+
+    @property
+    def output_traffic(self) -> int:
+        """Result elements drained to the L3 output buffer."""
+        return self.m_dim * self.n_dim
+
+
+def plan_gemm(config: SystolicConfig, m_dim: int, k_dim: int, n_dim: int) -> GemmSchedule:
+    """Build the tile schedule for ``C[M,N] = A[M,K] @ B[K,N]``."""
+    p = config.pe_rows
+    tiles = []
+    index = 0
+    for row_start in range(0, m_dim, p):
+        for col_start in range(0, n_dim, p):
+            tiles.append(
+                GemmTile(
+                    row_start=row_start,
+                    row_end=min(row_start + p, m_dim),
+                    col_start=col_start,
+                    col_end=min(col_start + p, n_dim),
+                    index=index,
+                )
+            )
+            index += 1
+    return GemmSchedule(
+        config=config,
+        m_dim=m_dim,
+        k_dim=k_dim,
+        n_dim=n_dim,
+        tiles=tiles,
+        breakdown=gemm_cycles(config, m_dim, k_dim, n_dim),
+    )
+
+
+def execute_gemm(
+    config: SystolicConfig, a_raw: np.ndarray, b_raw: np.ndarray
+) -> tuple[np.ndarray, GemmSchedule]:
+    """Run a GEMM functionally (bit-accurate) with its schedule.
+
+    The functional result is computed tile by tile in the schedule order
+    so the arithmetic (wide accumulation, single saturating writeback
+    per element) matches what the PE grid produces; the concatenated
+    result equals :func:`fixed_matmul` on the full operands — a property
+    the test suite checks.
+    """
+    a_raw = np.asarray(a_raw)
+    b_raw = np.asarray(b_raw)
+    if a_raw.ndim != 2 or b_raw.ndim != 2:
+        raise ValueError("execute_gemm expects 2-D raw operands")
+    if a_raw.shape[1] != b_raw.shape[0]:
+        raise ValueError(f"shape mismatch: {a_raw.shape} @ {b_raw.shape}")
+    m_dim, k_dim = a_raw.shape
+    n_dim = b_raw.shape[1]
+    schedule = plan_gemm(config, m_dim, k_dim, n_dim)
+    out = np.zeros((m_dim, n_dim), dtype=config.fmt.storage_dtype())
+    for tile in schedule.tiles:
+        a_block = a_raw[tile.row_start : tile.row_end, :]
+        b_block = b_raw[:, tile.col_start : tile.col_end]
+        out[tile.row_start : tile.row_end, tile.col_start : tile.col_end] = (
+            fixed_matmul(a_block, b_block, config.fmt)
+        )
+    return out, schedule

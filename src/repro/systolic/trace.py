@@ -1,0 +1,65 @@
+"""Execution trace of operations issued to the array.
+
+The trace records one event per architecture-level operation (GEMM, IPF,
+MHP, preload) with its cycle breakdown, so utilization, the Fig. 1-style
+op mix and the energy accounting can all be derived from a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.systolic.timing import CycleBreakdown
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One operation executed by the array."""
+
+    kind: str  # 'gemm' | 'mhp' | 'ipf' | 'preload'
+    label: str
+    cycles: int
+    ops: int  # MACs for GEMM, elements for nonlinear events
+    breakdown: Optional[CycleBreakdown] = None
+
+
+@dataclass
+class Trace:
+    """Ordered event log with aggregate views."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(e.cycles for e in self.events)
+
+    def cycles_by_kind(self) -> Dict[str, int]:
+        """Aggregate cycles per operation kind."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + e.cycles
+        return out
+
+    def ops_by_kind(self) -> Dict[str, int]:
+        """Aggregate op counts per operation kind."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + e.ops
+        return out
+
+    def cycles_by_label(self) -> Dict[str, int]:
+        """Aggregate cycles per event label (e.g. per layer)."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.label] = out.get(e.label, 0) + e.cycles
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,266 @@
+"""Baseline models and evaluation-harness tests (paper-claim checks)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ACCELERATORS, PROCESSORS
+from repro.baselines.accelerators import accelerators_for
+from repro.evaluation.breakdown import PAPER_FIG1, figure1_breakdown
+from repro.evaluation.comparison import (
+    efficiency_gains,
+    format_table4,
+    one_sa_performance,
+    table4_comparison,
+)
+from repro.evaluation.perf_sweep import (
+    figure8_linear,
+    figure8_nonlinear,
+    format_figure8,
+    throughput_cliff_example,
+)
+from repro.evaluation.pareto_sweep import (
+    evaluate_design,
+    figure10_pareto,
+    frontier_mac_counts,
+    linear_optima_serve_nonlinear,
+    mac16_near_frontier,
+)
+from repro.evaluation.reporting import as_percent, delta_percent, format_table
+from repro.evaluation.resource_sweep import (
+    PAPER_TABLE2,
+    figure9_resource_sweep,
+    format_table1,
+    format_table2,
+    format_table5,
+    table1_module_resources,
+    table2_total_resources,
+    table5_buffer_sizes,
+)
+from repro.nn.workload import bert_base_workload, paper_workloads
+from repro.systolic.config import ONE_SA_PAPER_CONFIG
+
+
+class TestProcessors:
+    def test_measured_anchors_reproduced(self):
+        wl = paper_workloads()["bert-base"]
+        cpu = PROCESSORS["cpu"]
+        assert cpu.latency_seconds(wl) == pytest.approx(45.92e-3)
+        assert cpu.throughput_gops(wl) == pytest.approx(119.77)
+
+    def test_efficiency_column(self):
+        wl = paper_workloads()["resnet50"]
+        assert PROCESSORS["cpu"].efficiency(wl) == pytest.approx(93.51 / 112.0)
+
+    def test_extrapolation_for_unanchored_workload(self):
+        wl = bert_base_workload(seq_len=128)
+        wl.name = "bert-large-ish"
+        latency = PROCESSORS["gpu"].latency_seconds(wl)
+        assert latency > 0
+
+    def test_gpu_faster_than_cpu(self):
+        wl = paper_workloads()["resnet50"]
+        assert PROCESSORS["gpu"].latency_seconds(wl) < PROCESSORS["cpu"].latency_seconds(wl)
+
+
+class TestAccelerators:
+    def test_specificity(self):
+        """Application-specific designs only run their target network."""
+        assert ACCELERATORS["npe"].supports("bert-base")
+        assert not ACCELERATORS["npe"].supports("resnet50")
+        assert not ACCELERATORS["angel-eye"].supports("gcn")
+
+    def test_accelerators_for_workload(self):
+        assert set(accelerators_for("resnet50")) == {"angel-eye", "vgg16-accel"}
+        assert set(accelerators_for("bert-base")) == {"npe", "ftrans"}
+        assert accelerators_for("gcn") == {}
+
+    def test_efficiency_property(self):
+        spec = ACCELERATORS["ftrans"]
+        assert spec.efficiency == pytest.approx(559.85 / 25.0)
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        return table4_comparison()
+
+    def test_one_sa_runs_all_workloads(self, entries):
+        """The flexibility headline: ONE-SA has no unsupported cells."""
+        one_sa = [e for e in entries if e.processor == "ONE-SA"]
+        assert len(one_sa) == 3
+        assert all(e.supported for e in one_sa)
+
+    def test_one_sa_beats_cpu_efficiency(self, entries):
+        gains = efficiency_gains(entries)
+        assert all(g > 5 for g in gains["Intel CPU i7-11700"].values())
+
+    def test_one_sa_beats_gpu_efficiency(self, entries):
+        """Paper: up to 5.21x over the GPU."""
+        gains = efficiency_gains(entries)
+        assert max(gains["NVIDIA GPU 3090Ti"].values()) > 2.5
+
+    def test_one_sa_vs_soc(self, entries):
+        """Paper: up to 1.54x over the SoC."""
+        gains = efficiency_gains(entries)
+        assert max(gains["NVIDIA SoC AGX ORIN"].values()) > 1.0
+
+    def test_one_sa_comparable_to_asic_designs(self, entries):
+        """Paper: 83.4%-135.9% of the specialized accelerators."""
+        gains = efficiency_gains(entries)
+        for accel in ("Angel-eye", "VGG16 accelerator", "NPE", "FTRANS"):
+            for value in gains[accel].values():
+                assert 0.6 < value < 1.7
+
+    def test_one_sa_latency_band(self, entries):
+        """Latency magnitudes near the paper's 26 / 26.24 / 5.87 ms."""
+        by = {(e.processor, e.workload): e for e in entries}
+        assert 10e-3 < by[("ONE-SA", "resnet50")].latency_s < 60e-3
+        assert 10e-3 < by[("ONE-SA", "bert-base")].latency_s < 60e-3
+        assert 2e-3 < by[("ONE-SA", "gcn")].latency_s < 20e-3
+
+    def test_one_sa_power_near_paper(self, entries):
+        for e in entries:
+            if e.processor == "ONE-SA":
+                assert 6.0 < e.power_w < 9.0  # paper: 7.61 W
+
+    def test_speedups_relative_to_cpu(self, entries):
+        for e in entries:
+            if e.processor == "Intel CPU i7-11700":
+                assert e.speedup == pytest.approx(1.0)
+
+    def test_formatting_includes_dashes_for_unsupported(self, entries):
+        text = format_table4(entries)
+        assert "-" in text
+        assert "ONE-SA" in text
+
+    def test_one_sa_performance_direct(self):
+        cells = one_sa_performance(paper_workloads()["bert-base"])
+        assert cells.throughput_gops > 100
+        assert cells.efficiency > 15
+
+
+class TestFig1:
+    def test_cpu_view_close_to_paper(self):
+        mixes = figure1_breakdown("cpu")
+        paper = PAPER_FIG1["resnet50"]
+        ours = mixes["resnet50"]
+        assert abs(ours["gemm"] - paper["gemm"]) < 0.08
+        assert abs(ours["batchnorm"] - paper["batchnorm"]) < 0.08
+        bert = mixes["bert-base"]
+        assert abs(bert["gelu"] - PAPER_FIG1["bert-base"]["gelu"]) < 0.03
+
+    def test_array_view_shrinks_nonlinear(self):
+        cpu = figure1_breakdown("cpu")["bert-base"]
+        arr = figure1_breakdown("array")["bert-base"]
+        assert arr["gelu"] < cpu["gelu"]
+
+
+class TestFig8:
+    def test_throughput_increases_with_macs(self):
+        points = figure8_linear(pe_dims=(8,), mac_counts=(2, 16), matrix_dims=(512,))
+        by_macs = {p.macs: p.achieved for p in points}
+        assert by_macs[16] > 4 * by_macs[2]
+
+    def test_cliff_at_small_matrices(self):
+        points = figure8_linear(pe_dims=(16,), mac_counts=(16,), matrix_dims=(32, 512))
+        by_dim = {p.matrix_dim: p for p in points}
+        assert by_dim[32].efficiency < 0.2
+        assert by_dim[512].efficiency > by_dim[32].efficiency
+
+    def test_drain_share_example(self):
+        """Section V-C: ~84.8% of cycles transmit results (we measure ~86%)."""
+        example = throughput_cliff_example()
+        assert abs(example["drain_fraction"] - example["paper_drain_fraction"]) < 0.05
+
+    def test_nonlinear_scales_with_both_axes(self):
+        points = figure8_nonlinear(pe_dims=(4, 8), mac_counts=(4, 16), matrix_dims=(512,))
+        by = {(p.pe_dim, p.macs): p.achieved for p in points}
+        assert by[(8, 4)] > by[(4, 4)]
+        assert by[(8, 16)] > by[(8, 4)]
+
+    def test_format_contains_max_column(self):
+        text = format_figure8(figure8_linear(pe_dims=(4,), mac_counts=(4,)), "GOPS")
+        assert "max" in text
+
+
+class TestFig10:
+    def test_sweep_structure(self):
+        sweep = figure10_pareto("linear", matrix_dims=(128,))
+        assert set(sweep) == {128}
+        assert len(sweep[128]["points"]) == 20
+        assert 0 < len(sweep[128]["front"]) <= 20
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_design(4, 4, 128, "quantum")
+
+    def test_more_macs_lower_latency(self):
+        few = evaluate_design(8, 2, 512, "linear")
+        many = evaluate_design(8, 32, 512, "linear")
+        assert many.latency_s < few.latency_s
+
+    def test_mac16_designs_near_frontier(self):
+        sweep = figure10_pareto("linear")
+        assert mac16_near_frontier(sweep)
+
+    def test_nonlinear_frontier_has_high_mac_designs(self):
+        sweep = figure10_pareto("nonlinear")
+        assert max(frontier_mac_counts(sweep)) >= 16
+
+    def test_linear_optima_serve_nonlinear(self):
+        """Section V-C's cross-mode claim at the recommended >=16 MACs."""
+        assert linear_optima_serve_nonlinear()
+
+    def test_nonlinear_power_below_linear(self):
+        lin = evaluate_design(8, 16, 128, "linear")
+        non = evaluate_design(8, 16, 128, "nonlinear")
+        assert non.power_w < lin.power_w
+
+
+class TestResourceHarnesses:
+    def test_table1_values(self):
+        data = table1_module_resources()
+        assert data["pe"]["sa"].ff == 1862
+        assert data["l3"]["one-sa"].lut == 1021
+
+    def test_table2_matches_paper_constants(self):
+        for entry in table2_total_resources():
+            dim = entry["dim"]
+            for design in ("sa", "one-sa"):
+                published = PAPER_TABLE2[(dim, design)]
+                ours = entry[design]
+                assert int(ours.bram) == published["bram"]
+                assert int(ours.lut) == published["lut"]
+                assert int(ours.ff) == published["ff"]
+                assert int(ours.dsp) == published["dsp"]
+
+    def test_fig9_rows_cover_design_space(self):
+        rows = figure9_resource_sweep(pe_dims=(2, 4), mac_counts=(2, 4))
+        assert len(rows) == 4
+        assert all(r["lut"] > 0 for r in rows)
+
+    def test_table5_matches_paper(self):
+        rows = {r["buffer"]: r for r in table5_buffer_sizes()}
+        assert rows["L3"]["size_kb"] == pytest.approx(0.28, abs=0.005)
+        assert rows["L2"]["size_kb"] == pytest.approx(0.5)
+        assert rows["PE"]["size_kb"] == pytest.approx(0.094, abs=0.001)
+        assert rows["L1"]["size_kb"] == pytest.approx(0.031, abs=0.001)
+        assert rows["L2"]["count"] == 24
+        assert rows["L1"]["count"] == 64
+
+    def test_format_helpers_render(self):
+        assert "Table I" in format_table1()
+        assert "OneSA" in format_table2()
+        assert "0.5" in format_table5()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1]
+
+    def test_percent_formatting(self):
+        assert as_percent(0.123) == "12.3%"
+        assert delta_percent(0.9, 0.95) == "-5.0"

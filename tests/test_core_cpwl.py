@@ -1,0 +1,205 @@
+"""Unit tests for the CPWL core: functions, tables, approximator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CPWLApproximator,
+    FUNCTION_LIBRARY,
+    SegmentTable,
+    approximation_error,
+    build_segment_table,
+    get_function,
+)
+from repro.core.cpwl import chebyshev_approximation, taylor_approximation
+from repro.core.segment_table import is_power_of_two
+from repro.fixedpoint import INT16, quantize
+from repro.fixedpoint.qformat import INT32
+
+
+class TestFunctionLibrary:
+    def test_expected_functions_registered(self):
+        for name in ("gelu", "relu", "sigmoid", "tanh", "exp", "reciprocal", "rsqrt"):
+            assert name in FUNCTION_LIBRARY
+
+    def test_unknown_function_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="gelu"):
+            get_function("not-a-function")
+
+    def test_gelu_known_values(self):
+        gelu = get_function("gelu")
+        assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, abs=1e-6)
+        assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_sigmoid_limits(self):
+        sig = get_function("sigmoid")
+        out = sig(np.array([-50.0, 0.0, 50.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0], atol=1e-9)
+
+    def test_tanh_odd(self):
+        tanh = get_function("tanh")
+        xs = np.linspace(-4, 4, 21)
+        assert np.allclose(tanh(xs), -tanh(-xs))
+
+    def test_reciprocal_domain_positive(self):
+        rec = get_function("reciprocal")
+        assert rec.domain[0] > 0
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [0.25, 0.5, 1.0, 2.0, 0.0625])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0.1, 0.75, 3.0, 0.3, -0.5, 0.0])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestSegmentTable:
+    def test_segment_count(self):
+        table = build_segment_table("gelu", 0.25)
+        assert table.n_segments == 64  # domain (-8, 8) / 0.25
+
+    def test_chord_endpoints_exact(self):
+        table = build_segment_table("gelu", 0.5)
+        gelu = get_function("gelu")
+        starts = table.x_min + table.granularity * np.arange(table.n_segments)
+        approx = table.evaluate(starts)
+        assert np.allclose(approx, gelu(starts), atol=1e-9)
+
+    def test_capping_low(self):
+        table = build_segment_table("gelu", 0.25)
+        segments = table.segment_of(np.array([-100.0]))
+        assert segments[0] == 0
+
+    def test_capping_high(self):
+        table = build_segment_table("gelu", 0.25)
+        segments = table.segment_of(np.array([100.0]))
+        assert segments[0] == table.n_segments - 1
+
+    def test_capped_extension_linear(self):
+        # Outside the domain the boundary segment's line extends.
+        table = build_segment_table("relu", 0.5)
+        assert table.evaluate(np.array([20.0]))[0] == pytest.approx(20.0)
+        assert table.evaluate(np.array([-20.0]))[0] == pytest.approx(0.0)
+
+    def test_shift_path_flag(self):
+        assert build_segment_table("gelu", 0.25).shift_path
+        assert not build_segment_table("gelu", 0.1).shift_path
+
+    def test_storage_bytes(self):
+        table = build_segment_table("gelu", 0.25)
+        assert table.storage_bytes == 64 * 4
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            build_segment_table("gelu", 0.0)
+        with pytest.raises(ValueError):
+            build_segment_table("gelu", -1.0)
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            build_segment_table("gelu", 0.25, domain=(1.0, 1.0))
+
+    def test_quantized_lookup_shapes(self):
+        table = build_segment_table("gelu", 0.25).quantized(INT16)
+        seg = np.array([[0, 1], [2, 3]])
+        k, b = table.lookup_raw(seg)
+        assert k.shape == seg.shape
+        assert b.shape == seg.shape
+
+    def test_error_decreases_with_granularity(self):
+        xs = np.linspace(-6, 6, 2000)
+        gelu = get_function("gelu")
+        errors = []
+        for g in (1.0, 0.5, 0.25):
+            table = build_segment_table("gelu", g)
+            errors.append(np.max(np.abs(table.evaluate(xs) - gelu(xs))))
+        assert errors[0] > errors[1] > errors[2]
+
+    @given(st.floats(min_value=-7.9, max_value=7.9, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_segment_contains_input(self, x):
+        table = build_segment_table("gelu", 0.25)
+        seg = int(table.segment_of(np.array([x]))[0])
+        lo = table.x_min + seg * table.granularity
+        assert lo - 1e-9 <= x < lo + table.granularity + 1e-9
+
+
+class TestCPWLApproximator:
+    def test_float_mode_matches_table(self):
+        approx = CPWLApproximator("gelu", 0.25, fmt=None)
+        xs = np.linspace(-4, 4, 100)
+        assert np.allclose(approx(xs), approx.table.evaluate(xs))
+
+    def test_fixed_mode_close_to_reference(self):
+        approx = CPWLApproximator("gelu", 0.25)
+        err = approx.error_profile()
+        assert err.max_abs < 0.05
+
+    def test_error_monotone_in_granularity(self):
+        errs = [
+            CPWLApproximator("tanh", g, fmt=None).error_profile().max_abs
+            for g in (0.1, 0.5, 1.0)
+        ]
+        assert errs[0] < errs[1] < errs[2]
+
+    def test_evaluate_raw_requires_fmt(self):
+        approx = CPWLApproximator("gelu", 0.25, fmt=None)
+        with pytest.raises(RuntimeError):
+            approx.evaluate_raw(np.array([0]))
+
+    def test_raw_path_matches_float_call(self):
+        approx = CPWLApproximator("gelu", 0.25)
+        xs = np.linspace(-3, 3, 50)
+        from repro.fixedpoint import dequantize
+
+        raw_out = dequantize(approx.evaluate_raw(quantize(xs, INT16)), INT16)
+        assert np.allclose(raw_out, approx(xs))
+
+    def test_relu_exact_on_aligned_grid(self):
+        approx = CPWLApproximator("relu", 0.25)
+        xs = np.linspace(-4, 4, 101)
+        assert np.allclose(approx(xs), np.maximum(xs, 0), atol=INT16.scale)
+
+    def test_wider_format_reduces_error(self):
+        xs = np.linspace(-4, 4, 500)
+        e16 = CPWLApproximator("gelu", 0.1, fmt=INT16).error_on(xs).rmse
+        e32 = CPWLApproximator("gelu", 0.1, fmt=INT32).error_on(xs).rmse
+        assert e32 <= e16
+
+
+class TestApproximationBaselines:
+    def test_error_stats_fields(self):
+        err = approximation_error(np.array([1.0, 2.0]), np.array([1.1, 1.9]))
+        assert err.max_abs == pytest.approx(0.1)
+        assert err.mean_abs == pytest.approx(0.1)
+        assert err.rmse == pytest.approx(0.1)
+
+    def test_taylor_good_near_center(self):
+        xs = np.linspace(-0.3, 0.3, 50)
+        approx = taylor_approximation("tanh", xs, order=3)
+        assert np.max(np.abs(approx - np.tanh(xs))) < 0.01
+
+    def test_taylor_bad_far_from_center(self):
+        xs = np.array([4.0])
+        approx = taylor_approximation("tanh", xs, order=3)
+        assert abs(approx[0] - np.tanh(4.0)) > 0.5
+
+    def test_chebyshev_uniformly_decent(self):
+        xs = np.linspace(-7.5, 7.5, 200)
+        approx = chebyshev_approximation("tanh", xs, degree=15)
+        assert np.max(np.abs(approx - np.tanh(xs))) < 0.1
+
+    def test_cpwl_beats_matched_taylor_globally(self):
+        # The paper's argument: at matched (low) compute cost, CPWL wins
+        # over whole-domain polynomial expansion.
+        xs = np.linspace(-6, 6, 400)
+        cpwl = CPWLApproximator("gelu", 0.25, fmt=None)(xs)
+        taylor = taylor_approximation("gelu", xs, order=3)
+        gelu = get_function("gelu")(xs)
+        assert np.max(np.abs(cpwl - gelu)) < np.max(np.abs(taylor - gelu))

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; these tests execute
+each one's ``main()`` in-process (stdout captured by pytest) so a
+regression in any public API surfaces immediately.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        module = importlib.import_module(name)
+        importlib.reload(module)
+        module.main()
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+
+
+def test_quickstart_runs():
+    run_example("quickstart")
+
+
+def test_resnet_example_runs():
+    run_example("resnet_on_onesa")
+
+
+def test_bert_example_runs():
+    run_example("bert_on_onesa")
+
+
+def test_gcn_example_runs():
+    run_example("gcn_on_onesa")
+
+
+def test_design_space_example_runs():
+    run_example("design_space_exploration")
+
+
+def test_granularity_search_example_runs():
+    run_example("granularity_search")
+
+
+def test_run_all_experiments_quick():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    sys.argv = ["run_all_experiments.py", "--quick"]
+    try:
+        module = importlib.import_module("run_all_experiments")
+        importlib.reload(module)
+        module.main()
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+
+
+def test_examples_have_docstrings_and_main():
+    for path in EXAMPLES_DIR.glob("*.py"):
+        source = path.read_text()
+        assert '"""' in source.partition("\n")[2] or source.startswith('"""'), path
+        assert "def main()" in source, path

@@ -1,0 +1,154 @@
+"""Backend tests: float / quantized / CPWL / array agreement contracts."""
+
+import numpy as np
+import pytest
+
+from repro.nn.executor import (
+    ArrayBackend,
+    CPWLBackend,
+    FloatBackend,
+    QuantizedFloatBackend,
+)
+from repro.nn.models import SmallResNet
+from repro.systolic import SystolicArray, SystolicConfig
+
+RNG = np.random.default_rng(0)
+
+
+class TestFloatBackend:
+    def test_linear(self):
+        b = FloatBackend()
+        x = RNG.normal(size=(3, 4))
+        w = RNG.normal(size=(2, 4))
+        bias = RNG.normal(size=2)
+        assert np.allclose(b.linear(x, w, bias), x @ w.T + bias)
+
+    def test_softmax_rows(self):
+        out = FloatBackend().softmax(RNG.normal(size=(5, 7)))
+        assert np.allclose(out.sum(-1), 1.0)
+
+    def test_layernorm_moments(self):
+        out = FloatBackend().layernorm(
+            RNG.normal(loc=3, size=(4, 16)), np.ones(16), np.zeros(16)
+        )
+        assert np.allclose(out.mean(-1), 0, atol=1e-9)
+
+    def test_batchnorm_stats_folds(self):
+        b = FloatBackend()
+        x = RNG.normal(size=(2, 3, 4, 4))
+        gamma, beta = np.ones(3), np.zeros(3)
+        mean, var = np.zeros(3), np.ones(3)
+        assert np.allclose(b.batchnorm_stats(x, gamma, beta, mean, var), x, atol=1e-5)
+
+
+class TestQuantizedFloatBackend:
+    def test_close_to_float(self):
+        qb = QuantizedFloatBackend()
+        fb = FloatBackend()
+        x = RNG.normal(size=(4, 8))
+        assert np.allclose(qb.gelu(x), fb.gelu(x), atol=0.01)
+        assert np.allclose(qb.softmax(x), fb.softmax(x), atol=0.01)
+
+    def test_quantization_grid(self):
+        qb = QuantizedFloatBackend()
+        out = qb.relu(RNG.normal(size=(5, 5)))
+        assert np.allclose(out * 256, np.round(out * 256))
+
+
+class TestCPWLBackend:
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            CPWLBackend(0.0)
+
+    def test_matmul_2d_close(self):
+        cb = CPWLBackend(0.25)
+        a = RNG.normal(size=(5, 6))
+        b = RNG.normal(size=(6, 3))
+        assert np.max(np.abs(cb.matmul(a, b) - a @ b)) < 0.1
+
+    def test_matmul_batched_matches_loop(self):
+        cb = CPWLBackend(0.25)
+        a = RNG.normal(size=(2, 4, 5))
+        b = RNG.normal(size=(2, 5, 3))
+        out = cb.matmul(a, b)
+        for i in range(2):
+            assert np.allclose(out[i], cb.matmul(a[i], b[i]))
+
+    def test_matmul_broadcast_leading(self):
+        cb = CPWLBackend(0.25)
+        a = RNG.normal(size=(2, 3, 4, 5))
+        b = RNG.normal(size=(5, 6))
+        out = cb.matmul(a, b)
+        assert out.shape == (2, 3, 4, 6)
+        assert np.allclose(out[0, 0], cb.matmul(a[0, 0], b))
+
+    def test_linear_preserves_leading_shape(self):
+        cb = CPWLBackend(0.25)
+        x = RNG.normal(size=(2, 7, 6))
+        w = RNG.normal(size=(4, 6))
+        out = cb.linear(x, w, np.zeros(4))
+        assert out.shape == (2, 7, 4)
+
+    def test_nonlinears_close_at_fine_granularity(self):
+        cb = CPWLBackend(0.1)
+        fb = FloatBackend()
+        x = RNG.normal(size=(6, 6))
+        for op in ("gelu", "tanh", "sigmoid", "relu"):
+            assert np.max(np.abs(getattr(cb, op)(x) - getattr(fb, op)(x))) < 0.05
+
+    def test_error_grows_with_granularity(self):
+        fb = FloatBackend()
+        x = np.linspace(-4, 4, 500).reshape(10, 50)
+        fine = np.abs(CPWLBackend(0.1).gelu(x) - fb.gelu(x)).max()
+        coarse = np.abs(CPWLBackend(1.0).gelu(x) - fb.gelu(x)).max()
+        assert coarse > fine
+
+    def test_batchnorm_stats_granularity_dependence(self):
+        x = RNG.normal(size=(2, 4, 3, 3))
+        gamma, beta = np.ones(4), np.zeros(4)
+        mean = np.zeros(4)
+        var = np.array([0.3, 0.9, 2.7, 8.1])
+        fine = CPWLBackend(0.1).batchnorm_stats(x, gamma, beta, mean, var)
+        coarse = CPWLBackend(1.0).batchnorm_stats(x, gamma, beta, mean, var)
+        exact = FloatBackend().batchnorm_stats(x, gamma, beta, mean, var)
+        assert np.abs(fine - exact).max() < np.abs(coarse - exact).max() + 1e-6
+
+
+class TestArrayBackend:
+    def test_matches_cpwl_backend_bitwise(self):
+        """The array-routed backend must agree with the fast CPWL path."""
+        config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        ab = ArrayBackend(SystolicArray(config), 0.25)
+        cb = CPWLBackend(0.25)
+        a = RNG.normal(size=(6, 8))
+        b = RNG.normal(size=(8, 4))
+        assert np.array_equal(ab.matmul(a, b), cb.matmul(a, b))
+        x = RNG.normal(size=(4, 6))
+        assert np.array_equal(ab.gelu(x), cb.gelu(x))
+        assert np.array_equal(ab.relu(x), cb.relu(x))
+
+    def test_records_cycles(self):
+        config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        array = SystolicArray(config)
+        ab = ArrayBackend(array, 0.25)
+        ab.matmul(RNG.normal(size=(4, 4)), RNG.normal(size=(4, 4)))
+        ab.gelu(RNG.normal(size=(4, 4)))
+        kinds = array.trace.cycles_by_kind()
+        assert kinds.get("gemm", 0) > 0
+        assert kinds.get("mhp", 0) > 0
+
+    def test_full_model_on_array(self):
+        """End-to-end: a small CNN inferring through the array model."""
+        config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        array = SystolicArray(config)
+        model = SmallResNet(in_channels=1, n_classes=3, seed=0)
+        model.train()
+        from repro.nn.autograd import Tensor
+
+        model.forward(Tensor(RNG.normal(size=(4, 1, 8, 8))))
+        model.eval()
+        x = RNG.normal(size=(2, 1, 8, 8))
+        on_array = model.infer(x, ArrayBackend(array, 0.25))
+        fast = model.infer(x, CPWLBackend(0.25))
+        assert np.allclose(on_array, fast)
+        assert array.total_cycles > 0

@@ -1,0 +1,211 @@
+"""Unit tests for the fixed-point substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint import (
+    INT16,
+    QFormat,
+    accumulator_to_output,
+    dequantize,
+    fixed_add,
+    fixed_hadamard_mac,
+    fixed_mac,
+    fixed_matmul,
+    fixed_mul,
+    quantization_error,
+    quantize,
+    requantize,
+    saturate,
+)
+
+
+class TestQFormat:
+    def test_default_is_int16_q8(self):
+        assert INT16.total_bits == 16
+        assert INT16.frac_bits == 8
+
+    def test_range(self):
+        fmt = QFormat(16, 8)
+        assert fmt.raw_min == -32768
+        assert fmt.raw_max == 32767
+        assert fmt.min_value == -128.0
+        assert fmt.max_value == pytest.approx(127.99609375)
+
+    def test_scale(self):
+        assert QFormat(16, 8).scale == 1 / 256
+        assert QFormat(16, 0).scale == 1.0
+
+    def test_int_bits(self):
+        assert QFormat(16, 8).int_bits == 7
+
+    def test_storage_dtype(self):
+        assert QFormat(8, 4).storage_dtype() == np.int8
+        assert QFormat(16, 8).storage_dtype() == np.int16
+        assert QFormat(32, 16).storage_dtype() == np.int32
+        assert QFormat(48, 16).storage_dtype() == np.int64
+
+    def test_accumulator_format(self):
+        acc = INT16.accumulator()
+        assert acc.total_bits == 32
+        assert acc.frac_bits == 16
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(1, 0)
+        with pytest.raises(ValueError):
+            QFormat(16, 16)
+        with pytest.raises(ValueError):
+            QFormat(16, -1)
+
+    def test_describe_mentions_format(self):
+        assert "Q16.8" in INT16.describe()
+
+
+class TestQuantize:
+    def test_roundtrip_exact_for_representable(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5, -127.0, 100.25])
+        assert np.allclose(dequantize(quantize(values, INT16), INT16), values)
+
+    def test_rounding_nearest(self):
+        # 0.001953125 is half an LSB: rounds away from zero.
+        raw = quantize(np.array([1 / 512]), INT16)
+        assert raw[0] == 1
+
+    def test_rounding_floor(self):
+        raw = quantize(np.array([0.9 / 256]), INT16, rounding="floor")
+        assert raw[0] == 0
+
+    def test_unknown_rounding_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([1.0]), INT16, rounding="stochastic")
+
+    def test_saturation(self):
+        raw = quantize(np.array([1e6, -1e6]), INT16)
+        assert raw[0] == INT16.raw_max
+        assert raw[1] == INT16.raw_min
+
+    def test_quantization_error_bound(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-100, 100, size=1000)
+        assert quantization_error(values, INT16) <= INT16.scale / 2 + 1e-12
+
+    def test_scalar_input(self):
+        assert quantize(1.0, INT16) == 256
+
+    def test_empty_input(self):
+        assert quantization_error(np.array([]), INT16) == 0.0
+
+    @given(st.floats(min_value=-127, max_value=127, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_error_within_half_lsb(self, value):
+        err = abs(float(dequantize(quantize(value, INT16), INT16)) - value)
+        assert err <= INT16.scale / 2 + 1e-12
+
+
+class TestRequantize:
+    def test_identity(self):
+        raw = np.array([100, -200], dtype=np.int16)
+        assert np.array_equal(requantize(raw, INT16, INT16), raw)
+
+    def test_downshift_rounds(self):
+        wide = QFormat(32, 16)
+        raw = np.array([1 << 15], dtype=np.int64)  # 0.5 in Q32.16
+        out = requantize(raw, wide, INT16)
+        assert dequantize(out, INT16) == pytest.approx(0.5)
+
+    def test_upshift(self):
+        narrow = QFormat(16, 4)
+        raw = np.array([16], dtype=np.int16)  # 1.0 in Q16.4
+        out = requantize(raw, narrow, INT16)
+        assert dequantize(out, INT16) == pytest.approx(1.0)
+
+    def test_saturates_on_narrow(self):
+        wide = QFormat(32, 8)
+        raw = np.array([1 << 24], dtype=np.int64)  # 65536.0
+        out = requantize(raw, wide, INT16)
+        assert out[0] == INT16.raw_max
+
+
+class TestArithmetic:
+    def test_saturate_clamps(self):
+        out = saturate(np.array([40000, -40000, 5]), INT16)
+        assert list(out) == [32767, -32768, 5]
+
+    def test_fixed_add_matches_float(self):
+        a = quantize(np.array([1.5, -2.0]), INT16)
+        b = quantize(np.array([0.25, 0.5]), INT16)
+        out = dequantize(fixed_add(a, b, INT16), INT16)
+        assert np.allclose(out, [1.75, -1.5])
+
+    def test_fixed_add_saturates(self):
+        a = quantize(np.array([127.0]), INT16)
+        out = fixed_add(a, a, INT16)
+        assert out[0] == INT16.raw_max
+
+    def test_fixed_mul_matches_float(self):
+        a = quantize(np.array([1.5]), INT16)
+        b = quantize(np.array([2.0]), INT16)
+        assert dequantize(fixed_mul(a, b, INT16), INT16)[0] == pytest.approx(3.0)
+
+    def test_mac_accumulates_wide(self):
+        acc = np.zeros(1, dtype=np.int64)
+        a = quantize(np.array([100.0]), INT16)
+        b = quantize(np.array([100.0]), INT16)
+        # One product is 10000 — far over INT16 range — but the wide
+        # accumulator must carry it without saturation.
+        acc = fixed_mac(acc, a, b, INT16)
+        acc = fixed_mac(acc, quantize(np.array([-100.0]), INT16), b, INT16)
+        out = accumulator_to_output(acc, INT16)
+        assert dequantize(out, INT16)[0] == pytest.approx(0.0)
+
+    def test_matmul_matches_float_for_small_values(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-2, 2, size=(5, 7))
+        b = rng.uniform(-2, 2, size=(7, 3))
+        out = dequantize(
+            fixed_matmul(quantize(a, INT16), quantize(b, INT16), INT16), INT16
+        )
+        assert np.allclose(out, a @ b, atol=0.1)
+
+    def test_matmul_shape_validation(self):
+        with pytest.raises(ValueError):
+            fixed_matmul(np.zeros((2, 3)), np.zeros((4, 2)), INT16)
+        with pytest.raises(ValueError):
+            fixed_matmul(np.zeros(3), np.zeros((3, 2)), INT16)
+
+    def test_matmul_saturates_output_only(self):
+        # Products that overflow INT16 but cancel must not clip early.
+        a = quantize(np.array([[120.0, -120.0]]), INT16)
+        b = quantize(np.array([[100.0], [100.0]]), INT16)
+        out = dequantize(fixed_matmul(a, b, INT16), INT16)
+        assert out[0, 0] == pytest.approx(0.0)
+
+    def test_hadamard_mac_is_kx_plus_b(self):
+        x = quantize(np.array([[2.0, -1.0]]), INT16)
+        k = quantize(np.array([[0.5, 3.0]]), INT16)
+        b = quantize(np.array([[1.0, -0.5]]), INT16)
+        out = dequantize(fixed_hadamard_mac(x, k, b, INT16), INT16)
+        assert np.allclose(out, [[2.0, -3.5]])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hadamard_against_float_reference(self, xs):
+        x = np.array(xs)
+        k = np.linspace(-1, 1, x.size)
+        b = np.linspace(0.5, -0.5, x.size)
+        out = dequantize(
+            fixed_hadamard_mac(
+                quantize(x, INT16), quantize(k, INT16), quantize(b, INT16), INT16
+            ),
+            INT16,
+        )
+        assert np.allclose(out, x * k + b, atol=0.1)

@@ -1,0 +1,124 @@
+"""Cross-module integration tests: end-to-end paper-pipeline checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.granularity import PAPER_GRANULARITIES
+from repro.data import get_task
+from repro.evaluation.accuracy import format_table3, table3_accuracy
+from repro.nn.executor import CPWLBackend, FloatBackend, QuantizedFloatBackend
+from repro.nn.models import GCN, SmallResNet, TinyBERT
+from repro.nn.training import accuracy, train_classifier, train_gcn
+from repro.systolic import SystolicArray, SystolicConfig
+
+
+class TestEndToEndCNN:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        task = get_task("qmnist")
+        model = SmallResNet(in_channels=1, n_classes=task.n_classes, seed=0)
+        train_classifier(model, task.x_train, task.y_train, epochs=6, lr=3e-3)
+        return model, task
+
+    def test_baseline_accuracy(self, trained):
+        model, task = trained
+        acc = accuracy(model.predict(task.x_test, QuantizedFloatBackend()), task.y_test)
+        assert acc > 0.95
+
+    def test_default_granularity_negligible_loss(self, trained):
+        """The paper's headline: at granularity 0.25 the loss is negligible."""
+        model, task = trained
+        base = accuracy(model.predict(task.x_test, QuantizedFloatBackend()), task.y_test)
+        cpwl = accuracy(model.predict(task.x_test, CPWLBackend(0.25)), task.y_test)
+        assert abs(cpwl - base) <= 0.02
+
+    def test_all_granularities_run(self, trained):
+        model, task = trained
+        for g in PAPER_GRANULARITIES:
+            preds = model.predict(task.x_test[:32], CPWLBackend(g))
+            assert preds.shape == (32,)
+
+
+class TestEndToEndBERT:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        task = get_task("sst2")
+        model = TinyBERT(
+            vocab=task.vocab, seq_len=task.seq_len, n_classes=task.n_classes, seed=0
+        )
+        train_classifier(
+            model, task.x_train, task.y_train, epochs=8, lr=2e-3,
+            forward=lambda b: model.forward(b),
+        )
+        return model, task
+
+    def test_default_granularity_negligible_loss(self, trained):
+        model, task = trained
+        base = accuracy(model.predict(task.x_test, QuantizedFloatBackend()), task.y_test)
+        cpwl = accuracy(model.predict(task.x_test, CPWLBackend(0.25)), task.y_test)
+        assert base > 0.85
+        assert abs(cpwl - base) <= 0.03
+
+
+class TestEndToEndGCN:
+    def test_gcn_insensitive_to_granularity(self):
+        """Table III: GCN accuracy barely moves across granularities."""
+        task = get_task("cora")
+        model = GCN(task.features.shape[1], hidden=16, n_classes=task.n_classes, seed=0)
+        train_gcn(model, task.features, task.a_hat, task.labels, task.train_mask, epochs=120)
+        base = accuracy(
+            model.predict(task.features, task.a_hat, QuantizedFloatBackend())[task.test_mask],
+            task.labels[task.test_mask],
+        )
+        for g in (0.25, 1.0):
+            acc = accuracy(
+                model.predict(task.features, task.a_hat, CPWLBackend(g))[task.test_mask],
+                task.labels[task.test_mask],
+            )
+            assert abs(acc - base) <= 0.03
+
+
+class TestTable3Harness:
+    def test_subset_run_and_format(self):
+        rows = table3_accuracy(tasks=["qmnist", "cora"], granularities=(0.25,))
+        assert len(rows) == 2
+        assert all(0.25 in row.deltas for row in rows)
+        text = format_table3(rows)
+        assert "QMNIST" in text and "Original" in text
+
+    def test_empty_rows_format(self):
+        assert format_table3([]) == "(no rows)"
+
+
+class TestArrayLevelInference:
+    def test_whole_network_cycle_account(self):
+        """A trained CNN inferred on the array yields a coherent trace:
+        GEMM cycles dominate, nonlinear events present, latency sane."""
+        from repro.nn.executor import ArrayBackend
+
+        task = get_task("qmnist")
+        model = SmallResNet(in_channels=1, n_classes=task.n_classes, seed=0)
+        train_classifier(
+            model, task.x_train[:64], task.y_train[:64], epochs=1, lr=3e-3
+        )
+        config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        array = SystolicArray(config)
+        backend = ArrayBackend(array, 0.25)
+        preds = model.predict(task.x_test[:4], backend)
+        assert preds.shape == (4,)
+        kinds = array.trace.cycles_by_kind()
+        assert kinds["gemm"] > kinds.get("mhp", 0)
+        assert array.elapsed_seconds() > 0
+
+    def test_cross_backend_prediction_consistency(self):
+        """Float, INT16 and the fine-granularity CPWL backends should
+        agree on nearly all predictions for a well-trained model."""
+        task = get_task("qmnist")
+        model = SmallResNet(in_channels=1, n_classes=task.n_classes, seed=0)
+        train_classifier(model, task.x_train, task.y_train, epochs=6, lr=3e-3)
+        x = task.x_test[:128]
+        float_preds = model.predict(x, FloatBackend())
+        int16_preds = model.predict(x, QuantizedFloatBackend())
+        cpwl_preds = model.predict(x, CPWLBackend(0.1))
+        assert (float_preds == int16_preds).mean() > 0.97
+        assert (int16_preds == cpwl_preds).mean() > 0.97
