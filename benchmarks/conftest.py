@@ -3,9 +3,22 @@
 Each benchmark regenerates one paper artifact (table or figure), prints
 it in paper-like form, and asserts the reproduced *shape* claims.  Run
 with ``pytest benchmarks/ --benchmark-only``.
+
+Everything in this directory is auto-marked ``bench`` so the fast
+tier-1 invocation (``pytest -q -m "not bench"``) skips it.
 """
 
+from pathlib import Path
+
 import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if Path(str(item.fspath)).resolve().parent == _BENCH_DIR:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

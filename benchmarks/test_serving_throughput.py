@@ -1,0 +1,155 @@
+"""Serving benchmark: batched GEMM vectorization + the serving engine.
+
+Two artifacts:
+
+* the hot-path claim — batched attention through the vectorized
+  N-D :func:`repro.fixedpoint.fixed_matmul` is >= 5x faster than the
+  seed's per-matrix Python loop, with bit-identical outputs;
+* a serving-level report — concurrent BERT/ResNet requests through
+  the :class:`~repro.serving.InferenceEngine` on a sharded array pool,
+  with batching strictly reducing cycles/request versus unbatched
+  dispatch at identical outputs.
+"""
+
+import time
+
+import numpy as np
+
+from repro.fixedpoint import INT16, dequantize
+from repro.nn.executor import CPWLBackend
+from repro.nn.models import SmallResNet, TinyBERT
+from repro.serving import InferenceEngine, ShardedDispatcher
+from repro.systolic import SystolicArray, SystolicConfig
+
+FMT = INT16
+
+
+# --------------------------------------------------------------------------
+# The seed's per-matrix batched-matmul path, reproduced verbatim: elementwise
+# np.where quantization, int64 matmul, per-matrix writeback, Python loop.
+# --------------------------------------------------------------------------
+def _seed_quantize(values):
+    scaled = np.asarray(values, dtype=np.float64) * (1 << FMT.frac_bits)
+    raw = np.where(scaled >= 0, np.floor(scaled + 0.5), np.ceil(scaled - 0.5))
+    return np.clip(raw, FMT.raw_min, FMT.raw_max).astype(FMT.storage_dtype())
+
+
+def _seed_writeback(acc):
+    half = np.int64(1) << (FMT.frac_bits - 1)
+    rounded = (np.asarray(acc, dtype=np.int64) + half) >> FMT.frac_bits
+    return np.clip(rounded, FMT.raw_min, FMT.raw_max).astype(FMT.storage_dtype())
+
+
+def _seed_loop_matmul(a, b):
+    lead = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    a_b = np.broadcast_to(a, lead + a.shape[-2:]).reshape((-1,) + a.shape[-2:])
+    b_b = np.broadcast_to(b, lead + b.shape[-2:]).reshape((-1,) + b.shape[-2:])
+    outs = []
+    for x, y in zip(a_b, b_b):
+        acc = np.asarray(_seed_quantize(x), np.int64) @ np.asarray(
+            _seed_quantize(y), np.int64
+        )
+        outs.append(dequantize(_seed_writeback(acc), FMT))
+    return np.stack(outs).reshape(lead + (a.shape[-2], b.shape[-1]))
+
+
+def _best_of(fn, repeats=7):
+    """Best-of-N wall time: robust to scheduler noise on shared CI
+    runners, and the speedup asserts compare a *ratio* of two
+    best-of-N measurements, which tracks Python-overhead-vs-BLAS
+    proportions rather than absolute machine speed."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def test_batched_attention_vectorization_speedup(print_artifact):
+    """Vectorized stacked GEMM >= 5x over the seed loop, bit-identical."""
+    rng = np.random.default_rng(0)
+    backend = CPWLBackend(0.25)
+    lines = ["Batched attention GEMM: seed per-matrix loop vs vectorized"]
+    speedups = {}
+    # (label, stacked matrices, rows, inner) — serving-burst attention
+    # score shapes: batch x heads stacked (T, d) @ (d, T) products.
+    for label, B, T, D in (
+        ("serving burst 32 x TinyBERT (4 heads, T=16)", 128, 16, 16),
+        ("BERT-base slice (12 heads, T=64, batch 8)", 96, 64, 64),
+    ):
+        a = rng.normal(size=(B, T, D))
+        b = rng.normal(size=(B, D, T))
+        loop_out = _seed_loop_matmul(a, b)
+        vec_out = backend.matmul(a, b)
+        assert np.array_equal(loop_out, vec_out), "vectorized path diverged"
+        t_loop = _best_of(lambda: _seed_loop_matmul(a, b))
+        t_vec = _best_of(lambda: backend.matmul(a, b))
+        speedups[label] = t_loop / t_vec
+        lines.append(
+            f"  {label:<46s} {B:>4d} x ({T}x{D})@({D}x{T}): "
+            f"loop {t_loop * 1e3:7.2f} ms  vec {t_vec * 1e3:6.2f} ms  "
+            f"{t_loop / t_vec:5.1f}x"
+        )
+    print_artifact("\n".join(lines))
+    # The acceptance claim targets the serving-shaped attention burst
+    # (~10x measured, gated at 5x).  The large-matrix slice is
+    # BLAS-bound and gains less (1.7-3.7x measured); its gate stays
+    # loose so shared-runner timing noise cannot flake the job.
+    assert speedups["serving burst 32 x TinyBERT (4 heads, T=16)"] >= 5.0
+    assert speedups["BERT-base slice (12 heads, T=64, batch 8)"] >= 1.2
+
+
+def _make_engine(max_batch_size):
+    config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+    pool = ShardedDispatcher.from_arrays(
+        [SystolicArray(config), SystolicArray(config)], granularity=0.25
+    )
+    engine = InferenceEngine(pool, max_batch_size=max_batch_size, flush_timeout=1e-4)
+    engine.register(
+        "bert", TinyBERT(vocab=16, seq_len=8, dim=8, heads=2, ff_dim=16, n_layers=1)
+    )
+    resnet = SmallResNet(in_channels=1, n_classes=3, seed=0)
+    resnet.eval()
+    engine.register("resnet", resnet)
+    return engine
+
+
+def test_serving_engine_report(print_artifact):
+    """Concurrent BERT/ResNet serving on a 2-shard array pool."""
+    rng = np.random.default_rng(1)
+    tokens = rng.integers(0, 16, size=(12, 8))
+    images = rng.normal(size=(4, 1, 8, 8))
+
+    def submit_all(engine):
+        ids = [engine.submit("bert", row) for row in tokens]
+        ids += [engine.submit("resnet", img) for img in images]
+        return ids
+
+    batched = _make_engine(max_batch_size=8)
+    batched_ids = submit_all(batched)
+    batched_report = batched.run()
+
+    unbatched = _make_engine(max_batch_size=1)
+    unbatched_ids = submit_all(unbatched)
+    unbatched_report = unbatched.run()
+
+    # Identical results regardless of batching.
+    for bid, uid in zip(batched_ids, unbatched_ids):
+        assert np.array_equal(batched.result(bid), unbatched.result(uid))
+
+    print_artifact(
+        "Serving report (batched, 2 array shards)\n"
+        + batched_report.summary()
+        + "\n\nSame workload unbatched (max_batch_size=1)\n"
+        + unbatched_report.summary()
+    )
+
+    assert batched_report.n_requests == 16
+    assert batched_report.throughput_rps > 0
+    assert batched_report.p50 <= batched_report.p99
+    assert set(batched_report.shard_cycles) == {0, 1}
+    # Packing requests into shared GEMM tiles amortizes the per-tile
+    # skew and weight preload: strictly fewer cycles per request.
+    assert batched_report.total_cycles < unbatched_report.total_cycles
+    assert batched_report.mean_batch_size > unbatched_report.mean_batch_size

@@ -28,6 +28,8 @@ from repro.core.cpwl import CPWLApproximator, approximation_error
 from repro.core.ipf import IPFResult, fetch_parameters, segment_indices
 from repro.core.mhp import matrix_hadamard_product
 from repro.core.nonlinear_ops import (
+    approximator_cache_info,
+    clear_approximator_cache,
     cpwl_batchnorm,
     cpwl_gelu,
     cpwl_layernorm,
@@ -35,6 +37,7 @@ from repro.core.nonlinear_ops import (
     cpwl_sigmoid,
     cpwl_softmax,
     cpwl_tanh,
+    set_approximator_cache_capacity,
 )
 from repro.core.granularity import (
     GranularityChoice,
@@ -62,6 +65,9 @@ __all__ = [
     "cpwl_softmax",
     "cpwl_layernorm",
     "cpwl_batchnorm",
+    "approximator_cache_info",
+    "clear_approximator_cache",
+    "set_approximator_cache_capacity",
     "GranularityChoice",
     "recommend_granularity",
     "sweep_granularity",

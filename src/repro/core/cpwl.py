@@ -120,13 +120,16 @@ class CPWLApproximator:
         """Evaluate on raw fixed-point inputs, returning raw outputs.
 
         This is the exact sequence the hardware performs: segment index
-        from the quantized input, gather of quantized ``(K, B)``, then the
-        saturating two-term MAC ``y = k*x + b*1``.
+        through the L3 addressing datapath (shift or scale path, both
+        relative to the saturated domain-origin register — see
+        :func:`repro.core.ipf.segment_indices`), gather of quantized
+        ``(K, B)``, then the saturating two-term MAC ``y = k*x + b*1``.
         """
         if self.fmt is None or self.qtable is None:
             raise RuntimeError("evaluate_raw requires a fixed-point format")
-        x_val = dequantize(x_raw, self.fmt)
-        segments = self.table.segment_of(x_val)
+        from repro.core.ipf import segment_indices
+
+        segments = segment_indices(np.asarray(x_raw), self.table, self.fmt)
         k_raw, b_raw = self.qtable.lookup_raw(segments)
         return fixed_hadamard_mac(x_raw, k_raw, b_raw, self.fmt)
 

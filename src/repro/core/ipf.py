@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.segment_table import QuantizedSegmentTable, SegmentTable
-from repro.fixedpoint import QFormat, dequantize
+from repro.fixedpoint import QFormat, quantize
 
 
 @dataclass(frozen=True)
@@ -64,23 +64,30 @@ def segment_indices(
     multiplier, computing the same floor division.
     """
     x_raw = np.asarray(x_raw, dtype=np.int64)
+    # Both datapaths subtract the *same* domain-origin register: an INT16
+    # value produced by the ordinary quantizer (round half away from
+    # zero, saturating).  Deriving it with a bare ``np.round`` instead
+    # made the shift path disagree with the scale path whenever the
+    # table domain touched (or exceeded) the format's representable
+    # range, because the register cannot hold the unsaturated origin.
+    x_min_raw = int(quantize(table.x_min, fmt))
+    offset = x_raw - x_min_raw
     if table.shift_path:
         # Shift amount: index = floor((x - x_min) / 2**log2g)
         # with x in raw units: (x_raw - x_min_raw) * 2**-F / 2**log2g.
         log2g = int(np.round(np.log2(table.granularity)))
         shift = fmt.frac_bits + log2g
-        x_min_raw = int(np.round(table.x_min * (1 << fmt.frac_bits)))
-        offset = x_raw - x_min_raw
         if shift >= 0:
             uncapped = offset >> shift
         else:
             # Granularity finer than one LSB: scale up (degenerate but legal).
             uncapped = offset << (-shift)
     else:
-        x_val = dequantize(x_raw, fmt)
-        uncapped = np.floor((x_val - table.x_min) / table.granularity).astype(
-            np.int64
-        )
+        # Scale-multiplier path: same floor division computed from the
+        # same saturated origin register, so the two paths always agree.
+        uncapped = np.floor(
+            offset * fmt.scale / table.granularity
+        ).astype(np.int64)
     return np.clip(uncapped, 0, table.n_segments - 1)
 
 

@@ -20,7 +20,8 @@ quantization), which the ablation uses to split error sources.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +29,15 @@ from repro.core.cpwl import CPWLApproximator
 from repro.fixedpoint import QFormat, dequantize, quantize, saturate
 from repro.fixedpoint.qformat import INT16
 
-_APPROXIMATOR_CACHE: Dict[Tuple, CPWLApproximator] = {}
+# LRU of built approximators keyed by (function, granularity, fmt,
+# domain).  Under serving traffic every distinct combination would
+# otherwise stay resident forever — a slow leak — so the cache is
+# bounded and evicts least-recently-used tables.  The default capacity
+# is generous enough that single-experiment runs (granularity sweeps,
+# the full test suite) never evict.
+_APPROXIMATOR_CACHE: "OrderedDict[Tuple, CPWLApproximator]" = OrderedDict()
+_DEFAULT_CACHE_CAPACITY = 256
+_cache_capacity = _DEFAULT_CACHE_CAPACITY
 
 
 def get_approximator(
@@ -43,12 +52,35 @@ def get_approximator(
     if approx is None:
         approx = CPWLApproximator(name, granularity, fmt=fmt, domain=domain)
         _APPROXIMATOR_CACHE[key] = approx
+        while len(_APPROXIMATOR_CACHE) > _cache_capacity:
+            _APPROXIMATOR_CACHE.popitem(last=False)
+    else:
+        _APPROXIMATOR_CACHE.move_to_end(key)
     return approx
 
 
 def clear_approximator_cache() -> None:
     """Drop all cached tables (tests use this to control memory)."""
     _APPROXIMATOR_CACHE.clear()
+
+
+def set_approximator_cache_capacity(capacity: int = _DEFAULT_CACHE_CAPACITY) -> None:
+    """Bound the approximator LRU at ``capacity`` entries.
+
+    Shrinking below the current occupancy evicts least-recently-used
+    tables immediately.  Call with no argument to restore the default.
+    """
+    if capacity < 1:
+        raise ValueError(f"cache capacity must be positive, got {capacity}")
+    global _cache_capacity
+    _cache_capacity = int(capacity)
+    while len(_APPROXIMATOR_CACHE) > _cache_capacity:
+        _APPROXIMATOR_CACHE.popitem(last=False)
+
+
+def approximator_cache_info() -> "dict[str, int]":
+    """Occupancy and capacity of the approximator LRU."""
+    return {"size": len(_APPROXIMATOR_CACHE), "capacity": _cache_capacity}
 
 
 def _roundtrip(x: np.ndarray, fmt: Optional[QFormat]) -> np.ndarray:

@@ -61,8 +61,13 @@ def accumulator_to_output(acc: np.ndarray, fmt: QFormat) -> np.ndarray:
     """
     acc = np.asarray(acc, dtype=np.int64)
     half = np.int64(1) << (fmt.frac_bits - 1) if fmt.frac_bits > 0 else np.int64(0)
-    rounded = (acc + half) >> fmt.frac_bits
-    return saturate(rounded, fmt)
+    # In-place shift/clip on the freshly allocated sum keeps this
+    # writeback to a minimum of passes — it runs once per GEMM output
+    # element and sits on the serving hot path.
+    rounded = acc + half
+    rounded >>= fmt.frac_bits
+    np.clip(rounded, fmt.raw_min, fmt.raw_max, out=rounded)
+    return rounded.astype(fmt.storage_dtype())
 
 
 def fixed_matmul(a: np.ndarray, b: np.ndarray, fmt: QFormat) -> np.ndarray:
@@ -72,14 +77,33 @@ def fixed_matmul(a: np.ndarray, b: np.ndarray, fmt: QFormat) -> np.ndarray:
     in GEMM mode: every output element is a dot product accumulated in
     the wide accumulator and saturated once on writeback.  Inputs are raw
     integers in ``fmt``; the output is raw integers in ``fmt``.
+
+    Operands may carry leading batch axes: ``(..., M, K) @ (..., K, N)``
+    is computed as a stack of independent 2-D GEMMs with numpy's matmul
+    broadcasting over the leading axes.  Because every output element is
+    still one dot product with a single saturating writeback, the stacked
+    result is bit-identical to looping :func:`fixed_matmul` over the
+    matrix pairs — the property the serving engine relies on to pack
+    concurrent requests into shared GEMM tiles.
     """
-    a = np.asarray(a, dtype=np.int64)
-    b = np.asarray(b, dtype=np.int64)
-    if a.ndim != 2 or b.ndim != 2:
-        raise ValueError(f"fixed_matmul expects 2-D inputs, got {a.ndim}-D and {b.ndim}-D")
-    if a.shape[1] != b.shape[0]:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim < 2 or b.ndim < 2:
+        raise ValueError(
+            f"fixed_matmul expects >=2-D inputs, got {a.ndim}-D and {b.ndim}-D"
+        )
+    if a.shape[-1] != b.shape[-2]:
         raise ValueError(f"shape mismatch for matmul: {a.shape} @ {b.shape}")
-    acc = a @ b  # exact in int64 for INT16 operands and practical K
+    # Accumulator bound for operands in fmt: every partial sum is an
+    # integer of magnitude <= K * (2**(total_bits-1))**2.  While that
+    # stays below 2**53, float64 represents every intermediate exactly,
+    # so the GEMM can run on the (much faster) BLAS float path and
+    # convert back losslessly.  Wider formats fall back to int64 matmul.
+    acc_bound = a.shape[-1] * (1 << (fmt.total_bits - 1)) ** 2
+    if acc_bound <= 1 << 53:
+        acc = (a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
+    else:
+        acc = np.asarray(a, dtype=np.int64) @ np.asarray(b, dtype=np.int64)
     return accumulator_to_output(acc, fmt)
 
 

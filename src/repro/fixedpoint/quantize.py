@@ -32,15 +32,24 @@ def quantize(values: ArrayLike, fmt: QFormat, rounding: str = "nearest") -> np.n
     numpy.ndarray
         Raw integers in ``fmt.storage_dtype()``.
     """
-    scaled = np.asarray(values, dtype=np.float64) * (1 << fmt.frac_bits)
+    values = np.asarray(values, dtype=np.float64)
+    # atleast_1d so the in-place ufunc chain below works for scalars
+    # too; the original shape is restored on return.
+    scaled = np.atleast_1d(values * (1 << fmt.frac_bits))
     if rounding == "nearest":
-        raw = np.where(scaled >= 0, np.floor(scaled + 0.5), np.ceil(scaled - 0.5))
+        # Round half away from zero as floor(|x| + 0.5) with the sign
+        # restored: one branch-free pass over the data (this sits on the
+        # quantize-dequantize hot path of every backend operation).
+        raw = np.abs(scaled)
+        raw += 0.5
+        np.floor(raw, out=raw)
+        np.copysign(raw, scaled, out=raw)
     elif rounding == "floor":
         raw = np.floor(scaled)
     else:
         raise ValueError(f"unknown rounding mode: {rounding!r}")
-    raw = np.clip(raw, fmt.raw_min, fmt.raw_max)
-    return raw.astype(fmt.storage_dtype())
+    np.clip(raw, fmt.raw_min, fmt.raw_max, out=raw)
+    return raw.astype(fmt.storage_dtype()).reshape(values.shape)
 
 
 def dequantize(raw: ArrayLike, fmt: QFormat) -> np.ndarray:

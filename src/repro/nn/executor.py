@@ -171,18 +171,13 @@ class CPWLBackend:
 
     # -- linear ---------------------------------------------------------
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # One vectorized call covers both the 2-D case and stacked
+        # (batched-attention) operands: fixed_matmul broadcasts leading
+        # axes and is bit-identical to a Python loop of 2-D GEMMs.
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
-        if a.ndim == 2 and b.ndim == 2:
-            raw = fixed_matmul(quantize(a, self.fmt), quantize(b, self.fmt), self.fmt)
-            return dequantize(raw, self.fmt)
-        # Batched matmul: fold leading axes into a loop of 2-D GEMMs —
-        # exactly how the executor tiles batched attention on the array.
-        lead = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
-        a_b = np.broadcast_to(a, lead + a.shape[-2:]).reshape((-1,) + a.shape[-2:])
-        b_b = np.broadcast_to(b, lead + b.shape[-2:]).reshape((-1,) + b.shape[-2:])
-        outs = [self.matmul(x, y) for x, y in zip(a_b, b_b)]
-        return np.stack(outs).reshape(lead + (a.shape[-2], b.shape[-1]))
+        raw = fixed_matmul(quantize(a, self.fmt), quantize(b, self.fmt), self.fmt)
+        return dequantize(raw, self.fmt)
 
     def linear(self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
         orig_shape = x.shape
@@ -250,7 +245,14 @@ class ArrayBackend(CPWLBackend):
                 quantize(a, self.fmt), quantize(b, self.fmt)
             )
             return dequantize(result.raw, self.fmt)
-        return super().matmul(a, b)
+        # Batched matmul: the hardware model issues one traced GEMM per
+        # matrix pair, so the trace reflects how the array actually tiles
+        # batched attention.  (The fast CPWL path vectorizes this loop.)
+        lead = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+        a_b = np.broadcast_to(a, lead + a.shape[-2:]).reshape((-1,) + a.shape[-2:])
+        b_b = np.broadcast_to(b, lead + b.shape[-2:]).reshape((-1,) + b.shape[-2:])
+        outs = [self.matmul(x, y) for x, y in zip(a_b, b_b)]
+        return np.stack(outs).reshape(lead + (a.shape[-2], b.shape[-1]))
 
     def gelu(self, x: np.ndarray) -> np.ndarray:
         return self._scalar_on_array("gelu", x)

@@ -1,0 +1,38 @@
+"""Batched inference serving on top of the (ONE-)SA simulator.
+
+This subpackage turns the single-call simulator into a multi-request
+serving system:
+
+* request/completion records (:mod:`repro.serving.request`);
+* deterministic dynamic batching with max-batch-size and flush-timeout
+  knobs (:mod:`repro.serving.batcher`) — co-pending requests for the
+  same model are stacked so their GEMMs share tiles, which the
+  vectorized :func:`repro.fixedpoint.fixed_matmul` executes in one
+  call, bit-identical to per-request inference;
+* round-robin sharding across a pool of
+  :class:`~repro.systolic.array.SystolicArray` instances with per-array
+  trace aggregation (:mod:`repro.serving.dispatcher`);
+* the engine tying queue, batcher and shards together
+  (:mod:`repro.serving.engine`);
+* serving-level reporting — latency percentiles, throughput,
+  cycles/request (:mod:`repro.serving.report`).
+
+See ``examples/serving_demo.py`` for an end-to-end tour.
+"""
+
+from repro.serving.batcher import Batch, DynamicBatcher
+from repro.serving.dispatcher import ShardedDispatcher
+from repro.serving.engine import InferenceEngine, ModelEndpoint
+from repro.serving.report import ServingReport
+from repro.serving.request import CompletedRequest, InferenceRequest
+
+__all__ = [
+    "Batch",
+    "DynamicBatcher",
+    "ShardedDispatcher",
+    "InferenceEngine",
+    "ModelEndpoint",
+    "ServingReport",
+    "CompletedRequest",
+    "InferenceRequest",
+]

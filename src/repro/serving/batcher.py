@@ -1,0 +1,113 @@
+"""Dynamic batching of queued inference requests.
+
+The batcher groups requests *per model* in arrival order and flushes an
+open batch when either knob fires:
+
+* **max_batch_size** — the batch is full the moment the Nth request
+  joins; it becomes ready at that request's arrival time;
+* **flush_timeout** — an incomplete batch stops waiting for company
+  ``flush_timeout`` seconds after its oldest request arrived and
+  becomes ready at that deadline.
+
+Batching is planned deterministically from the arrival timestamps
+(discrete-event style) rather than with threads, so a request stream
+always produces the same batches — the property the equivalence tests
+rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.serving.request import InferenceRequest
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A group of same-model requests executed as one stacked inference."""
+
+    index: int
+    model: str
+    requests: Tuple[InferenceRequest, ...]
+    ready_time: float
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def oldest_arrival(self) -> float:
+        return self.requests[0].arrival
+
+
+class DynamicBatcher:
+    """Plans batches from a request stream with size/timeout knobs.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Largest number of requests packed into one batch (>= 1).
+    flush_timeout:
+        Simulated seconds an incomplete batch waits for more requests
+        before flushing.  ``0.0`` disables coalescing across distinct
+        arrival times (same-time requests still share a batch).
+    """
+
+    def __init__(self, max_batch_size: int = 8, flush_timeout: float = 1e-3):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if flush_timeout < 0:
+            raise ValueError(f"flush_timeout must be >= 0, got {flush_timeout}")
+        self.max_batch_size = int(max_batch_size)
+        self.flush_timeout = float(flush_timeout)
+
+    def plan(self, requests: Sequence[InferenceRequest]) -> List[Batch]:
+        """Group ``requests`` into batches, ordered by ready time."""
+        pending: Dict[str, List[InferenceRequest]] = {}
+        deadline: Dict[str, float] = {}
+        batches: List[Batch] = []
+
+        def flush(model: str, at: float) -> None:
+            group = pending.pop(model, [])
+            deadline.pop(model, None)
+            if group:
+                batches.append(
+                    Batch(
+                        index=len(batches),
+                        model=model,
+                        requests=tuple(group),
+                        ready_time=at,
+                    )
+                )
+
+        for req in sorted(requests, key=lambda r: (r.arrival, r.request_id)):
+            # Timers that expired strictly before this arrival fire
+            # first, in deadline order, so batch indices are
+            # deterministic.  A request landing exactly at a deadline
+            # still joins (this is what keeps a same-instant burst in
+            # one batch even with flush_timeout=0).
+            expired = sorted(
+                (when, model)
+                for model, when in deadline.items()
+                if when < req.arrival
+            )
+            for when, model in expired:
+                flush(model, at=when)
+
+            group = pending.setdefault(req.model, [])
+            group.append(req)
+            if len(group) == 1:
+                deadline[req.model] = req.arrival + self.flush_timeout
+            if len(group) >= self.max_batch_size:
+                flush(req.model, at=req.arrival)
+
+        # End of stream: remaining timers run out.
+        for when, model in sorted((when, model) for model, when in deadline.items()):
+            flush(model, at=when)
+
+        batches.sort(key=lambda b: (b.ready_time, b.index))
+        return [
+            Batch(index=i, model=b.model, requests=b.requests, ready_time=b.ready_time)
+            for i, b in enumerate(batches)
+        ]

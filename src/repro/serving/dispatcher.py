@@ -1,0 +1,74 @@
+"""Sharded dispatch over a pool of execution backends.
+
+A shard is one inference backend — typically an
+:class:`~repro.nn.executor.ArrayBackend` wrapping its own
+:class:`~repro.systolic.array.SystolicArray` instance, so every shard
+carries an independent cycle trace.  The dispatcher hands batches to
+shards round-robin and aggregates the per-array traces into the
+serving-level cycle account the report consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ShardedDispatcher:
+    """Round-robin placement of batches onto a backend pool.
+
+    Parameters
+    ----------
+    backends:
+        One inference backend per shard.  Backends exposing an
+        ``array`` attribute (the hardware-routed ones) contribute cycle
+        traces; others execute functionally with wall-clock timing.
+    """
+
+    def __init__(self, backends: Sequence[object]):
+        if not backends:
+            raise ValueError("dispatcher needs at least one backend shard")
+        self.backends: List[object] = list(backends)
+        self._next = 0
+
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[object], granularity: float) -> "ShardedDispatcher":
+        """Build a pool of :class:`ArrayBackend` shards over ``arrays``."""
+        from repro.nn.executor import ArrayBackend
+
+        return cls([ArrayBackend(array, granularity) for array in arrays])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.backends)
+
+    def acquire(self) -> Tuple[int, object]:
+        """Next ``(shard_index, backend)`` in round-robin order."""
+        shard = self._next
+        self._next = (self._next + 1) % len(self.backends)
+        return shard, self.backends[shard]
+
+    def array_of(self, shard: int) -> Optional[object]:
+        """The shard's systolic array, if it is hardware-routed."""
+        return getattr(self.backends[shard], "array", None)
+
+    def clock_hz(self, shard: int) -> Optional[float]:
+        """Clock of the shard's array (None for functional backends)."""
+        array = self.array_of(shard)
+        return None if array is None else array.config.clock_hz
+
+    def shard_cycles(self) -> Dict[int, int]:
+        """Aggregate traced cycles per hardware-routed shard."""
+        cycles: Dict[int, int] = {}
+        for shard in range(self.n_shards):
+            array = self.array_of(shard)
+            if array is not None:
+                cycles[shard] = array.total_cycles
+        return cycles
+
+    def reset(self) -> None:
+        """Clear all array traces and restart the round-robin pointer."""
+        for shard in range(self.n_shards):
+            array = self.array_of(shard)
+            if array is not None:
+                array.reset()
+        self._next = 0

@@ -1,0 +1,248 @@
+"""The batched inference serving engine.
+
+:class:`InferenceEngine` accepts concurrent requests for any number of
+registered models, packs co-pending same-model requests into shared
+batches (one stacked ``infer`` call — whose linear layers fold the
+batch into single wide GEMM tiles), and places the batches on a
+:class:`~repro.serving.dispatcher.ShardedDispatcher` pool round-robin.
+Each run produces a :class:`~repro.serving.report.ServingReport` with
+latency percentiles, throughput and cycles/request aggregated from the
+per-array traces.
+
+Batched execution is bit-identical to running every request alone:
+stacking adds rows to the GEMMs and elementwise stages, and every
+output element is still produced by the same saturating fixed-point
+dot product — the equivalence the test suite asserts per backend.
+
+Typical use::
+
+    from repro.serving import InferenceEngine, ShardedDispatcher
+    from repro.systolic import SystolicArray, ONE_SA_PAPER_CONFIG
+
+    pool = ShardedDispatcher.from_arrays(
+        [SystolicArray(ONE_SA_PAPER_CONFIG) for _ in range(2)], 0.25
+    )
+    engine = InferenceEngine(pool, max_batch_size=8, flush_timeout=1e-4)
+    engine.register("bert", model)
+    ids = [engine.submit("bert", tokens) for tokens in token_rows]
+    report = engine.run()
+    outputs = [engine.result(i) for i in ids]
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.serving.batcher import Batch, DynamicBatcher
+from repro.serving.dispatcher import ShardedDispatcher
+from repro.serving.report import ServingReport
+from repro.serving.request import CompletedRequest, InferenceRequest
+
+
+@dataclass(frozen=True)
+class ModelEndpoint:
+    """A registered model: a name plus its batched inference callable.
+
+    ``infer_fn(batch_inputs, backend)`` receives the stacked
+    ``(B, ...)`` input array for batchable endpoints, or one unstacked
+    sample when ``batchable`` is False (models whose inputs cannot be
+    stacked, e.g. graphs of varying size).
+    """
+
+    name: str
+    infer_fn: Callable[[np.ndarray, object], np.ndarray]
+    batchable: bool = True
+
+
+class InferenceEngine:
+    """Queue + dynamic batcher + sharded dispatch over model endpoints.
+
+    Parameters
+    ----------
+    dispatcher:
+        The shard pool batches execute on.
+    max_batch_size, flush_timeout:
+        Dynamic-batching knobs (see
+        :class:`~repro.serving.batcher.DynamicBatcher`).
+    """
+
+    def __init__(
+        self,
+        dispatcher: ShardedDispatcher,
+        max_batch_size: int = 8,
+        flush_timeout: float = 1e-3,
+    ):
+        self.dispatcher = dispatcher
+        self.batcher = DynamicBatcher(max_batch_size, flush_timeout)
+        self._endpoints: Dict[str, ModelEndpoint] = {}
+        self._pending: List[InferenceRequest] = []
+        self._results: Dict[int, np.ndarray] = {}
+        self._next_id = 0
+        self._last_arrival = 0.0
+        self._shard_free: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Registration and submission
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        model: Optional[object] = None,
+        *,
+        infer_fn: Optional[Callable[[np.ndarray, object], np.ndarray]] = None,
+        batchable: bool = True,
+    ) -> None:
+        """Register a model endpoint under ``name``.
+
+        Pass either ``model`` (an object with ``infer(inputs, backend)``)
+        or an explicit ``infer_fn``.
+        """
+        if (model is None) == (infer_fn is None):
+            raise ValueError("register() needs exactly one of model / infer_fn")
+        if infer_fn is None:
+            infer_fn = model.infer  # type: ignore[union-attr]
+        self._endpoints[name] = ModelEndpoint(name, infer_fn, batchable)
+
+    def submit(
+        self,
+        model: str,
+        inputs: np.ndarray,
+        arrival: Optional[float] = None,
+    ) -> int:
+        """Queue one request; returns its id for :meth:`result`.
+
+        ``arrival`` is the simulated arrival time; it defaults to the
+        previous request's arrival, so back-to-back submissions model a
+        concurrent burst that the batcher may pack together.
+        """
+        if model not in self._endpoints:
+            raise KeyError(
+                f"unknown model {model!r}; registered: {sorted(self._endpoints)}"
+            )
+        if arrival is None:
+            arrival = self._last_arrival
+        if arrival < 0:
+            raise ValueError(f"arrival must be >= 0, got {arrival}")
+        self._last_arrival = float(arrival)
+        request = InferenceRequest(
+            request_id=self._next_id,
+            model=model,
+            inputs=np.asarray(inputs),
+            arrival=float(arrival),
+        )
+        self._next_id += 1
+        self._pending.append(request)
+        return request.request_id
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, not yet executed requests."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> ServingReport:
+        """Drain the queue: batch, dispatch, execute, account.
+
+        Returns the serving report for the requests processed by *this*
+        call; their outputs become available via :meth:`result`.
+        """
+        requests, self._pending = self._pending, []
+        wall_start = time.perf_counter()
+        cycles_before = self.dispatcher.shard_cycles()
+        completed: List[CompletedRequest] = []
+        for batch in self.batcher.plan(requests):
+            completed.extend(self._execute_batch(batch))
+        cycles_after = self.dispatcher.shard_cycles()
+        for record in completed:
+            self._results[record.request.request_id] = record.outputs
+        shard_cycles = {
+            shard: cycles_after[shard] - cycles_before.get(shard, 0)
+            for shard in cycles_after
+        }
+        return ServingReport(
+            completed=tuple(completed),
+            shard_cycles=shard_cycles,
+            wall_seconds=time.perf_counter() - wall_start,
+        )
+
+    def result(self, request_id: int, keep: bool = False) -> np.ndarray:
+        """Output of a completed request (KeyError if not yet run).
+
+        By default the output is handed over exactly once and released,
+        so a long-lived engine does not accumulate every response it
+        has ever produced; pass ``keep=True`` to leave it retrievable
+        (it then stays resident until fetched without ``keep`` or
+        :meth:`reset`).
+        """
+        if keep:
+            return self._results[request_id]
+        return self._results.pop(request_id)
+
+    def reset(self) -> None:
+        """Drop queued requests, stored results and shard occupancy."""
+        self._pending.clear()
+        self._results.clear()
+        self._shard_free.clear()
+        self._last_arrival = 0.0
+        self.dispatcher.reset()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _execute_batch(self, batch: Batch) -> List[CompletedRequest]:
+        endpoint = self._endpoints[batch.model]
+        shard, backend = self.dispatcher.acquire()
+        array = self.dispatcher.array_of(shard)
+        cycles_before = array.total_cycles if array is not None else 0
+
+        t0 = time.perf_counter()
+        if endpoint.batchable:
+            stacked = np.stack([r.inputs for r in batch.requests])
+            outputs = np.asarray(endpoint.infer_fn(stacked, backend))
+            if outputs.ndim < 1 or outputs.shape[0] != batch.size:
+                raise ValueError(
+                    f"endpoint {endpoint.name!r} returned output of shape "
+                    f"{outputs.shape} for a batch of {batch.size}; a "
+                    "batchable infer_fn must preserve the leading batch "
+                    "axis (register with batchable=False otherwise)"
+                )
+            per_request = list(outputs)
+        else:
+            per_request = [
+                np.asarray(endpoint.infer_fn(r.inputs, backend))
+                for r in batch.requests
+            ]
+        elapsed_wall = time.perf_counter() - t0
+
+        if array is not None:
+            batch_cycles = array.total_cycles - cycles_before
+            duration = batch_cycles / array.config.clock_hz
+        else:
+            # Functional backends have no cycle model; charge the host
+            # execution time so latency stays meaningful.
+            batch_cycles = 0
+            duration = elapsed_wall
+
+        start = max(batch.ready_time, self._shard_free.get(shard, 0.0))
+        finish = start + duration
+        self._shard_free[shard] = finish
+        return [
+            CompletedRequest(
+                request=req,
+                outputs=out,
+                shard=shard,
+                batch_index=batch.index,
+                batch_size=batch.size,
+                start=start,
+                finish=finish,
+                batch_cycles=batch_cycles,
+            )
+            for req, out in zip(batch.requests, per_request)
+        ]

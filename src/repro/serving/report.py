@@ -1,0 +1,113 @@
+"""Serving-level performance report.
+
+Aggregates one :meth:`InferenceEngine.run` into the metrics a serving
+operator watches: latency percentiles, request throughput, and the
+cycle cost per request summed over every shard's array trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.serving.request import CompletedRequest
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Summary of one engine run.
+
+    Attributes
+    ----------
+    completed:
+        Every finished request with placement and timing.
+    shard_cycles:
+        Traced cycles per hardware-routed shard, summed over the run.
+    wall_seconds:
+        Host wall-clock time the run took (simulation cost, *not* the
+        modelled latency).
+    """
+
+    completed: Tuple[CompletedRequest, ...]
+    shard_cycles: Dict[int, int]
+    wall_seconds: float
+
+    # -- request-level views --------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return len(self.completed)
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Per-request simulated latencies, seconds."""
+        return np.array([c.latency for c in self.completed], dtype=np.float64)
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of request latency (seconds)."""
+        if not self.completed:
+            return 0.0
+        return float(np.percentile(self.latencies, q))
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p90(self) -> float:
+        return self.latency_percentile(90.0)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99.0)
+
+    # -- run-level views ------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """First arrival to last completion, simulated seconds."""
+        if not self.completed:
+            return 0.0
+        first = min(c.request.arrival for c in self.completed)
+        last = max(c.finish for c in self.completed)
+        return last - first
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per simulated second over the makespan."""
+        span = self.makespan
+        return self.n_requests / span if span > 0 else 0.0
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.shard_cycles.values())
+
+    @property
+    def cycles_per_request(self) -> float:
+        return self.total_cycles / self.n_requests if self.completed else 0.0
+
+    @property
+    def n_batches(self) -> int:
+        return len({(c.shard, c.batch_index) for c in self.completed})
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.n_requests / self.n_batches if self.n_batches else 0.0
+
+    def summary(self) -> str:
+        """Paper-artifact-style text table of the serving run."""
+        lines = [
+            f"requests served      : {self.n_requests}",
+            f"batches executed     : {self.n_batches} "
+            f"(mean size {self.mean_batch_size:.2f})",
+            f"throughput           : {self.throughput_rps:,.0f} req/s (simulated)",
+            f"latency p50/p90/p99  : {self.p50 * 1e6:,.1f} / "
+            f"{self.p90 * 1e6:,.1f} / {self.p99 * 1e6:,.1f} us",
+            f"cycles per request   : {self.cycles_per_request:,.0f}",
+        ]
+        for shard in sorted(self.shard_cycles):
+            lines.append(
+                f"  shard {shard} cycles    : {self.shard_cycles[shard]:,}"
+            )
+        lines.append(f"host wall time       : {self.wall_seconds * 1e3:,.1f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Request and completion records of the serving engine.
+
+A request carries one *sample* (no batch axis): the dynamic batcher
+stacks samples of co-pending requests for the same model along a new
+leading axis before inference, and unpacks the stacked output row by
+row on completion.  Timestamps are simulated seconds on the serving
+clock, so latency accounting is deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One queued inference call.
+
+    Attributes
+    ----------
+    request_id:
+        Engine-assigned monotonically increasing identifier.
+    model:
+        Name of the registered model endpoint the request targets.
+    inputs:
+        One sample *without* the batch axis (e.g. a ``(T,)`` token row
+        for a sequence model, a ``(C, H, W)`` image for a CNN).
+    arrival:
+        Simulated arrival time in seconds.
+    """
+
+    request_id: int
+    model: str
+    inputs: np.ndarray
+    arrival: float = 0.0
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """A finished request with its placement and timing.
+
+    Attributes
+    ----------
+    request:
+        The original :class:`InferenceRequest`.
+    outputs:
+        This request's slice of the batched model output.
+    shard:
+        Index of the dispatcher shard that executed the batch.
+    batch_index:
+        Index of the batch (within one :meth:`InferenceEngine.run`).
+    batch_size:
+        Number of requests packed into that batch.
+    start, finish:
+        Simulated execution window of the batch.
+    batch_cycles:
+        Cycles the whole batch spent on the shard's array (0 for
+        backends without a cycle model).
+    """
+
+    request: InferenceRequest
+    outputs: np.ndarray
+    shard: int
+    batch_index: int
+    batch_size: int
+    start: float
+    finish: float
+    batch_cycles: int = 0
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion time in simulated seconds."""
+        return self.finish - self.request.arrival
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting for batching and a free shard."""
+        return self.start - self.request.arrival

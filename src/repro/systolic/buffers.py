@@ -171,10 +171,14 @@ def build_hierarchy(config) -> dict:
             name: Buffer(f"L3.{name}", l3_capacity)
             for name in ("input", "weight", "output")
         },
+        # Input banks sit on the row lanes; weight and output banks on
+        # the column lanes (identical counts on square grids).
         "l2": {
             name: [
                 Buffer(f"L2.{name}[{i}]", l2_capacity)
-                for i in range(config.pe_rows)
+                for i in range(
+                    config.pe_rows if name == "input" else config.pe_cols
+                )
             ]
             for name in ("input", "weight", "output")
         },

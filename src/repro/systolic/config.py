@@ -33,8 +33,11 @@ class SystolicConfig:
     Parameters
     ----------
     pe_rows, pe_cols:
-        PE grid dimensions.  The paper only evaluates square arrays; the
-        MHP diagonal dataflow requires ``pe_rows == pe_cols``.
+        PE grid dimensions.  The MHP diagonal dataflow requires
+        ``pe_rows == pe_cols``, so ONE-SA design points
+        (``nonlinear_enabled=True``) must be square; conventional SA
+        baselines may use rectangular grids (GEMM tiles are then
+        ``pe_rows x pe_cols``).
     macs_per_pe:
         Parallel multiply-accumulate units inside each PE (the paper
         sweeps 2–32; 16 is the Pareto-optimal choice of Fig. 10).
@@ -50,9 +53,9 @@ class SystolicConfig:
     l3_out_width:
         Elements per cycle the L3 output buffer accepts from the L2
         output banks (GEMM result drain).  ``None`` (default) derives
-        ``max(1, pe_rows // 4)``, which reproduces the Section V-C
-        observation that draining a 32×32 result from a 16×16 array
-        takes ~85% of the cycles.
+        ``max(1, pe_cols // 4)`` — one quarter of the column lanes —
+        which reproduces the Section V-C observation that draining a
+        32×32 result from a 16×16 array takes ~85% of the cycles.
     l3_in_width:
         Elements per cycle each of the L3 input/weight buffers delivers.
     segment_capacity:
@@ -72,7 +75,7 @@ class SystolicConfig:
     def __post_init__(self) -> None:
         if self.pe_rows < 1 or self.pe_cols < 1:
             raise ValueError("PE grid dimensions must be positive")
-        if self.pe_rows != self.pe_cols:
+        if self.nonlinear_enabled and self.pe_rows != self.pe_cols:
             raise ValueError(
                 "ONE-SA requires a square PE grid (diagonal MHP dataflow); "
                 f"got {self.pe_rows}x{self.pe_cols}"
@@ -96,8 +99,14 @@ class SystolicConfig:
 
     @property
     def n_l2_banks(self) -> int:
-        """L2 bank count: one input, one weight, one output bank per lane."""
-        return 3 * self.pe_rows
+        """L2 bank count: one bank per array edge lane.
+
+        Inputs stream across the ``pe_rows`` row lanes; weights load and
+        results drain through the ``pe_cols`` column lanes (consistent
+        with the column-lane drain model in the timing module).  Equals
+        ``3 * P`` on the square grids of the paper.
+        """
+        return self.pe_rows + 2 * self.pe_cols
 
     @property
     def n_l3_buffers(self) -> int:
@@ -124,13 +133,20 @@ class SystolicConfig:
 
     @property
     def l2_bytes(self) -> int:
-        """Per-bank L2: double-buffered operand row for one array edge."""
-        return 2 * self.pe_rows * self.macs_per_pe * self.element_bytes
+        """Per-bank L2: double-buffered operand row for one array edge.
+
+        Sized for the longer edge so rectangular grids hold a full
+        operand row on every lane (``pe_rows == pe_cols`` in the
+        paper's design points, so Table V is unchanged).
+        """
+        edge = max(self.pe_rows, self.pe_cols)
+        return 2 * edge * self.macs_per_pe * self.element_bytes
 
     @property
     def l3_bytes(self) -> int:
         """Per-instance L3: one operand row plus the FIFO region."""
-        return self.pe_rows * self.macs_per_pe * self.element_bytes + 32
+        edge = max(self.pe_rows, self.pe_cols)
+        return edge * self.macs_per_pe * self.element_bytes + 32
 
     @property
     def total_buffer_bytes(self) -> int:

@@ -63,10 +63,14 @@ class GemmSchedule:
     @property
     def input_traffic(self) -> int:
         """Operand elements streamed from L3 (A once per tile row pass,
-        B once per tile)."""
-        p = self.config.pe_rows
-        tiles_n = -(-self.n_dim // p)
-        tiles_m = -(-self.m_dim // p)
+        B once per tile).
+
+        Output tiles are ``pe_rows x pe_cols``, so A is re-streamed once
+        per tile *column* (``ceil(N / pe_cols)`` passes) and B once per
+        tile *row* (``ceil(M / pe_rows)`` passes).
+        """
+        tiles_n = -(-self.n_dim // self.config.pe_cols)
+        tiles_m = -(-self.m_dim // self.config.pe_rows)
         return tiles_n * self.m_dim * self.k_dim + tiles_m * self.k_dim * self.n_dim
 
     @property
@@ -76,18 +80,21 @@ class GemmSchedule:
 
 
 def plan_gemm(config: SystolicConfig, m_dim: int, k_dim: int, n_dim: int) -> GemmSchedule:
-    """Build the tile schedule for ``C[M,N] = A[M,K] @ B[K,N]``."""
-    p = config.pe_rows
+    """Build the tile schedule for ``C[M,N] = A[M,K] @ B[K,N]``.
+
+    Output rows tile with ``pe_rows`` and output columns with
+    ``pe_cols``, so rectangular PE grids produce correctly shaped tiles.
+    """
     tiles = []
     index = 0
-    for row_start in range(0, m_dim, p):
-        for col_start in range(0, n_dim, p):
+    for row_start in range(0, m_dim, config.pe_rows):
+        for col_start in range(0, n_dim, config.pe_cols):
             tiles.append(
                 GemmTile(
                     row_start=row_start,
-                    row_end=min(row_start + p, m_dim),
+                    row_end=min(row_start + config.pe_rows, m_dim),
                     col_start=col_start,
-                    col_end=min(col_start + p, n_dim),
+                    col_end=min(col_start + config.pe_cols, n_dim),
                     index=index,
                 )
             )

@@ -10,7 +10,7 @@ assumptions:
    ``pe_rows * macs_per_pe`` elements/cycle per channel.
 2. **Result drain is the narrow path** — GEMM results leave through the
    single L3 output buffer at ``l3_out_width`` elements per cycle
-   (default ``pe_rows // 4``).  This reproduces the Section V-C
+   (default ``pe_cols // 4``; the grids the paper evaluates are square).  This reproduces the Section V-C
    observation that for a 32×32 input on a 16×16 array ~85% of cycles
    are spent transmitting results after computation has finished (we
    measure 86%), and it produces the "throughput cliff" of Fig. 8.
@@ -86,12 +86,17 @@ def _ceil_div(a: int, b: int) -> int:
 
 
 def effective_out_width(config: SystolicConfig) -> int:
-    """Drain bandwidth of the L3 output buffer (elements/cycle)."""
+    """Drain bandwidth of the L3 output buffer (elements/cycle).
+
+    Results leave through the column lanes, so both the cap and the
+    derived default follow ``pe_cols`` (identical to ``pe_rows`` on the
+    square grids the paper evaluates, correct on rectangular ones).
+    """
     if config.l3_out_width is not None and config.l3_out_width > 0:
         # Configured explicitly; still never wider than one element per
         # column lane.
-        return min(config.l3_out_width, config.pe_rows)
-    return max(1, config.pe_rows // 4)
+        return min(config.l3_out_width, config.pe_cols)
+    return max(1, config.pe_cols // 4)
 
 
 def gemm_cycles(config: SystolicConfig, m_dim: int, k_dim: int, n_dim: int) -> CycleBreakdown:
@@ -104,11 +109,12 @@ def gemm_cycles(config: SystolicConfig, m_dim: int, k_dim: int, n_dim: int) -> C
     """
     if min(m_dim, k_dim, n_dim) < 1:
         raise ValueError(f"GEMM dims must be positive, got {(m_dim, k_dim, n_dim)}")
-    p = config.pe_rows
     macs = config.macs_per_pe
-    tiles = _ceil_div(m_dim, p) * _ceil_div(n_dim, p)
+    # Output tiles are pe_rows x pe_cols (rows tile M, columns tile N) —
+    # identical to 2*(P-1)/P^2 on square grids, correct on rectangular.
+    tiles = _ceil_div(m_dim, config.pe_rows) * _ceil_div(n_dim, config.pe_cols)
     compute_per_tile = _ceil_div(k_dim, macs)
-    skew = 2 * (p - 1)
+    skew = (config.pe_rows - 1) + (config.pe_cols - 1)
     weight_preload = compute_per_tile
     compute_total = tiles * compute_per_tile
     drain_total = _ceil_div(m_dim * n_dim, effective_out_width(config))

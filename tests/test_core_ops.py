@@ -27,9 +27,11 @@ from repro.core.granularity import (
 )
 from repro.core.mhp import rearranged_streams
 from repro.core.nonlinear_ops import (
+    approximator_cache_info,
     clear_approximator_cache,
     cpwl_rsqrt_range_reduced,
     get_approximator,
+    set_approximator_cache_capacity,
 )
 from repro.fixedpoint import INT16, dequantize, quantize
 
@@ -65,6 +67,38 @@ class TestSegmentIndices:
         seg = segment_indices(quantize(xs, INT16), table, INT16)
         assert seg.min() >= 0
         assert seg.max() < table.n_segments
+
+    def test_edge_domain_shift_and_scale_paths_agree(self):
+        """Regression: with a table domain beyond the representable
+        range, the origin register saturates; both datapaths must index
+        from that same saturated register (the shift path used to
+        subtract an unsaturated ``np.round`` origin instead)."""
+        from dataclasses import replace
+
+        table = build_segment_table("relu", 0.5, domain=(-160.0, 160.0))
+        assert table.shift_path
+        # Same geometry forced through the scale-multiplier branch.
+        scale_table = replace(table, shift_path=False)
+        raw = quantize(np.linspace(-140.0, 140.0, 2001), INT16)
+        shift_idx = segment_indices(raw, table, INT16)
+        scale_idx = segment_indices(raw, scale_table, INT16)
+        assert np.array_equal(shift_idx, scale_idx)
+        # The saturated origin register puts the format's minimum value
+        # in segment 0: the first *reachable* segment of the table.
+        lowest = segment_indices(quantize(np.array([-128.0]), INT16), table, INT16)
+        assert lowest[0] == 0
+
+    def test_edge_domain_array_matches_approximator(self):
+        """The full CPWL pipeline stays bit-identical to the addressing
+        datapath on an edge domain."""
+        approx = get_approximator("relu", 0.5, INT16, domain=(-160.0, 160.0))
+        raw = quantize(np.linspace(-140.0, 140.0, 501), INT16)
+        seg_hw = segment_indices(raw, approx.table, INT16)
+        k_raw, b_raw = approx.qtable.lookup_raw(seg_hw)
+        from repro.fixedpoint import fixed_hadamard_mac
+
+        expected = fixed_hadamard_mac(raw, k_raw, b_raw, INT16)
+        assert np.array_equal(approx.evaluate_raw(raw), expected)
 
 
 class TestIPF:
@@ -247,3 +281,42 @@ class TestGranularity:
         assert a1 is a2
         clear_approximator_cache()
         assert get_approximator("gelu", 0.25) is not a1
+
+
+class TestApproximatorLRU:
+    """The table cache is bounded: serving traffic must not leak."""
+
+    def teardown_method(self):
+        set_approximator_cache_capacity()  # restore the default
+        clear_approximator_cache()
+
+    def test_capacity_bounds_occupancy(self):
+        clear_approximator_cache()
+        set_approximator_cache_capacity(4)
+        for g in (0.1, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.7):
+            get_approximator("gelu", g)
+        info = approximator_cache_info()
+        assert info["size"] <= 4
+        assert info["capacity"] == 4
+
+    def test_least_recently_used_is_evicted(self):
+        clear_approximator_cache()
+        set_approximator_cache_capacity(2)
+        a = get_approximator("gelu", 0.25)
+        b = get_approximator("tanh", 0.25)
+        assert get_approximator("gelu", 0.25) is a  # refresh gelu
+        get_approximator("sigmoid", 0.25)  # evicts tanh (LRU)
+        assert get_approximator("gelu", 0.25) is a
+        assert get_approximator("tanh", 0.25) is not b
+
+    def test_shrinking_capacity_evicts_immediately(self):
+        clear_approximator_cache()
+        set_approximator_cache_capacity(8)
+        for g in (0.25, 0.5, 1.0):
+            get_approximator("gelu", g)
+        set_approximator_cache_capacity(1)
+        assert approximator_cache_info()["size"] == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            set_approximator_cache_capacity(0)

@@ -40,6 +40,10 @@ def test_gcn_example_runs():
     run_example("gcn_on_onesa")
 
 
+def test_serving_demo_runs():
+    run_example("serving_demo")
+
+
 def test_design_space_example_runs():
     run_example("design_space_exploration")
 

@@ -209,3 +209,60 @@ class TestArithmetic:
             INT16,
         )
         assert np.allclose(out, x * k + b, atol=0.1)
+
+
+class TestBatchedFixedMatmul:
+    """The N-D stacked GEMM must be bit-identical to the per-matrix loop."""
+
+    def test_3d_stack_matches_loop(self):
+        rng = np.random.default_rng(2)
+        a = quantize(rng.normal(size=(6, 5, 4)), INT16)
+        b = quantize(rng.normal(size=(6, 4, 3)), INT16)
+        stacked = fixed_matmul(a, b, INT16)
+        assert stacked.shape == (6, 5, 3)
+        for i in range(6):
+            assert np.array_equal(stacked[i], fixed_matmul(a[i], b[i], INT16))
+
+    def test_broadcast_leading_axes(self):
+        rng = np.random.default_rng(3)
+        a = quantize(rng.normal(size=(2, 3, 4, 5)), INT16)
+        b = quantize(rng.normal(size=(5, 6)), INT16)
+        out = fixed_matmul(a, b, INT16)
+        assert out.shape == (2, 3, 4, 6)
+        assert np.array_equal(out[1, 2], fixed_matmul(a[1, 2], b, INT16))
+
+    def test_saturating_stack_matches_loop(self):
+        # Large cancelling products exercise the wide accumulator and
+        # the saturating writeback on the stacked path too.
+        rng = np.random.default_rng(4)
+        a = quantize(rng.uniform(-120, 120, size=(8, 7, 9)), INT16)
+        b = quantize(rng.uniform(-120, 120, size=(8, 9, 2)), INT16)
+        stacked = fixed_matmul(a, b, INT16)
+        loop = np.stack([fixed_matmul(x, y, INT16) for x, y in zip(a, b)])
+        assert np.array_equal(stacked, loop)
+
+    def test_wide_format_falls_back_exactly(self):
+        # INT32 exceeds the float64-exact accumulator bound, so the
+        # int64 path runs; results still match the 2-D calls.
+        fmt = QFormat(32, 16)
+        rng = np.random.default_rng(5)
+        a = quantize(rng.normal(size=(3, 4, 4)), fmt)
+        b = quantize(rng.normal(size=(3, 4, 4)), fmt)
+        stacked = fixed_matmul(a, b, fmt)
+        for i in range(3):
+            assert np.array_equal(stacked[i], fixed_matmul(a[i], b[i], fmt))
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_stack_equals_loop_property(self, m, k, n, batch):
+        rng = np.random.default_rng(m * 1000 + k * 100 + n * 10 + batch)
+        a = quantize(rng.uniform(-50, 50, size=(batch, m, k)), INT16)
+        b = quantize(rng.uniform(-50, 50, size=(batch, k, n)), INT16)
+        stacked = fixed_matmul(a, b, INT16)
+        loop = np.stack([fixed_matmul(x, y, INT16) for x, y in zip(a, b)])
+        assert np.array_equal(stacked, loop)

@@ -1,0 +1,290 @@
+"""Serving engine tests: batching, sharding, reporting, equivalence.
+
+The load-bearing contract: results served through the batched engine
+are bit-identical to single-request ``infer`` on the same backend, for
+every backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.executor import (
+    ArrayBackend,
+    CPWLBackend,
+    FloatBackend,
+    QuantizedFloatBackend,
+)
+from repro.nn.models import GCN, SmallResNet, TinyBERT
+from repro.nn.models.gcn import normalized_adjacency
+from repro.serving import (
+    DynamicBatcher,
+    InferenceEngine,
+    InferenceRequest,
+    ShardedDispatcher,
+)
+from repro.systolic import SystolicArray, SystolicConfig
+
+RNG = np.random.default_rng(0)
+
+
+def req(i, model="m", arrival=0.0):
+    return InferenceRequest(
+        request_id=i, model=model, inputs=np.zeros(1), arrival=arrival
+    )
+
+
+class TestDynamicBatcher:
+    def test_full_batch_flushes_at_filling_arrival(self):
+        batcher = DynamicBatcher(max_batch_size=2, flush_timeout=10.0)
+        batches = batcher.plan([req(0, arrival=0.0), req(1, arrival=1.0)])
+        assert len(batches) == 1
+        assert batches[0].size == 2
+        assert batches[0].ready_time == 1.0
+
+    def test_timeout_flushes_partial_batch(self):
+        batcher = DynamicBatcher(max_batch_size=8, flush_timeout=0.5)
+        batches = batcher.plan([req(0, arrival=0.0), req(1, arrival=2.0)])
+        assert len(batches) == 2
+        assert batches[0].ready_time == 0.5  # deadline of the first
+        assert batches[1].ready_time == 2.5
+
+    def test_models_batch_separately(self):
+        batcher = DynamicBatcher(max_batch_size=4, flush_timeout=1.0)
+        batches = batcher.plan(
+            [req(0, "a"), req(1, "b"), req(2, "a"), req(3, "b")]
+        )
+        assert len(batches) == 2
+        assert {b.model for b in batches} == {"a", "b"}
+        for b in batches:
+            assert all(r.model == b.model for r in b.requests)
+
+    def test_fifo_order_within_batch(self):
+        batcher = DynamicBatcher(max_batch_size=4, flush_timeout=1.0)
+        (batch,) = batcher.plan([req(2), req(0), req(1)])
+        assert [r.request_id for r in batch.requests] == [0, 1, 2]
+
+    def test_oversize_stream_splits(self):
+        batcher = DynamicBatcher(max_batch_size=3, flush_timeout=1.0)
+        batches = batcher.plan([req(i) for i in range(7)])
+        assert [b.size for b in batches] == [3, 3, 1]
+
+    def test_zero_timeout_keeps_same_instant_burst_together(self):
+        # Regression: a deadline firing exactly at an arrival must not
+        # flush the batch before that request joins — otherwise a
+        # same-instant burst with flush_timeout=0 degenerates to
+        # one-request batches.
+        batcher = DynamicBatcher(max_batch_size=8, flush_timeout=0.0)
+        batches = batcher.plan([req(i, arrival=0.0) for i in range(4)])
+        assert len(batches) == 1
+        assert batches[0].size == 4
+        # Distinct arrival times still do not coalesce at timeout 0.
+        staggered = batcher.plan([req(i, arrival=0.1 * i) for i in range(3)])
+        assert [b.size for b in staggered] == [1, 1, 1]
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(flush_timeout=-1.0)
+
+
+class TestShardedDispatcher:
+    def test_round_robin_order(self):
+        d = ShardedDispatcher(["b0", "b1", "b2"])
+        shards = [d.acquire()[0] for _ in range(6)]
+        assert shards == [0, 1, 2, 0, 1, 2]
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedDispatcher([])
+
+    def test_from_arrays_builds_array_backends(self):
+        cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        d = ShardedDispatcher.from_arrays(
+            [SystolicArray(cfg), SystolicArray(cfg)], 0.25
+        )
+        assert d.n_shards == 2
+        assert d.array_of(0) is not d.array_of(1)
+        assert d.clock_hz(0) == cfg.clock_hz
+        assert d.shard_cycles() == {0: 0, 1: 0}
+
+    def test_functional_backends_have_no_cycles(self):
+        d = ShardedDispatcher([FloatBackend()])
+        assert d.array_of(0) is None
+        assert d.shard_cycles() == {}
+
+
+def tiny_bert():
+    return TinyBERT(vocab=16, seq_len=8, dim=8, heads=2, ff_dim=16, n_layers=1)
+
+
+class TestEngineEquivalence:
+    """Batched serving must be bit-identical to single-request infer."""
+
+    def _serve_and_compare(self, backend_pool, reference_backend, exact=True):
+        """``exact=True`` asserts bit identity (the fixed-point paths);
+        float-family backends tolerate BLAS blocking differences of a
+        few ULPs between stacked and single GEMM calls."""
+        model = tiny_bert()
+        engine = InferenceEngine(
+            ShardedDispatcher(backend_pool), max_batch_size=4, flush_timeout=1e-4
+        )
+        engine.register("bert", model)
+        tokens = RNG.integers(0, 16, size=(10, 8))
+        ids = [engine.submit("bert", row) for row in tokens]
+        report = engine.run()
+        assert report.n_requests == 10
+        assert report.n_batches >= 3  # max_batch_size caps packing
+        for request_id, row in zip(ids, tokens):
+            single = model.infer(row[None, :], reference_backend)[0]
+            served = engine.result(request_id)
+            if exact:
+                assert np.array_equal(served, single)
+            else:
+                assert np.allclose(served, single, atol=1e-9, rtol=0)
+
+    def test_float_backend(self):
+        self._serve_and_compare([FloatBackend()], FloatBackend(), exact=False)
+
+    def test_quantized_float_backend(self):
+        self._serve_and_compare(
+            [QuantizedFloatBackend()], QuantizedFloatBackend(), exact=False
+        )
+
+    def test_cpwl_backend(self):
+        self._serve_and_compare(
+            [CPWLBackend(0.25), CPWLBackend(0.25)], CPWLBackend(0.25)
+        )
+
+    def test_array_backend(self):
+        cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        pool = [
+            ArrayBackend(SystolicArray(cfg), 0.25),
+            ArrayBackend(SystolicArray(cfg), 0.25),
+        ]
+        ref = ArrayBackend(SystolicArray(cfg), 0.25)
+        self._serve_and_compare(pool, ref)
+
+    def test_resnet_requests(self):
+        model = SmallResNet(in_channels=1, n_classes=3, seed=0)
+        model.eval()
+        backend = CPWLBackend(0.25)
+        engine = InferenceEngine(
+            ShardedDispatcher([backend]), max_batch_size=4, flush_timeout=1e-4
+        )
+        engine.register("resnet", model)
+        images = RNG.normal(size=(4, 1, 8, 8))
+        ids = [engine.submit("resnet", img) for img in images]
+        engine.run()
+        for request_id, img in zip(ids, images):
+            single = model.infer(img[None], backend)[0]
+            assert np.array_equal(engine.result(request_id), single)
+
+    def test_gcn_requests_batch_over_shared_graph(self):
+        adjacency = (RNG.uniform(size=(6, 6)) > 0.6).astype(float)
+        adjacency = np.maximum(adjacency, adjacency.T)
+        a_hat = normalized_adjacency(adjacency)
+        model = GCN(in_features=5, hidden=4, n_classes=3, seed=0)
+        backend = CPWLBackend(0.25)
+        engine = InferenceEngine(
+            ShardedDispatcher([backend]), max_batch_size=4, flush_timeout=1e-4
+        )
+        engine.register(
+            "gcn", infer_fn=lambda feats, be: model.infer(feats, a_hat, be)
+        )
+        feature_sets = RNG.normal(size=(3, 6, 5))
+        ids = [engine.submit("gcn", f) for f in feature_sets]
+        engine.run()
+        for request_id, feats in zip(ids, feature_sets):
+            single = model.infer(feats, a_hat, backend)
+            assert np.array_equal(engine.result(request_id), single)
+
+
+class TestEngineMechanics:
+    def test_unknown_model_rejected(self):
+        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        with pytest.raises(KeyError):
+            engine.submit("nope", np.zeros(3))
+
+    def test_register_needs_exactly_one_target(self):
+        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        with pytest.raises(ValueError):
+            engine.register("m")
+        with pytest.raises(ValueError):
+            engine.register("m", tiny_bert(), infer_fn=lambda x, b: x)
+
+    def test_batches_round_robin_across_shards(self):
+        cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        pool = ShardedDispatcher.from_arrays(
+            [SystolicArray(cfg), SystolicArray(cfg)], 0.25
+        )
+        engine = InferenceEngine(pool, max_batch_size=2, flush_timeout=1e-4)
+        engine.register("bert", tiny_bert())
+        for row in RNG.integers(0, 16, size=(8, 8)):
+            engine.submit("bert", row)
+        report = engine.run()
+        shards = {c.shard for c in report.completed}
+        assert shards == {0, 1}
+        assert all(cycles > 0 for cycles in report.shard_cycles.values())
+
+    def test_report_metrics_consistent(self):
+        cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        pool = ShardedDispatcher.from_arrays([SystolicArray(cfg)], 0.25)
+        engine = InferenceEngine(pool, max_batch_size=4, flush_timeout=1e-4)
+        engine.register("bert", tiny_bert())
+        for row in RNG.integers(0, 16, size=(6, 8)):
+            engine.submit("bert", row)
+        report = engine.run()
+        assert report.p50 <= report.p90 <= report.p99
+        assert report.throughput_rps > 0
+        assert report.cycles_per_request > 0
+        assert report.makespan > 0
+        assert "requests served" in report.summary()
+        latencies = report.latencies
+        assert np.all(latencies >= 0)
+
+    def test_staggered_arrivals_respect_flush_timeout(self):
+        engine = InferenceEngine(
+            ShardedDispatcher([FloatBackend()]),
+            max_batch_size=8,
+            flush_timeout=0.5,
+        )
+        engine.register("bert", tiny_bert())
+        rows = RNG.integers(0, 16, size=(3, 8))
+        engine.submit("bert", rows[0], arrival=0.0)
+        engine.submit("bert", rows[1], arrival=0.1)  # joins the batch
+        engine.submit("bert", rows[2], arrival=5.0)  # after the deadline
+        report = engine.run()
+        assert report.n_batches == 2
+        sizes = sorted(c.batch_size for c in report.completed)
+        assert sizes == [1, 2, 2]
+
+    def test_pending_and_reset(self):
+        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        engine.register("bert", tiny_bert())
+        engine.submit("bert", RNG.integers(0, 16, size=8))
+        assert engine.pending == 1
+        engine.reset()
+        assert engine.pending == 0
+
+    def test_two_runs_accumulate_results(self):
+        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        engine.register("bert", tiny_bert())
+        first = engine.submit("bert", RNG.integers(0, 16, size=8))
+        engine.run()
+        second = engine.submit("bert", RNG.integers(0, 16, size=8))
+        engine.run()
+        assert engine.result(first) is not None
+        assert engine.result(second) is not None
+
+    def test_result_releases_output_by_default(self):
+        # A long-lived engine must not pin every response it ever
+        # produced: result() hands the output over once.
+        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        engine.register("bert", tiny_bert())
+        request_id = engine.submit("bert", RNG.integers(0, 16, size=8))
+        engine.run()
+        kept = engine.result(request_id, keep=True)
+        assert np.array_equal(engine.result(request_id), kept)  # released here
+        with pytest.raises(KeyError):
+            engine.result(request_id)

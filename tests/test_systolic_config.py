@@ -36,9 +36,31 @@ class TestSystolicConfig:
         assert cfg.macs_per_cycle == 1024
         assert cfg.mhp_elements_per_cycle == 64.0
 
-    def test_rectangular_grid_rejected(self):
+    def test_rectangular_grid_rejected_for_one_sa(self):
+        # The diagonal MHP dataflow needs a square grid, so ONE-SA
+        # design points must reject rectangular geometries.
         with pytest.raises(ValueError, match="square"):
             SystolicConfig(pe_rows=4, pe_cols=8)
+
+    def test_rectangular_grid_allowed_for_plain_sa(self):
+        cfg = SystolicConfig(pe_rows=4, pe_cols=8, nonlinear_enabled=False)
+        assert cfg.n_pes == 32
+        assert cfg.pe_rows == 4
+        assert cfg.pe_cols == 8
+
+    def test_rectangular_bank_geometry_counts_lanes(self):
+        # Input banks per row lane, weight/output banks per column lane;
+        # buffers sized for the longer edge.  Square grids keep Table V.
+        cfg = SystolicConfig(
+            pe_rows=4, pe_cols=8, macs_per_pe=16, nonlinear_enabled=False
+        )
+        assert cfg.n_l2_banks == 4 + 2 * 8
+        assert cfg.l2_bytes == 2 * 8 * 16 * 2
+        assert cfg.l3_bytes == 8 * 16 * 2 + 32
+        h = build_hierarchy(cfg)
+        assert len(h["l2"]["input"]) == 4
+        assert len(h["l2"]["weight"]) == 8
+        assert len(h["l2"]["output"]) == 8
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):
