@@ -1,0 +1,307 @@
+"""Traced-path benchmark: plan-cached whole-matrix execution vs seed.
+
+PR 1 vectorized the *untraced* CPWL fast path; this benchmark pins the
+follow-up claim — the cycle-accounted ``SystolicArray``/``ArrayBackend``
+path now executes whole operands under cached plans and is >= 5x faster
+than the seed's per-tile / per-pair execution on traced BERT-tiny and
+ResNet-block inference, with bit-identical outputs and identical per-op
+cycle totals.
+
+The seed path is reproduced faithfully on top of today's modules:
+
+* one ``fixed_matmul`` dispatched **per output tile** of every GEMM
+  (``execute_gemm_per_tile``), with the plan rebuilt (uncached) per
+  call — exactly the seed ``execute_gemm`` loop;
+* batched (attention) matmuls issued as a **per-pair Python loop** with
+  per-pair quantization — the seed ``ArrayBackend.matmul``;
+* the seed ``quantize`` (abs/floor/copysign chain, always materializing
+  the storage-integer array that ``fixed_matmul`` then converted back
+  to float64);
+* the MHP executed **lane by lane** and its data-rearrange streams
+  **materialized** on every nonlinear op (the seed built them
+  unconditionally and never consumed them).
+
+A ``BENCH_traced.json`` perf-trajectory artifact is written to the
+repository root so CI can accumulate the measurements across PRs.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fixedpoint import dequantize
+from repro.nn.executor import ArrayBackend
+from repro.nn.models import TinyBERT
+from repro.systolic import ExecutionResult, SystolicArray, SystolicConfig
+from repro.systolic.gemm import execute_gemm_per_tile
+from repro.systolic.mhp_dataflow import execute_mhp_per_lane
+from repro.systolic.trace import TraceEvent
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_traced.json"
+SPEEDUP_GATE = 5.0
+
+
+# --------------------------------------------------------------------------
+# Seed-equivalent traced path.
+# --------------------------------------------------------------------------
+def _seed_quantize(values, fmt):
+    """The seed's quantize: abs/floor/copysign passes, integer output."""
+    values = np.asarray(values, dtype=np.float64)
+    scaled = np.atleast_1d(values * (1 << fmt.frac_bits))
+    raw = np.abs(scaled)
+    raw += 0.5
+    np.floor(raw, out=raw)
+    np.copysign(raw, scaled, out=raw)
+    np.clip(raw, fmt.raw_min, fmt.raw_max, out=raw)
+    return raw.astype(fmt.storage_dtype()).reshape(values.shape)
+
+
+class _SeedArray(SystolicArray):
+    """SystolicArray with the seed's per-tile GEMM / per-lane MHP."""
+
+    def gemm_raw(self, a_raw, b_raw, label="gemm"):
+        out, schedule = execute_gemm_per_tile(
+            self.config, a_raw, b_raw, use_plan_cache=False
+        )
+        self.trace.record(
+            TraceEvent(
+                kind="gemm",
+                label=label,
+                cycles=schedule.breakdown.total,
+                ops=schedule.macs,
+                breakdown=schedule.breakdown,
+            )
+        )
+        return ExecutionResult(
+            kind="gemm", raw=out, breakdown=schedule.breakdown, schedule=schedule
+        )
+
+    def _execute_mhp(self, x_raw, k_raw, b_raw, fused_ipf):
+        return execute_mhp_per_lane(
+            self.config, x_raw, k_raw, b_raw, fused_ipf=fused_ipf
+        )
+
+    def apply_nonlinear_raw(self, function, x_raw, granularity, **kw):
+        kw["materialize_streams"] = True  # the seed always built streams
+        return super().apply_nonlinear_raw(function, x_raw, granularity, **kw)
+
+
+class _SeedBackend(ArrayBackend):
+    """ArrayBackend with the seed's per-pair batched matmul loop."""
+
+    def conv_cols(self, x, kernel, stride, padding, weight_mat, bias):
+        # The seed unfolded patches first and quantized the k^2-expanded
+        # matrix inside linear() (today's path quantizes before the
+        # unfold, which commutes).
+        from repro.nn.functional import im2col
+
+        cols, out_hw = im2col(np.asarray(x, dtype=np.float64), kernel, stride, padding)
+        return self.linear(cols, weight_mat, bias), out_hw
+
+    def linear(self, x, weight, bias):
+        # The seed ran a full quantize-dequantize round trip on the
+        # bias-added output (today's path proves it reduces to a clip).
+        orig_shape = x.shape
+        x2 = np.asarray(x, dtype=np.float64).reshape(-1, orig_shape[-1])
+        out = self.matmul(x2, weight.T) + dequantize(
+            _seed_quantize(bias, self.fmt), self.fmt
+        )
+        out = dequantize(_seed_quantize(out, self.fmt), self.fmt)
+        return out.reshape(orig_shape[:-1] + (weight.shape[0],))
+
+    def matmul(self, a, b):
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim == 2 and b.ndim == 2:
+            result = self.array.gemm_raw(
+                _seed_quantize(a, self.fmt), _seed_quantize(b, self.fmt)
+            )
+            return dequantize(result.raw, self.fmt)
+        lead = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+        a_b = np.broadcast_to(a, lead + a.shape[-2:]).reshape((-1,) + a.shape[-2:])
+        b_b = np.broadcast_to(b, lead + b.shape[-2:]).reshape((-1,) + b.shape[-2:])
+        outs = [self.matmul(x, y) for x, y in zip(a_b, b_b)]
+        return np.stack(outs).reshape(lead + (a.shape[-2], b.shape[-1]))
+
+
+# --------------------------------------------------------------------------
+# Workloads (the paper's 8x8x16 design point).
+# --------------------------------------------------------------------------
+def _paper_config():
+    return SystolicConfig(pe_rows=8, pe_cols=8, macs_per_pe=16)
+
+
+def _bert_workload():
+    model = TinyBERT(vocab=32, seq_len=16, dim=32, heads=4, ff_dim=64, n_layers=2)
+    tokens = np.random.default_rng(0).integers(0, 32, size=(8, 16))
+    return "bert_tiny", model, lambda backend: model.infer(tokens, backend)
+
+def _resnet_workload():
+    from repro.nn.autograd import Tensor
+    from repro.nn.models.resnet import BottleneckBlock
+
+    # A ResNet-50-style bottleneck (1x1 reduce, 3x3, 1x1 expand): the
+    # 1x1 convolutions issue many small output tiles per operand byte,
+    # the regime where the seed's per-tile dispatch is most expensive.
+    rng = np.random.default_rng(1)
+    block = BottleneckBlock(128, 32, rng)
+    block.train()
+    block.forward(Tensor(rng.normal(size=(2, 128, 8, 8))))  # populate BN stats
+    block.eval()
+    feature_maps = rng.normal(size=(16, 128, 8, 8))
+    return "resnet_block", block, lambda backend: block.infer(feature_maps, backend)
+
+
+def _best_of(fn, repeats=5):
+    """Best-of-N wall time (ratio-of-best is robust to runner noise)."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _run_traced(workload, backend_cls, array_cls):
+    array = array_cls(_paper_config())
+    backend = backend_cls(array, 0.25)
+    _, _, infer = workload
+    out = infer(backend)
+    cycles = array.total_cycles
+    kinds = array.trace.cycles_by_kind()
+    array.reset()
+    elapsed = _best_of(lambda: infer(backend))
+    return out, cycles, kinds, elapsed
+
+
+def test_traced_inference_speedup(print_artifact):
+    """Whole-matrix + plan-cached traced path >= 5x the seed path."""
+    results = {}
+    lines = [
+        "Traced inference: seed per-tile path vs plan-cached whole-matrix",
+        f"  design point: {_paper_config().describe()}",
+    ]
+
+    # The motivating shape from the tiling analysis: a 512^2 GEMM on the
+    # 8x8 grid is 4096 output tiles, i.e. 4096 per-tile fixed_matmul
+    # dispatches in the seed loop vs one whole-operand call.
+    from repro.fixedpoint import INT16, quantize as _q
+    from repro.systolic.gemm import execute_gemm
+
+    rng = np.random.default_rng(2)
+    config = _paper_config()
+    a_raw = _q(rng.normal(size=(512, 512)), INT16)
+    b_raw = _q(rng.normal(size=(512, 512)), INT16)
+    out_seed, sched_seed = execute_gemm_per_tile(
+        config, a_raw, b_raw, use_plan_cache=False
+    )
+    out_new, sched_new = execute_gemm(config, a_raw, b_raw)
+    assert np.array_equal(out_seed, out_new)
+    assert sched_seed.breakdown == sched_new.breakdown
+    t_seed = _best_of(
+        lambda: execute_gemm_per_tile(config, a_raw, b_raw, use_plan_cache=False)
+    )
+    t_new = _best_of(lambda: execute_gemm(config, a_raw, b_raw))
+    results["gemm_512"] = {
+        "seed_seconds": t_seed,
+        "new_seconds": t_new,
+        "speedup": t_seed / t_new,
+        "traced_cycles": int(sched_new.breakdown.total),
+    }
+    lines.append(
+        f"  {'gemm_512':<14s} seed {t_seed * 1e3:8.1f} ms   "
+        f"new {t_new * 1e3:7.1f} ms   {t_seed / t_new:5.1f}x   "
+        f"(4096 tiles -> 1 call)"
+    )
+    for workload in (_bert_workload(), _resnet_workload()):
+        name = workload[0]
+        seed_out, seed_cycles, seed_kinds, seed_t = _run_traced(
+            workload, _SeedBackend, _SeedArray
+        )
+        new_out, new_cycles, new_kinds, new_t = _run_traced(
+            workload, ArrayBackend, SystolicArray
+        )
+        # Bit-identical outputs, identical per-op cycle accounting.
+        assert np.array_equal(seed_out, new_out), f"{name}: outputs diverged"
+        assert seed_cycles == new_cycles, f"{name}: cycle totals diverged"
+        assert seed_kinds == new_kinds, f"{name}: per-kind cycles diverged"
+        speedup = seed_t / new_t
+        results[name] = {
+            "seed_seconds": seed_t,
+            "new_seconds": new_t,
+            "speedup": speedup,
+            "traced_cycles": int(new_cycles),
+        }
+        lines.append(
+            f"  {name:<14s} seed {seed_t * 1e3:8.1f} ms   "
+            f"new {new_t * 1e3:7.1f} ms   {speedup:5.1f}x   "
+            f"({new_cycles} cycles, identical)"
+        )
+    print_artifact("\n".join(lines))
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "traced_inference",
+                "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "design_point": _paper_config().describe(),
+                "speedup_gate": SPEEDUP_GATE,
+                "workloads": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    for name, row in results.items():
+        assert row["speedup"] >= SPEEDUP_GATE, (
+            f"{name}: {row['speedup']:.1f}x < {SPEEDUP_GATE}x gate"
+        )
+
+
+def test_serving_throughput_measurably_up(print_artifact):
+    """A request burst through InferenceEngine completes measurably
+    faster on the plan-cached whole-matrix shards than on seed-path
+    shards, with identical outputs."""
+    from repro.serving import InferenceEngine, ShardedDispatcher
+
+    config = _paper_config()
+    rng = np.random.default_rng(3)
+    tokens = rng.integers(0, 32, size=(16, 16))
+
+    def run_burst(backend_cls, array_cls):
+        model = TinyBERT(vocab=32, seq_len=16, dim=32, heads=4, ff_dim=64, n_layers=2)
+        pool = ShardedDispatcher(
+            [backend_cls(array_cls(config), 0.25) for _ in range(2)]
+        )
+        engine = InferenceEngine(pool, max_batch_size=8, flush_timeout=1e-4)
+        engine.register("bert", model)
+
+        def one_burst():
+            ids = [engine.submit("bert", row) for row in tokens]
+            report = engine.run()
+            return [engine.result(i) for i in ids], report
+
+        outputs, report = one_burst()
+        elapsed = _best_of(lambda: one_burst(), repeats=3)
+        return outputs, report, elapsed
+
+    seed_out, seed_report, seed_t = run_burst(_SeedBackend, _SeedArray)
+    new_out, new_report, new_t = run_burst(ArrayBackend, SystolicArray)
+
+    for s, n in zip(seed_out, new_out):
+        assert np.array_equal(s, n)
+    assert new_report.total_cycles == seed_report.total_cycles
+
+    print_artifact(
+        "Serving burst (16 BERT-tiny requests, 2 array shards)\n"
+        f"  seed shards {seed_t * 1e3:7.1f} ms   "
+        f"new shards {new_t * 1e3:6.1f} ms   {seed_t / new_t:4.1f}x\n"
+        + new_report.summary()
+    )
+    # "Measurably up": well clear of noise, conservative vs the >=5x
+    # single-model gates because the engine adds shared batching work.
+    assert seed_t / new_t >= 2.0

@@ -85,6 +85,11 @@ def fixed_matmul(a: np.ndarray, b: np.ndarray, fmt: QFormat) -> np.ndarray:
     result is bit-identical to looping :func:`fixed_matmul` over the
     matrix pairs — the property the serving engine relies on to pack
     concurrent requests into shared GEMM tiles.
+
+    Raw operands may arrive either in the storage integer dtype or as
+    float64 holding exact raw integers (``quantize(..., dtype=
+    np.float64)``); the float64 form feeds the BLAS path without a
+    conversion pass, which the GEMM-heavy backends exploit.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -101,7 +106,9 @@ def fixed_matmul(a: np.ndarray, b: np.ndarray, fmt: QFormat) -> np.ndarray:
     # convert back losslessly.  Wider formats fall back to int64 matmul.
     acc_bound = a.shape[-1] * (1 << (fmt.total_bits - 1)) ** 2
     if acc_bound <= 1 << 53:
-        acc = (a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
+        a_f = a if a.dtype == np.float64 else a.astype(np.float64)
+        b_f = b if b.dtype == np.float64 else b.astype(np.float64)
+        acc = (a_f @ b_f).astype(np.int64)
     else:
         acc = np.asarray(a, dtype=np.int64) @ np.asarray(b, dtype=np.int64)
     return accumulator_to_output(acc, fmt)

@@ -11,7 +11,12 @@ from repro.fixedpoint.qformat import QFormat
 ArrayLike = Union[float, int, np.ndarray]
 
 
-def quantize(values: ArrayLike, fmt: QFormat, rounding: str = "nearest") -> np.ndarray:
+def quantize(
+    values: ArrayLike,
+    fmt: QFormat,
+    rounding: str = "nearest",
+    dtype: "np.dtype | type | None" = None,
+) -> np.ndarray:
     """Quantize real ``values`` to raw fixed-point integers.
 
     Values outside the representable range saturate to the format limits,
@@ -26,30 +31,44 @@ def quantize(values: ArrayLike, fmt: QFormat, rounding: str = "nearest") -> np.n
     rounding:
         ``'nearest'`` (round half away from zero, the HLS default used by
         the paper's toolchain) or ``'floor'`` (truncation).
+    dtype:
+        Output dtype.  ``None`` (default) uses ``fmt.storage_dtype()``.
+        Passing ``np.float64`` returns the *same raw integers* held in
+        float64 — every in-range raw value is exactly representable —
+        which skips the integer materialization pass; the GEMM hot path
+        uses this because :func:`repro.fixedpoint.fixed_matmul` computes
+        on the BLAS float path anyway.
 
     Returns
     -------
     numpy.ndarray
-        Raw integers in ``fmt.storage_dtype()``.
+        Raw integers in ``dtype`` (``fmt.storage_dtype()`` by default).
     """
     values = np.asarray(values, dtype=np.float64)
-    # atleast_1d so the in-place ufunc chain below works for scalars
-    # too; the original shape is restored on return.
-    scaled = np.atleast_1d(values * (1 << fmt.frac_bits))
+    # 0-d inputs decay to numpy scalars under arithmetic, which the
+    # in-place ufunc chain below cannot write into; lift them to 1-d
+    # and restore the shape on return.
+    scalar_input = values.ndim == 0
+    scaled = np.atleast_1d(values) * (1 << fmt.frac_bits) if scalar_input else (
+        values * (1 << fmt.frac_bits)
+    )
     if rounding == "nearest":
-        # Round half away from zero as floor(|x| + 0.5) with the sign
-        # restored: one branch-free pass over the data (this sits on the
-        # quantize-dequantize hot path of every backend operation).
-        raw = np.abs(scaled)
-        raw += 0.5
-        np.floor(raw, out=raw)
-        np.copysign(raw, scaled, out=raw)
+        # Round half away from zero as trunc(x + copysign(0.5, x)): a
+        # branch-free in-place pass chain (this sits on the quantize-
+        # dequantize hot path of every backend operation).
+        raw = np.copysign(0.5, scaled)
+        raw += scaled
+        np.trunc(raw, out=raw)
     elif rounding == "floor":
         raw = np.floor(scaled)
     else:
         raise ValueError(f"unknown rounding mode: {rounding!r}")
     np.clip(raw, fmt.raw_min, fmt.raw_max, out=raw)
-    return raw.astype(fmt.storage_dtype()).reshape(values.shape)
+    if dtype is not None and np.dtype(dtype) == np.float64:
+        return raw.reshape(()) if scalar_input else raw
+    target = fmt.storage_dtype() if dtype is None else np.dtype(dtype)
+    raw = raw.astype(target)
+    return raw.reshape(()) if scalar_input else raw
 
 
 def dequantize(raw: ArrayLike, fmt: QFormat) -> np.ndarray:

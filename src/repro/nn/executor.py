@@ -25,6 +25,7 @@ from repro.core import nonlinear_ops as NL
 from repro.core.functions import get_function
 from repro.fixedpoint import QFormat, dequantize, fixed_matmul, quantize
 from repro.fixedpoint.qformat import INT16
+from repro.nn.functional import im2col
 
 
 class FloatBackend:
@@ -54,6 +55,27 @@ class FloatBackend:
         shifted = x - x.max(axis=axis, keepdims=True)
         exps = np.exp(shifted)
         return exps / exps.sum(axis=axis, keepdims=True)
+
+    def conv_cols(
+        self,
+        x: np.ndarray,
+        kernel: int,
+        stride: int,
+        padding: int,
+        weight_mat: np.ndarray,
+        bias: np.ndarray,
+    ) -> "tuple[np.ndarray, tuple[int, int]]":
+        """im2col convolution: unfold patches, multiply, add bias.
+
+        Returns ``(rows, (out_h, out_w))`` with ``rows`` shaped
+        ``(N * out_h * out_w, F)``; the layer reshapes back to NCHW.
+        Fixed-point backends override this to quantize *before* the
+        patch unfold (bit-identical, cheaper — see CPWLBackend).
+        """
+        cols, out_hw = im2col(
+            np.asarray(x, dtype=np.float64), kernel, stride, padding
+        )
+        return self.linear(cols, weight_mat, bias), out_hw
 
     def layernorm(
         self,
@@ -173,10 +195,16 @@ class CPWLBackend:
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         # One vectorized call covers both the 2-D case and stacked
         # (batched-attention) operands: fixed_matmul broadcasts leading
-        # axes and is bit-identical to a Python loop of 2-D GEMMs.
+        # axes and is bit-identical to a Python loop of 2-D GEMMs.  Raw
+        # operands stay in float64 (exact for in-range raw integers) so
+        # the quantize -> BLAS pipeline skips two conversion passes.
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
-        raw = fixed_matmul(quantize(a, self.fmt), quantize(b, self.fmt), self.fmt)
+        raw = fixed_matmul(
+            quantize(a, self.fmt, dtype=np.float64),
+            quantize(b, self.fmt, dtype=np.float64),
+            self.fmt,
+        )
         return dequantize(raw, self.fmt)
 
     def linear(self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
@@ -185,8 +213,43 @@ class CPWLBackend:
         out = self.matmul(x2, weight.T) + dequantize(
             quantize(bias, self.fmt), self.fmt
         )
-        out = dequantize(quantize(out, self.fmt), self.fmt)
+        # The INT16 writeback of the bias add.  Both addends sit exactly
+        # on the 2^-frac grid and their float64 sum is exact, so the
+        # quantize-dequantize round trip reduces to range saturation —
+        # a single clip pass, bit-identical to the full round trip.
+        np.clip(out, self.fmt.min_value, self.fmt.max_value, out=out)
         return out.reshape(orig_shape[:-1] + (weight.shape[0],))
+
+    def conv_cols(self, x, kernel, stride, padding, weight_mat, bias):
+        """Convolution with quantization *before* the patch unfold.
+
+        Quantize is elementwise and im2col only rearranges (and
+        duplicates) elements, so the two commute: quantizing the
+        ``(N, C, H, W)`` tensor and unfolding the raw values is
+        bit-identical to unfolding first and quantizing the ``k^2``
+        times larger patch matrix — at a fraction of the rounding
+        passes.  The raw values ride in float64 straight into the BLAS
+        GEMM (see :func:`repro.fixedpoint.fixed_matmul`).
+        """
+        x_raw = quantize(
+            np.asarray(x, dtype=np.float64), self.fmt, dtype=np.float64
+        )
+        cols_raw, out_hw = im2col(x_raw, kernel, stride, padding)
+        w_raw = quantize(
+            np.asarray(weight_mat, dtype=np.float64).T, self.fmt, dtype=np.float64
+        )
+        out_raw = self._conv_gemm_raw(cols_raw, w_raw)
+        out = dequantize(out_raw, self.fmt) + dequantize(
+            quantize(bias, self.fmt), self.fmt
+        )
+        # Bias-add writeback: exact on-grid sum, so saturation suffices
+        # (same argument as in linear()).
+        np.clip(out, self.fmt.min_value, self.fmt.max_value, out=out)
+        return out, out_hw
+
+    def _conv_gemm_raw(self, cols_raw: np.ndarray, w_raw: np.ndarray) -> np.ndarray:
+        """GEMM stage of conv_cols on raw operands (hook for tracing)."""
+        return fixed_matmul(cols_raw, w_raw, self.fmt)
 
     # -- nonlinear ------------------------------------------------------
     def relu(self, x: np.ndarray) -> np.ndarray:
@@ -242,17 +305,28 @@ class ArrayBackend(CPWLBackend):
         b = np.asarray(b, dtype=np.float64)
         if a.ndim == 2 and b.ndim == 2:
             result = self.array.gemm_raw(
-                quantize(a, self.fmt), quantize(b, self.fmt)
+                quantize(a, self.fmt, dtype=np.float64),
+                quantize(b, self.fmt, dtype=np.float64),
             )
             return dequantize(result.raw, self.fmt)
-        # Batched matmul: the hardware model issues one traced GEMM per
-        # matrix pair, so the trace reflects how the array actually tiles
-        # batched attention.  (The fast CPWL path vectorizes this loop.)
+        # Batched matmul: the hardware model still issues one traced GEMM
+        # per matrix pair — the per-pair events are synthesized from the
+        # closed-form cycle model — but the arithmetic runs as a single
+        # stacked N-D fixed_matmul, bit-identical to the per-pair loop.
         lead = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
         a_b = np.broadcast_to(a, lead + a.shape[-2:]).reshape((-1,) + a.shape[-2:])
         b_b = np.broadcast_to(b, lead + b.shape[-2:]).reshape((-1,) + b.shape[-2:])
-        outs = [self.matmul(x, y) for x, y in zip(a_b, b_b)]
-        return np.stack(outs).reshape(lead + (a.shape[-2], b.shape[-1]))
+        result = self.array.gemm_raw_batched(
+            quantize(a_b, self.fmt, dtype=np.float64),
+            quantize(b_b, self.fmt, dtype=np.float64),
+        )
+        out = dequantize(result.raw, self.fmt)
+        return out.reshape(lead + (a.shape[-2], b.shape[-1]))
+
+    def _conv_gemm_raw(self, cols_raw: np.ndarray, w_raw: np.ndarray) -> np.ndarray:
+        # Route the conv GEMM through the array so it lands in the trace
+        # exactly like the seed's post-unfold dispatch did.
+        return self.array.gemm_raw(cols_raw, w_raw).raw
 
     def gelu(self, x: np.ndarray) -> np.ndarray:
         return self._scalar_on_array("gelu", x)

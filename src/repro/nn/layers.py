@@ -129,9 +129,10 @@ class Conv2d(Module):
     def infer(self, x: np.ndarray, backend) -> np.ndarray:
         n = x.shape[0]
         f = self.weight.shape[0]
-        cols, (out_h, out_w) = F.im2col(x, self.kernel, self.stride, self.padding)
         w_mat = self.weight.data.reshape(f, -1)
-        out = backend.linear(cols, w_mat, self.bias.data)
+        out, (out_h, out_w) = backend.conv_cols(
+            x, self.kernel, self.stride, self.padding, w_mat, self.bias.data
+        )
         return out.reshape(n, out_h, out_w, f).transpose(0, 3, 1, 2)
 
 

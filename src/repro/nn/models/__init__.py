@@ -6,8 +6,8 @@ published network (used by the performance experiments — the descriptor
 encodes exact layer shapes, hence exact op counts, without weights).
 """
 
-from repro.nn.models.resnet import SmallResNet
+from repro.nn.models.resnet import BottleneckBlock, ResidualBlock, SmallResNet
 from repro.nn.models.bert import TinyBERT
 from repro.nn.models.gcn import GCN
 
-__all__ = ["SmallResNet", "TinyBERT", "GCN"]
+__all__ = ["SmallResNet", "ResidualBlock", "BottleneckBlock", "TinyBERT", "GCN"]

@@ -64,6 +64,62 @@ class ResidualBlock(Module):
         return backend.relu(out + skip)
 
 
+class BottleneckBlock(Module):
+    """ResNet-50-style bottleneck: 1×1 reduce → 3×3 → 1×1 expand.
+
+    The 1×1 convolutions dominate the block's GEMM count (small reduction
+    dimension, wide output), which is exactly the shape regime where the
+    array's output-stationary tiling issues many small tiles — the
+    workload the traced-path benchmarks exercise.  ``in_channels`` must
+    equal ``expansion * mid_channels`` for the identity skip; otherwise a
+    1×1 projection (with stride) is inserted, as in the reference
+    architecture.
+    """
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        mid_channels: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+    ):
+        super().__init__()
+        out_channels = self.expansion * mid_channels
+        self.conv1 = Conv2d(in_channels, mid_channels, 1, rng)
+        self.bn1 = BatchNorm2d(mid_channels)
+        self.conv2 = Conv2d(mid_channels, mid_channels, 3, rng, stride=stride, padding=1)
+        self.bn2 = BatchNorm2d(mid_channels)
+        self.conv3 = Conv2d(mid_channels, out_channels, 1, rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.proj = Conv2d(in_channels, out_channels, 1, rng, stride=stride)
+            self.proj_bn = BatchNorm2d(out_channels)
+        else:
+            self.proj = None
+            self.proj_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        skip = x
+        if self.proj is not None:
+            skip = self.proj_bn(self.proj(x))
+        return self.relu(out + skip)
+
+    def infer(self, x: np.ndarray, backend) -> np.ndarray:
+        out = backend.relu(self.bn1.infer(self.conv1.infer(x, backend), backend))
+        out = backend.relu(self.bn2.infer(self.conv2.infer(out, backend), backend))
+        out = self.bn3.infer(self.conv3.infer(out, backend), backend)
+        skip = x
+        if self.proj is not None:
+            skip = self.proj_bn.infer(self.proj.infer(x, backend), backend)
+        return backend.relu(out + skip)
+
+
 class SmallResNet(Module):
     """Residual CNN for ``(N, C, H, W)`` images (8×8 by default).
 

@@ -14,6 +14,19 @@ stacking adds rows to the GEMMs and elementwise stages, and every
 output element is still produced by the same saturating fixed-point
 dot product — the equivalence the test suite asserts per backend.
 
+**Memory contract.**  A serving process is long-lived, so the engine
+puts every hardware shard's trace into *aggregate-only* mode at
+construction (see :class:`~repro.systolic.trace.Trace`): per-request
+cycle accounting reads the O(1) streaming aggregates and no further
+per-event log accumulates (events a trace already retained are left
+in place), keeping shard memory constant over arbitrarily long
+request streams.  Request outputs are handed over exactly once by
+:meth:`InferenceEngine.result` and released.  Pass
+``retain_trace_events=True`` to keep the full per-event logs instead
+(for Fig.-1-style op-mix breakdowns of a serving run); memory then
+grows with the number of traced operations until
+:meth:`InferenceEngine.reset`.
+
 Typical use::
 
     from repro.serving import InferenceEngine, ShardedDispatcher
@@ -69,6 +82,11 @@ class InferenceEngine:
     max_batch_size, flush_timeout:
         Dynamic-batching knobs (see
         :class:`~repro.serving.batcher.DynamicBatcher`).
+    retain_trace_events:
+        False (default) flips every hardware shard's trace to
+        aggregate-only mode so serving memory stays bounded; True keeps
+        the full per-event logs on the shard arrays (see the module
+        docstring's memory contract).
     """
 
     def __init__(
@@ -76,8 +94,13 @@ class InferenceEngine:
         dispatcher: ShardedDispatcher,
         max_batch_size: int = 8,
         flush_timeout: float = 1e-3,
+        retain_trace_events: bool = False,
     ):
         self.dispatcher = dispatcher
+        for shard in range(dispatcher.n_shards):
+            array = dispatcher.array_of(shard)
+            if array is not None:
+                array.trace.configure(retain_events=retain_trace_events)
         self.batcher = DynamicBatcher(max_batch_size, flush_timeout)
         self._endpoints: Dict[str, ModelEndpoint] = {}
         self._pending: List[InferenceRequest] = []

@@ -31,6 +31,12 @@ from repro.systolic.timing import (
     peak_gnfs,
 )
 from repro.systolic.array import ExecutionResult, SystolicArray
+from repro.systolic.gemm import (
+    clear_plan_cache,
+    plan_cache_info,
+    set_plan_cache_capacity,
+)
+from repro.systolic.trace import Trace, TraceEvent
 
 __all__ = [
     "SystolicConfig",
@@ -38,8 +44,13 @@ __all__ = [
     "SystolicArray",
     "ExecutionResult",
     "CycleBreakdown",
+    "Trace",
+    "TraceEvent",
     "gemm_cycles",
     "nonlinear_cycles",
     "peak_gops",
     "peak_gnfs",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "set_plan_cache_capacity",
 ]

@@ -14,6 +14,24 @@ Typical use::
     c = array.matmul(a, b)                    # float in, float out
     y = array.apply_nonlinear("gelu", x, granularity=0.25)
     print(array.trace.cycles_by_kind())
+
+Hot-path design (the serving engine's per-request accounting rides on
+it):
+
+* GEMM plans come from the bounded LRU in :mod:`repro.systolic.gemm`
+  and functional execution is one whole-operand ``fixed_matmul`` —
+  tile geometry stays analytic metadata on the schedule;
+* batched (stacked) GEMMs execute as a single N-D ``fixed_matmul``
+  with the per-pair trace events synthesized from the closed-form
+  cycle model (:meth:`gemm_raw_batched`);
+* the data-rearrange pass on the nonlinear path is metadata-only: its
+  relocation cost rides the MHP event (no separate trace entry, as in
+  the seed; :func:`repro.systolic.rearrange.rearrange_cycles` gives
+  the isolated closed form) and the actual interleaved streams are
+  only built on request (``materialize_streams=True``, used by the
+  dataflow tests);
+* trace aggregates (:attr:`total_cycles`, utilization) are maintained
+  streaming, so consulting them is O(1) regardless of history length.
 """
 
 from __future__ import annotations
@@ -24,11 +42,11 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.nonlinear_ops import get_approximator
-from repro.fixedpoint import dequantize, quantize
+from repro.fixedpoint import dequantize, fixed_matmul, quantize
 from repro.systolic.addressing import DataAddressing
 from repro.systolic.buffers import build_hierarchy
 from repro.systolic.config import ONE_SA_PAPER_CONFIG, SystolicConfig
-from repro.systolic.gemm import GemmSchedule, execute_gemm
+from repro.systolic.gemm import GemmSchedule, execute_gemm, plan_gemm
 from repro.systolic.mhp_dataflow import MHPSchedule, execute_mhp
 from repro.systolic.rearrange import rearrange_for_mhp
 from repro.systolic.timing import CycleBreakdown, effective_out_width
@@ -43,6 +61,7 @@ class ExecutionResult:
     raw: np.ndarray
     breakdown: CycleBreakdown
     schedule: object = None
+    streams: object = None  # RearrangedOperands when materialized
 
     @property
     def cycles(self) -> int:
@@ -58,16 +77,28 @@ class SystolicArray:
         The design point.  Nonlinear operations require
         ``config.nonlinear_enabled`` (the ONE-SA datapath); a plain SA
         configuration raises on them, mirroring real hardware.
+    retain_trace_events, max_trace_events:
+        Trace retention mode (see :class:`~repro.systolic.trace.Trace`).
+        The default keeps the full event log; serving pools flip their
+        shard arrays to aggregate-only so memory stays bounded over
+        arbitrarily long request streams.
     """
 
-    def __init__(self, config: SystolicConfig = ONE_SA_PAPER_CONFIG) -> None:
+    def __init__(
+        self,
+        config: SystolicConfig = ONE_SA_PAPER_CONFIG,
+        retain_trace_events: bool = True,
+        max_trace_events: Optional[int] = None,
+    ) -> None:
         self.config = config
         self.hierarchy = build_hierarchy(config)
         self.addressing = DataAddressing(
             config.fmt,
             port_width=effective_out_width(config),
         )
-        self.trace = Trace()
+        self.trace = Trace(
+            retain_events=retain_trace_events, max_events=max_trace_events
+        )
 
     # ------------------------------------------------------------------
     # Linear operations
@@ -90,6 +121,53 @@ class SystolicArray:
             kind="gemm", raw=out, breakdown=schedule.breakdown, schedule=schedule
         )
 
+    def gemm_raw_batched(
+        self, a_raw: np.ndarray, b_raw: np.ndarray, label: str = "gemm"
+    ) -> ExecutionResult:
+        """Bit-accurate stacked GEMM: ``(B, M, K) @ (B, K, N)``.
+
+        The hardware model still issues one GEMM per matrix pair — the
+        trace records one event per pair with the closed-form cycle
+        breakdown, exactly as if :meth:`gemm_raw` had been called in a
+        loop — but the functional arithmetic runs as a single N-D
+        :func:`fixed_matmul`, which is bit-identical to the loop (every
+        output element remains one wide-accumulated dot product with a
+        single saturating writeback).
+        """
+        a_raw = np.asarray(a_raw)
+        b_raw = np.asarray(b_raw)
+        if a_raw.ndim != 3 or b_raw.ndim != 3:
+            raise ValueError("gemm_raw_batched expects 3-D stacked operands")
+        if a_raw.shape[0] != b_raw.shape[0]:
+            raise ValueError(
+                f"stack mismatch: {a_raw.shape[0]} vs {b_raw.shape[0]} pairs"
+            )
+        if a_raw.shape[2] != b_raw.shape[1]:
+            raise ValueError(f"shape mismatch: {a_raw.shape} @ {b_raw.shape}")
+        n_pairs, m_dim, k_dim = a_raw.shape
+        n_dim = b_raw.shape[2]
+        schedule = plan_gemm(self.config, m_dim, k_dim, n_dim)
+        out = fixed_matmul(a_raw, b_raw, self.config.fmt)
+        event = TraceEvent(
+            kind="gemm",
+            label=label,
+            cycles=schedule.breakdown.total,
+            ops=schedule.macs,
+            breakdown=schedule.breakdown,
+        )
+        for _ in range(n_pairs):
+            self.trace.record(event)
+        per_pair = schedule.breakdown
+        total = CycleBreakdown(
+            fill=per_pair.fill * n_pairs,
+            compute=per_pair.compute * n_pairs,
+            drain=per_pair.drain * n_pairs,
+            overhead=per_pair.overhead * n_pairs,
+        )
+        return ExecutionResult(
+            kind="gemm", raw=out, breakdown=total, schedule=schedule
+        )
+
     def matmul(self, a: np.ndarray, b: np.ndarray, label: str = "gemm") -> np.ndarray:
         """Float convenience wrapper: quantize, run, dequantize."""
         fmt = self.config.fmt
@@ -107,6 +185,7 @@ class SystolicArray:
         label: Optional[str] = None,
         fused_ipf: bool = True,
         domain: "tuple[float, float] | None" = None,
+        materialize_streams: bool = False,
     ) -> ExecutionResult:
         """Run one nonlinear op as the full IPF → rearrange → MHP chain.
 
@@ -116,6 +195,16 @@ class SystolicArray:
         is bit-identical to
         :meth:`repro.core.cpwl.CPWLApproximator.evaluate_raw`, which the
         test suite asserts.
+
+        The rearrange pass is metadata-only on the hot path: its
+        relocation cost rides the MHP event (no separate trace entry,
+        matching the seed accounting;
+        :func:`~repro.systolic.rearrange.rearrange_cycles` is the
+        isolated closed form) and the interleaved ``(x, 1)`` /
+        ``(k, b)`` streams are pure routing — the MHP consumes the raw
+        operands — so they are only constructed when
+        ``materialize_streams=True`` and returned on
+        ``ExecutionResult.streams``.
         """
         if not self.config.nonlinear_enabled:
             raise RuntimeError(
@@ -148,20 +237,24 @@ class SystolicArray:
             )
         )
 
-        # --- Rearrange: pair (k, b) and (x, 1) streams.
-        one_raw = 1 << fmt.frac_bits
-        rearranged = rearrange_for_mhp(
-            x_raw,
-            ipf_result.k_raw,
-            ipf_result.b_raw,
-            self.config.pe_rows,
-            one_raw,
-            port_width=self.config.l3_in_width,
-        )
+        # --- Rearrange: pair (k, b) and (x, 1) streams.  Metadata-only
+        # on the hot path; the full interleaved streams are dead weight
+        # unless a dataflow consumer asks for them.
+        streams = None
+        if materialize_streams:
+            one_raw = 1 << fmt.frac_bits
+            streams = rearrange_for_mhp(
+                x_raw,
+                ipf_result.k_raw,
+                ipf_result.b_raw,
+                self.config.pe_rows,
+                one_raw,
+                port_width=self.config.l3_in_width,
+            )
 
         # --- MHP on the diagonal computation PEs.
-        out, schedule = execute_mhp(
-            self.config, x_raw, ipf_result.k_raw, ipf_result.b_raw, fused_ipf=fused_ipf
+        out, schedule = self._execute_mhp(
+            x_raw, ipf_result.k_raw, ipf_result.b_raw, fused_ipf
         )
         self.trace.record(
             TraceEvent(
@@ -173,8 +266,17 @@ class SystolicArray:
             )
         )
         return ExecutionResult(
-            kind="mhp", raw=out, breakdown=schedule.breakdown, schedule=schedule
+            kind="mhp",
+            raw=out,
+            breakdown=schedule.breakdown,
+            schedule=schedule,
+            streams=streams,
         )
+
+    def _execute_mhp(self, x_raw, k_raw, b_raw, fused_ipf):
+        """MHP execution seam (the equivalence benchmark swaps in the
+        seed's per-lane reference here)."""
+        return execute_mhp(self.config, x_raw, k_raw, b_raw, fused_ipf=fused_ipf)
 
     def apply_nonlinear(
         self,
@@ -196,7 +298,7 @@ class SystolicArray:
     # ------------------------------------------------------------------
     @property
     def total_cycles(self) -> int:
-        """Cycles accumulated over all traced operations."""
+        """Cycles accumulated over all traced operations (O(1))."""
         return self.trace.total_cycles
 
     def elapsed_seconds(self) -> float:
@@ -204,7 +306,11 @@ class SystolicArray:
         return self.total_cycles / self.config.clock_hz
 
     def utilization_summary(self) -> Dict[str, float]:
-        """Share of traced cycles per operation kind."""
+        """Share of traced cycles per operation kind.
+
+        Reads the streaming aggregates — O(distinct kinds), never a
+        re-scan of the event log.
+        """
         total = self.total_cycles
         if not total:
             return {}
@@ -214,7 +320,10 @@ class SystolicArray:
         }
 
     def reset(self) -> None:
-        """Clear the trace and buffer accounting between experiments."""
+        """Clear the trace and buffer accounting between experiments.
+
+        The trace's retention mode is preserved.
+        """
         self.trace.clear()
         self.hierarchy = build_hierarchy(self.config)
         self.addressing = DataAddressing(

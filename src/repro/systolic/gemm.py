@@ -10,18 +10,38 @@ This module enumerates the tile schedule (used by the trace and energy
 accounting), computes per-tile cycle costs consistent with
 :mod:`repro.systolic.timing`, and provides the bit-accurate functional
 execution via :func:`repro.fixedpoint.fixed_matmul`.
+
+Two hot-path properties matter for serving throughput:
+
+* **Plans are cached.**  Serving traffic repeats a handful of layer
+  shapes, so :func:`plan_gemm` keeps a bounded LRU keyed on
+  ``(config, M, K, N)`` (mirroring the approximator cache of
+  :mod:`repro.core.nonlinear_ops`) — steady-state planning is a dict
+  hit.
+* **Tiles are enumerated lazily.**  :class:`GemmSchedule.tiles` is a
+  :class:`GemmTiling` sequence that *derives* each
+  :class:`GemmTile` analytically; consumers that only need counts or
+  traffic totals never force an O(tiles) allocation.
+
+Functional execution is one whole-operand :func:`fixed_matmul` call:
+every output element is a single dot product with one saturating
+writeback regardless of how the schedule partitions it into tiles, so
+the whole-matrix result is bit-identical to the per-tile loop
+(:func:`execute_gemm_per_tile` keeps the loop as the equivalence
+reference the test suite pins the refactor against).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
 from repro.fixedpoint import fixed_matmul
 from repro.systolic.config import SystolicConfig
-from repro.systolic.timing import CycleBreakdown, effective_out_width, gemm_cycles
+from repro.systolic.timing import CycleBreakdown, gemm_cycles
 
 
 @dataclass(frozen=True)
@@ -44,16 +64,87 @@ class GemmTile:
         return rows * cols
 
 
+class GemmTiling:
+    """Lazy row-major tile enumeration of one GEMM's output.
+
+    Behaves like an immutable sequence of :class:`GemmTile` — ``len``,
+    iteration, indexing and slicing all work — but each tile is derived
+    from the geometry on demand, so holding a tiling costs O(1) memory
+    no matter how many tiles the schedule has.
+    """
+
+    __slots__ = ("m_dim", "n_dim", "tile_rows", "tile_cols", "tiles_m", "tiles_n")
+
+    def __init__(self, m_dim: int, n_dim: int, tile_rows: int, tile_cols: int):
+        self.m_dim = m_dim
+        self.n_dim = n_dim
+        self.tile_rows = tile_rows
+        self.tile_cols = tile_cols
+        self.tiles_m = -(-m_dim // tile_rows)
+        self.tiles_n = -(-n_dim // tile_cols)
+
+    def __len__(self) -> int:
+        return self.tiles_m * self.tiles_n
+
+    def _make(self, index: int) -> GemmTile:
+        bi, bj = divmod(index, self.tiles_n)
+        row_start = bi * self.tile_rows
+        col_start = bj * self.tile_cols
+        return GemmTile(
+            row_start=row_start,
+            row_end=min(row_start + self.tile_rows, self.m_dim),
+            col_start=col_start,
+            col_end=min(col_start + self.tile_cols, self.n_dim),
+            index=index,
+        )
+
+    def __getitem__(self, index):
+        n = len(self)
+        if isinstance(index, slice):
+            return [self._make(i) for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"tile index {index} out of range for {n} tiles")
+        return self._make(index)
+
+    def __iter__(self) -> Iterator[GemmTile]:
+        for index in range(len(self)):
+            yield self._make(index)
+
+    def __repr__(self) -> str:
+        return (
+            f"GemmTiling({self.tiles_m}x{self.tiles_n} tiles of "
+            f"{self.tile_rows}x{self.tile_cols} over {self.m_dim}x{self.n_dim})"
+        )
+
+
 @dataclass(frozen=True)
 class GemmSchedule:
-    """Complete schedule of one GEMM on a design point."""
+    """Complete schedule of one GEMM on a design point.
+
+    The schedule is pure analytic metadata — tile geometry, cycle
+    breakdown, traffic totals — so instances are immutable and shared
+    freely through the plan cache.
+    """
 
     config: SystolicConfig
     m_dim: int
     k_dim: int
     n_dim: int
-    tiles: List[GemmTile]
     breakdown: CycleBreakdown
+
+    @property
+    def tiles(self) -> GemmTiling:
+        """Lazy tile enumeration (row-major, O(1) memory)."""
+        return GemmTiling(
+            self.m_dim, self.n_dim, self.config.pe_rows, self.config.pe_cols
+        )
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of output tiles without enumerating them."""
+        return len(self.tiles)  # GemmTiling.__len__ is O(1)
 
     @property
     def macs(self) -> int:
@@ -79,34 +170,90 @@ class GemmSchedule:
         return self.m_dim * self.n_dim
 
 
-def plan_gemm(config: SystolicConfig, m_dim: int, k_dim: int, n_dim: int) -> GemmSchedule:
-    """Build the tile schedule for ``C[M,N] = A[M,K] @ B[K,N]``.
+# ---------------------------------------------------------------------------
+# Plan cache: serving traffic repeats a handful of layer shapes, so the
+# steady state is a dict hit.  Bounded LRU so a shape-churning workload
+# (design-space sweeps) cannot grow it without limit.
+# ---------------------------------------------------------------------------
+_PLAN_CACHE: "OrderedDict[Tuple, GemmSchedule]" = OrderedDict()
+_DEFAULT_PLAN_CACHE_CAPACITY = 512
+_plan_cache_capacity = _DEFAULT_PLAN_CACHE_CAPACITY
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+
+
+def plan_gemm(
+    config: SystolicConfig,
+    m_dim: int,
+    k_dim: int,
+    n_dim: int,
+    use_cache: bool = True,
+) -> GemmSchedule:
+    """Build (or fetch) the schedule for ``C[M,N] = A[M,K] @ B[K,N]``.
 
     Output rows tile with ``pe_rows`` and output columns with
     ``pe_cols``, so rectangular PE grids produce correctly shaped tiles.
+    Schedules are immutable and cached in a bounded LRU; pass
+    ``use_cache=False`` to force a fresh build (the equivalence tests
+    and seed-faithful benchmarks use this).
     """
-    tiles = []
-    index = 0
-    for row_start in range(0, m_dim, config.pe_rows):
-        for col_start in range(0, n_dim, config.pe_cols):
-            tiles.append(
-                GemmTile(
-                    row_start=row_start,
-                    row_end=min(row_start + config.pe_rows, m_dim),
-                    col_start=col_start,
-                    col_end=min(col_start + config.pe_cols, n_dim),
-                    index=index,
-                )
-            )
-            index += 1
-    return GemmSchedule(
+    global _plan_cache_hits, _plan_cache_misses
+    if use_cache:
+        key = (config, m_dim, k_dim, n_dim)
+        schedule = _PLAN_CACHE.get(key)
+        if schedule is not None:
+            _PLAN_CACHE.move_to_end(key)
+            _plan_cache_hits += 1
+            return schedule
+        _plan_cache_misses += 1
+    schedule = GemmSchedule(
         config=config,
         m_dim=m_dim,
         k_dim=k_dim,
         n_dim=n_dim,
-        tiles=tiles,
         breakdown=gemm_cycles(config, m_dim, k_dim, n_dim),
     )
+    if use_cache:
+        _PLAN_CACHE[key] = schedule
+        while len(_PLAN_CACHE) > _plan_cache_capacity:
+            _PLAN_CACHE.popitem(last=False)
+    return schedule
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached schedules and reset the hit counters."""
+    global _plan_cache_hits, _plan_cache_misses
+    _PLAN_CACHE.clear()
+    _plan_cache_hits = 0
+    _plan_cache_misses = 0
+
+
+def set_plan_cache_capacity(capacity: int = _DEFAULT_PLAN_CACHE_CAPACITY) -> None:
+    """Bound the plan LRU at ``capacity`` entries (evicts LRU overflow)."""
+    if capacity < 1:
+        raise ValueError(f"cache capacity must be positive, got {capacity}")
+    global _plan_cache_capacity
+    _plan_cache_capacity = int(capacity)
+    while len(_PLAN_CACHE) > _plan_cache_capacity:
+        _PLAN_CACHE.popitem(last=False)
+
+
+def plan_cache_info() -> Dict[str, int]:
+    """Occupancy, capacity and hit/miss counters of the plan LRU."""
+    return {
+        "size": len(_PLAN_CACHE),
+        "capacity": _plan_cache_capacity,
+        "hits": _plan_cache_hits,
+        "misses": _plan_cache_misses,
+    }
+
+
+def _validate_operands(a_raw: np.ndarray, b_raw: np.ndarray) -> tuple[int, int, int]:
+    if a_raw.ndim != 2 or b_raw.ndim != 2:
+        raise ValueError("execute_gemm expects 2-D raw operands")
+    if a_raw.shape[1] != b_raw.shape[0]:
+        raise ValueError(f"shape mismatch: {a_raw.shape} @ {b_raw.shape}")
+    return a_raw.shape[0], a_raw.shape[1], b_raw.shape[1]
 
 
 def execute_gemm(
@@ -114,21 +261,39 @@ def execute_gemm(
 ) -> tuple[np.ndarray, GemmSchedule]:
     """Run a GEMM functionally (bit-accurate) with its schedule.
 
-    The functional result is computed tile by tile in the schedule order
-    so the arithmetic (wide accumulation, single saturating writeback
-    per element) matches what the PE grid produces; the concatenated
-    result equals :func:`fixed_matmul` on the full operands — a property
-    the test suite checks.
+    The functional result is one whole-operand :func:`fixed_matmul`:
+    every output element is a single wide-accumulated dot product with
+    one saturating writeback, exactly what the PE grid produces tile by
+    tile, so the whole-matrix call equals the concatenated per-tile
+    results (:func:`execute_gemm_per_tile` is the retained reference and
+    the test suite asserts the equivalence).  Tile geometry stays
+    available as analytic metadata on the returned schedule.
     """
     a_raw = np.asarray(a_raw)
     b_raw = np.asarray(b_raw)
-    if a_raw.ndim != 2 or b_raw.ndim != 2:
-        raise ValueError("execute_gemm expects 2-D raw operands")
-    if a_raw.shape[1] != b_raw.shape[0]:
-        raise ValueError(f"shape mismatch: {a_raw.shape} @ {b_raw.shape}")
-    m_dim, k_dim = a_raw.shape
-    n_dim = b_raw.shape[1]
+    m_dim, k_dim, n_dim = _validate_operands(a_raw, b_raw)
     schedule = plan_gemm(config, m_dim, k_dim, n_dim)
+    out = fixed_matmul(a_raw, b_raw, config.fmt)
+    return out, schedule
+
+
+def execute_gemm_per_tile(
+    config: SystolicConfig,
+    a_raw: np.ndarray,
+    b_raw: np.ndarray,
+    use_plan_cache: bool = True,
+) -> tuple[np.ndarray, GemmSchedule]:
+    """Seed-faithful per-tile GEMM execution (equivalence reference).
+
+    Computes the result tile by tile in schedule order, the way the
+    original implementation dispatched one :func:`fixed_matmul` per
+    output tile.  Kept for the equivalence tests and the traced-path
+    benchmark; the production path is :func:`execute_gemm`.
+    """
+    a_raw = np.asarray(a_raw)
+    b_raw = np.asarray(b_raw)
+    m_dim, k_dim, n_dim = _validate_operands(a_raw, b_raw)
+    schedule = plan_gemm(config, m_dim, k_dim, n_dim, use_cache=use_plan_cache)
     out = np.zeros((m_dim, n_dim), dtype=config.fmt.storage_dtype())
     for tile in schedule.tiles:
         a_block = a_raw[tile.row_start : tile.row_end, :]

@@ -11,12 +11,23 @@ This module builds the MHP schedule (lane assignment, stream lengths,
 PE-role map), the bit-accurate functional execution, and the naive-MHP
 baseline used by the dataflow ablation (all PEs compute, paying the
 reuse-less operand delivery).
+
+Like the GEMM planner, :func:`plan_mhp` serves repeated shapes from a
+bounded LRU and derives the lane assignment lazily — a schedule is pure
+analytic metadata until a consumer actually asks for the row lists.
+Functional execution is one whole-operand
+:func:`fixed_hadamard_mac`: each output element is computed by exactly
+one diagonal PE independently of every other, so the reassembled
+per-lane result equals the whole-matrix call bit for bit
+(:func:`execute_mhp_per_lane` keeps the lane loop as the equivalence
+reference).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -33,8 +44,19 @@ class MHPSchedule:
     config: SystolicConfig
     m_dim: int
     n_dim: int
-    lane_rows: List[np.ndarray]
     breakdown: CycleBreakdown
+
+    @property
+    def lane_rows(self) -> List[np.ndarray]:
+        """Row indices assigned to each diagonal lane (derived lazily).
+
+        Rows round-robin over the ``pe_rows`` lanes; the list is built
+        on demand so cached schedules hold no per-shape arrays.
+        """
+        return [
+            np.arange(lane, self.m_dim, self.config.pe_rows)
+            for lane in range(self.config.pe_rows)
+        ]
 
     @property
     def elements(self) -> int:
@@ -60,20 +82,73 @@ class MHPSchedule:
         return PEMode.COMPUTATION if row == col else PEMode.TRANSMISSION
 
 
+# ---------------------------------------------------------------------------
+# Plan cache (same bounded-LRU policy as repro.systolic.gemm).
+# ---------------------------------------------------------------------------
+_PLAN_CACHE: "OrderedDict[Tuple, MHPSchedule]" = OrderedDict()
+_DEFAULT_PLAN_CACHE_CAPACITY = 512
+_plan_cache_capacity = _DEFAULT_PLAN_CACHE_CAPACITY
+
+
 def plan_mhp(
-    config: SystolicConfig, m_dim: int, n_dim: int, fused_ipf: bool = True
+    config: SystolicConfig,
+    m_dim: int,
+    n_dim: int,
+    fused_ipf: bool = True,
+    use_cache: bool = True,
 ) -> MHPSchedule:
-    """Build the MHP schedule: rows round-robin over the diagonal lanes."""
-    lane_rows = [
-        np.arange(lane, m_dim, config.pe_rows) for lane in range(config.pe_rows)
-    ]
-    return MHPSchedule(
+    """Build (or fetch) the MHP schedule for an ``M x N`` element matrix."""
+    if use_cache:
+        key = (config, m_dim, n_dim, fused_ipf)
+        schedule = _PLAN_CACHE.get(key)
+        if schedule is not None:
+            _PLAN_CACHE.move_to_end(key)
+            return schedule
+    schedule = MHPSchedule(
         config=config,
         m_dim=m_dim,
         n_dim=n_dim,
-        lane_rows=lane_rows,
         breakdown=nonlinear_cycles(config, m_dim, n_dim, fused_ipf=fused_ipf),
     )
+    if use_cache:
+        _PLAN_CACHE[key] = schedule
+        while len(_PLAN_CACHE) > _plan_cache_capacity:
+            _PLAN_CACHE.popitem(last=False)
+    return schedule
+
+
+def clear_mhp_plan_cache() -> None:
+    """Drop all cached MHP schedules."""
+    _PLAN_CACHE.clear()
+
+
+def set_mhp_plan_cache_capacity(capacity: int = _DEFAULT_PLAN_CACHE_CAPACITY) -> None:
+    """Bound the MHP plan LRU at ``capacity`` entries."""
+    if capacity < 1:
+        raise ValueError(f"cache capacity must be positive, got {capacity}")
+    global _plan_cache_capacity
+    _plan_cache_capacity = int(capacity)
+    while len(_PLAN_CACHE) > _plan_cache_capacity:
+        _PLAN_CACHE.popitem(last=False)
+
+
+def mhp_plan_cache_info() -> Dict[str, int]:
+    """Occupancy and capacity of the MHP plan LRU."""
+    return {"size": len(_PLAN_CACHE), "capacity": _plan_cache_capacity}
+
+
+def _validate_mhp_operands(
+    x_raw: np.ndarray, k_raw: np.ndarray, b_raw: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    x_raw = np.atleast_2d(np.asarray(x_raw))
+    k_raw = np.atleast_2d(np.asarray(k_raw))
+    b_raw = np.atleast_2d(np.asarray(b_raw))
+    if not (x_raw.shape == k_raw.shape == b_raw.shape):
+        raise ValueError(
+            f"MHP operands must share a shape, got {x_raw.shape}, "
+            f"{k_raw.shape}, {b_raw.shape}"
+        )
+    return x_raw, k_raw, b_raw
 
 
 def execute_mhp(
@@ -83,22 +158,31 @@ def execute_mhp(
     b_raw: np.ndarray,
     fused_ipf: bool = True,
 ) -> tuple[np.ndarray, MHPSchedule]:
-    """Run ``Y = X ⊙ K + B`` lane by lane, bit-accurately.
+    """Run ``Y = X ⊙ K + B`` bit-accurately with its schedule.
 
-    Each diagonal lane processes its assigned rows independently; the
-    reassembled result equals the whole-matrix
-    :func:`fixed_hadamard_mac`, which the tests verify.
+    Each diagonal lane processes its assigned rows independently, so the
+    whole-matrix :func:`fixed_hadamard_mac` equals the reassembled
+    per-lane execution (:func:`execute_mhp_per_lane`), which the tests
+    verify.
     """
-    x_raw = np.atleast_2d(np.asarray(x_raw))
-    k_raw = np.atleast_2d(np.asarray(k_raw))
-    b_raw = np.atleast_2d(np.asarray(b_raw))
-    if not (x_raw.shape == k_raw.shape == b_raw.shape):
-        raise ValueError(
-            f"MHP operands must share a shape, got {x_raw.shape}, "
-            f"{k_raw.shape}, {b_raw.shape}"
-        )
+    x_raw, k_raw, b_raw = _validate_mhp_operands(x_raw, k_raw, b_raw)
     m_dim, n_dim = x_raw.shape
     schedule = plan_mhp(config, m_dim, n_dim, fused_ipf=fused_ipf)
+    out = fixed_hadamard_mac(x_raw, k_raw, b_raw, config.fmt)
+    return out, schedule
+
+
+def execute_mhp_per_lane(
+    config: SystolicConfig,
+    x_raw: np.ndarray,
+    k_raw: np.ndarray,
+    b_raw: np.ndarray,
+    fused_ipf: bool = True,
+) -> tuple[np.ndarray, MHPSchedule]:
+    """Seed-faithful lane-by-lane MHP execution (equivalence reference)."""
+    x_raw, k_raw, b_raw = _validate_mhp_operands(x_raw, k_raw, b_raw)
+    m_dim, n_dim = x_raw.shape
+    schedule = plan_mhp(config, m_dim, n_dim, fused_ipf=fused_ipf, use_cache=False)
     out = np.zeros_like(x_raw)
     for rows in schedule.lane_rows:
         if rows.size == 0:

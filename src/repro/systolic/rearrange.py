@@ -45,6 +45,25 @@ class RearrangedOperands:
     cycles: int
 
 
+def rearrange_cycles(m_dim: int, n_dim: int, port_width: int = 16) -> int:
+    """Cycle cost of the relocation pass, derived analytically.
+
+    The module re-emits each element pair once: the interleaved input
+    and weight streams each carry ``2 * M * N`` elements, moved at the
+    L3 input port width.  Identical to
+    ``rearrange_for_mhp(...).cycles`` without constructing the streams.
+    Note the relocation rides the MHP injection (its cost is part of
+    the MHP event's fill/compute phases, as in the seed model), so the
+    trace records no separate rearrange event; this closed form exists
+    for timing consumers that want the pass cost in isolation, and the
+    hot execution path only materializes the actual streams on request
+    (the dataflow tests and the cycle-level simulator want the element
+    order).
+    """
+    total_elements = 4 * m_dim * n_dim
+    return -(-total_elements // port_width)
+
+
 def rearrange_for_mhp(
     x_raw: np.ndarray,
     k_raw: np.ndarray,

@@ -3,12 +3,30 @@
 The trace records one event per architecture-level operation (GEMM, IPF,
 MHP, preload) with its cycle breakdown, so utilization, the Fig. 1-style
 op mix and the energy accounting can all be derived from a single run.
+
+Aggregates (total cycles, cycles/ops per kind, cycles per label) are
+maintained *streaming* on :meth:`Trace.record`, so consulting them is
+O(1) in the number of recorded events — a long-lived serving process can
+read ``total_cycles`` per request without re-scanning its history.
+
+Retention modes
+---------------
+* ``retain_events=True`` (default) — every :class:`TraceEvent` stays in
+  :attr:`Trace.events` for post-hoc inspection (the examples and the
+  Fig.-1-style breakdowns want the full log).
+* ``retain_events=True, max_events=N`` — keep only the most recent ``N``
+  events; aggregates remain exact over the *whole* history.
+* ``retain_events=False`` — aggregate-only: nothing is appended to
+  ``events`` and memory stays constant no matter how many operations
+  run.  The serving engine puts its shard arrays in this mode by
+  default.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.systolic.timing import CycleBreakdown
 
@@ -24,42 +42,118 @@ class TraceEvent:
     breakdown: Optional[CycleBreakdown] = None
 
 
-@dataclass
 class Trace:
-    """Ordered event log with aggregate views."""
+    """Ordered event log with O(1) streaming aggregates.
 
-    events: List[TraceEvent] = field(default_factory=list)
+    Parameters
+    ----------
+    retain_events:
+        Keep the per-event log in :attr:`events`.  When False the trace
+        is aggregate-only (bounded memory; ``events`` stays empty).
+    max_events:
+        With ``retain_events=True``, cap the retained log at the most
+        recent ``max_events`` entries.  Aggregates always cover every
+        event ever recorded, retained or not.
+    """
 
+    def __init__(
+        self, retain_events: bool = True, max_events: Optional[int] = None
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be positive or None, got {max_events}")
+        self.retain_events = retain_events
+        self.max_events = max_events
+        self.events: "Deque[TraceEvent] | List[TraceEvent]" = (
+            deque(maxlen=max_events) if max_events is not None else []
+        )
+        self._n_events = 0
+        self._total_cycles = 0
+        self._cycles_by_kind: Dict[str, int] = {}
+        self._ops_by_kind: Dict[str, int] = {}
+        self._cycles_by_label: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
     def record(self, event: TraceEvent) -> None:
-        self.events.append(event)
+        """Account one event; append it to the log if retention is on."""
+        self._n_events += 1
+        self._total_cycles += event.cycles
+        kind = self._cycles_by_kind
+        kind[event.kind] = kind.get(event.kind, 0) + event.cycles
+        ops = self._ops_by_kind
+        ops[event.kind] = ops.get(event.kind, 0) + event.ops
+        label = self._cycles_by_label
+        label[event.label] = label.get(event.label, 0) + event.cycles
+        if self.retain_events:
+            self.events.append(event)
 
+    def configure(
+        self,
+        retain_events: Optional[bool] = None,
+        max_events: "Optional[int] | str" = "unchanged",
+    ) -> None:
+        """Switch retention mode in place.
+
+        Aggregates are untouched, and events already retained stay in
+        the log (turning retention off only stops *future* appends —
+        nothing a caller collected is destroyed; a tighter
+        ``max_events`` trims to the most recent entries).  Omitted
+        arguments keep their current setting; pass ``max_events=None``
+        explicitly to lift an existing bound.
+        """
+        if retain_events is not None:
+            self.retain_events = retain_events
+        if max_events != "unchanged":
+            if max_events is not None and max_events < 1:
+                raise ValueError(
+                    f"max_events must be positive or None, got {max_events}"
+                )
+            self.max_events = max_events
+        existing: Iterable[TraceEvent] = self.events
+        if self.max_events is not None:
+            self.events = deque(existing, maxlen=self.max_events)
+        else:
+            self.events = list(existing)
+
+    # ------------------------------------------------------------------
+    # Aggregate views (O(1) / O(distinct keys), never O(events))
+    # ------------------------------------------------------------------
     @property
     def total_cycles(self) -> int:
-        return sum(e.cycles for e in self.events)
+        return self._total_cycles
 
     def cycles_by_kind(self) -> Dict[str, int]:
         """Aggregate cycles per operation kind."""
-        out: Dict[str, int] = {}
-        for e in self.events:
-            out[e.kind] = out.get(e.kind, 0) + e.cycles
-        return out
+        return dict(self._cycles_by_kind)
 
     def ops_by_kind(self) -> Dict[str, int]:
         """Aggregate op counts per operation kind."""
-        out: Dict[str, int] = {}
-        for e in self.events:
-            out[e.kind] = out.get(e.kind, 0) + e.ops
-        return out
+        return dict(self._ops_by_kind)
 
     def cycles_by_label(self) -> Dict[str, int]:
         """Aggregate cycles per event label (e.g. per layer)."""
-        out: Dict[str, int] = {}
-        for e in self.events:
-            out[e.label] = out.get(e.label, 0) + e.cycles
-        return out
+        return dict(self._cycles_by_label)
+
+    @property
+    def events_recorded(self) -> int:
+        """Events accounted since the last clear (retained or not)."""
+        return self._n_events
+
+    @property
+    def events_retained(self) -> int:
+        """Events currently held in the log."""
+        return len(self.events)
 
     def clear(self) -> None:
+        """Drop the log and zero every aggregate (retention mode kept)."""
         self.events.clear()
+        self._n_events = 0
+        self._total_cycles = 0
+        self._cycles_by_kind.clear()
+        self._ops_by_kind.clear()
+        self._cycles_by_label.clear()
 
     def __len__(self) -> int:
-        return len(self.events)
+        """Number of events *recorded* (see :attr:`events_retained`)."""
+        return self._n_events

@@ -288,3 +288,56 @@ class TestEngineMechanics:
         assert np.array_equal(engine.result(request_id), kept)  # released here
         with pytest.raises(KeyError):
             engine.result(request_id)
+
+
+class TestServingTraceMemoryContract:
+    """The engine's bounded-memory contract for long-lived serving."""
+
+    def _engine(self, **kw):
+        cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        pool = ShardedDispatcher.from_arrays(
+            [SystolicArray(cfg), SystolicArray(cfg)], 0.25
+        )
+        engine = InferenceEngine(pool, max_batch_size=4, flush_timeout=1e-4, **kw)
+        engine.register("bert", tiny_bert())
+        return engine, pool
+
+    def test_shard_traces_aggregate_only_by_default(self):
+        engine, pool = self._engine()
+        for row in RNG.integers(0, 16, size=(6, 8)):
+            engine.submit("bert", row)
+        report = engine.run()
+        assert report.total_cycles > 0
+        for shard in range(pool.n_shards):
+            trace = pool.array_of(shard).trace
+            assert trace.events_retained == 0  # bounded memory
+            assert len(trace) > 0  # ...but every op was accounted
+        assert sum(report.shard_cycles.values()) == sum(
+            pool.array_of(s).total_cycles for s in range(pool.n_shards)
+        )
+
+    def test_opt_in_retains_full_event_log(self):
+        engine, pool = self._engine(retain_trace_events=True)
+        engine.submit("bert", RNG.integers(0, 16, size=8))
+        engine.run()
+        assert any(
+            pool.array_of(s).trace.events_retained > 0
+            for s in range(pool.n_shards)
+        )
+
+    def test_sustained_run_memory_stays_flat(self):
+        # 60 requests over 10 runs: retained events stay at zero while
+        # the cycle account keeps growing monotonically.
+        engine, pool = self._engine()
+        seen_cycles = 0
+        for _ in range(10):
+            for row in RNG.integers(0, 16, size=(6, 8)):
+                engine.submit("bert", row)
+            engine.run()
+            total = sum(pool.array_of(s).total_cycles for s in range(pool.n_shards))
+            assert total > seen_cycles
+            seen_cycles = total
+            assert all(
+                pool.array_of(s).trace.events_retained == 0
+                for s in range(pool.n_shards)
+            )

@@ -1,0 +1,396 @@
+"""Equivalence suite pinning the plan-cached whole-matrix refactor.
+
+The traced execution path was rebuilt around cached plans, whole-operand
+compute and analytic trace synthesis.  These tests pin the refactor to
+the seed semantics: bit-identical raw outputs, identical schedules and
+identical per-op cycle accounting versus the retained per-tile /
+per-lane / per-pair references.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import INT16, fixed_hadamard_mac, quantize
+from repro.nn.executor import ArrayBackend
+from repro.systolic import SystolicArray, SystolicConfig
+from repro.systolic.cycle_sim import CycleSimulator
+from repro.systolic.gemm import (
+    clear_plan_cache,
+    execute_gemm,
+    execute_gemm_per_tile,
+    plan_cache_info,
+    plan_gemm,
+    set_plan_cache_capacity,
+)
+from repro.systolic.mhp_dataflow import (
+    execute_mhp,
+    execute_mhp_per_lane,
+    mhp_plan_cache_info,
+    plan_mhp,
+)
+from repro.systolic.rearrange import rearrange_cycles, rearrange_for_mhp
+from repro.systolic.trace import Trace, TraceEvent
+
+
+def small_config(**kw):
+    return SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4, **kw)
+
+
+def rect_config():
+    return SystolicConfig(pe_rows=2, pe_cols=8, macs_per_pe=4, nonlinear_enabled=False)
+
+
+class TestWholeMatrixGemmEquivalence:
+    @pytest.mark.parametrize(
+        "config, m, k, n",
+        [
+            (small_config(), 9, 13, 7),
+            (small_config(), 4, 4, 4),
+            (small_config(), 33, 17, 29),
+            (rect_config(), 9, 13, 17),
+            (rect_config(), 7, 4, 11),
+        ],
+        ids=["square", "single-tile", "ragged", "rect", "rect-ragged"],
+    )
+    def test_whole_matrix_matches_per_tile(self, config, m, k, n):
+        rng = np.random.default_rng(m * 1000 + n)
+        a = quantize(rng.normal(size=(m, k)), INT16)
+        b = quantize(rng.normal(size=(k, n)), INT16)
+        out_whole, sched_whole = execute_gemm(config, a, b)
+        out_tiled, sched_tiled = execute_gemm_per_tile(
+            config, a, b, use_plan_cache=False
+        )
+        assert np.array_equal(out_whole, out_tiled)
+        assert out_whole.dtype == out_tiled.dtype
+        assert sched_whole.breakdown == sched_tiled.breakdown
+        assert sched_whole.n_tiles == len(sched_tiled.tiles)
+        assert sched_whole.input_traffic == sched_tiled.input_traffic
+
+    def test_saturating_operands_still_identical(self):
+        # Drive the accumulator into saturation territory: whole-matrix
+        # and per-tile must saturate identically on writeback.
+        rng = np.random.default_rng(5)
+        a = quantize(rng.normal(scale=60.0, size=(12, 20)), INT16)
+        b = quantize(rng.normal(scale=60.0, size=(20, 9)), INT16)
+        out_whole, _ = execute_gemm(small_config(), a, b)
+        out_tiled, _ = execute_gemm_per_tile(small_config(), a, b)
+        assert np.array_equal(out_whole, out_tiled)
+
+
+class TestGemmPlanCache:
+    def setup_method(self):
+        clear_plan_cache()
+        set_plan_cache_capacity()
+
+    def teardown_method(self):
+        clear_plan_cache()
+        set_plan_cache_capacity()
+
+    def test_repeat_shapes_hit_cache(self):
+        config = small_config()
+        first = plan_gemm(config, 64, 32, 16)
+        again = plan_gemm(config, 64, 32, 16)
+        assert again is first  # steady-state planning is a dict hit
+        info = plan_cache_info()
+        assert info["hits"] >= 1
+        assert info["size"] == 1
+
+    def test_distinct_configs_do_not_collide(self):
+        sq = plan_gemm(small_config(), 8, 8, 8)
+        rect = plan_gemm(rect_config(), 8, 8, 8)
+        assert sq is not rect
+        assert sq.breakdown != rect.breakdown or sq.config != rect.config
+
+    def test_uncached_plan_builds_fresh(self):
+        config = small_config()
+        cached = plan_gemm(config, 16, 16, 16)
+        fresh = plan_gemm(config, 16, 16, 16, use_cache=False)
+        assert fresh is not cached
+        assert fresh.breakdown == cached.breakdown
+
+    def test_capacity_bounds_occupancy(self):
+        config = small_config()
+        set_plan_cache_capacity(4)
+        for m in range(1, 11):
+            plan_gemm(config, m, 8, 8)
+        assert plan_cache_info()["size"] == 4
+        # Least-recently-used shapes were evicted, the newest retained.
+        assert plan_gemm(config, 10, 8, 8) is plan_gemm(config, 10, 8, 8)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            set_plan_cache_capacity(0)
+
+
+class TestLazyTileEnumeration:
+    def test_len_iter_getitem_agree(self):
+        schedule = plan_gemm(small_config(), 10, 8, 6, use_cache=False)
+        tiles = schedule.tiles
+        assert len(tiles) == schedule.n_tiles == 6
+        listed = list(tiles)
+        assert [t.index for t in listed] == list(range(6))
+        for i, tile in enumerate(listed):
+            assert tiles[i] == tile
+        assert tiles[-1] == listed[-1]
+        assert tiles[1:3] == listed[1:3]
+
+    def test_out_of_range_raises(self):
+        tiles = plan_gemm(small_config(), 8, 8, 8, use_cache=False).tiles
+        with pytest.raises(IndexError):
+            tiles[len(tiles)]
+
+    def test_tiles_cover_output_exactly_once(self):
+        schedule = plan_gemm(rect_config(), 7, 4, 11, use_cache=False)
+        covered = np.zeros((7, 11), dtype=int)
+        for t in schedule.tiles:
+            covered[t.row_start : t.row_end, t.col_start : t.col_end] += 1
+        assert np.all(covered == 1)
+
+    def test_enumeration_is_allocation_free_metadata(self):
+        # A huge schedule must be cheap to *hold*; only iteration pays.
+        schedule = plan_gemm(small_config(), 4096, 4096, 4096, use_cache=False)
+        assert schedule.n_tiles == 1024 * 1024
+        assert schedule.tiles[12345].index == 12345
+
+
+class TestMhpEquivalence:
+    def test_whole_matrix_matches_per_lane(self):
+        rng = np.random.default_rng(1)
+        config = small_config()
+        x = quantize(rng.normal(size=(10, 6)), INT16)
+        k = quantize(rng.normal(size=(10, 6)), INT16)
+        b = quantize(rng.normal(size=(10, 6)), INT16)
+        out_whole, sched_whole = execute_mhp(config, x, k, b)
+        out_lane, sched_lane = execute_mhp_per_lane(config, x, k, b)
+        assert np.array_equal(out_whole, out_lane)
+        assert np.array_equal(out_whole, fixed_hadamard_mac(x, k, b, INT16))
+        assert sched_whole.breakdown == sched_lane.breakdown
+
+    def test_mhp_plan_cache_hit(self):
+        config = small_config()
+        first = plan_mhp(config, 12, 12)
+        assert plan_mhp(config, 12, 12) is first
+        assert mhp_plan_cache_info()["size"] >= 1
+
+    def test_lazy_lane_rows_cover_rows(self):
+        schedule = plan_mhp(small_config(), 10, 5, use_cache=False)
+        all_rows = np.sort(np.concatenate(schedule.lane_rows))
+        assert np.array_equal(all_rows, np.arange(10))
+
+
+class TestBatchedArrayBackendEquivalence:
+    def _backends(self):
+        config = small_config()
+        return (
+            ArrayBackend(SystolicArray(config), 0.25),
+            ArrayBackend(SystolicArray(config), 0.25),
+        )
+
+    def test_stacked_matmul_matches_per_pair_loop(self):
+        rng = np.random.default_rng(2)
+        batched, looped = self._backends()
+        a = rng.normal(size=(6, 5, 7))
+        b = rng.normal(size=(6, 7, 4))
+
+        out_batched = batched.matmul(a, b)
+        out_looped = np.stack(
+            [looped.matmul(a[i], b[i]) for i in range(a.shape[0])]
+        )
+        assert np.array_equal(out_batched, out_looped)
+
+        # Trace content must be identical: same event count, same
+        # per-kind cycle totals, same per-event cycles/ops.
+        t_batched, t_looped = batched.array.trace, looped.array.trace
+        assert len(t_batched) == len(t_looped) == 6
+        assert t_batched.total_cycles == t_looped.total_cycles
+        assert t_batched.cycles_by_kind() == t_looped.cycles_by_kind()
+        assert t_batched.ops_by_kind() == t_looped.ops_by_kind()
+        for eb, el in zip(t_batched.events, t_looped.events):
+            assert (eb.kind, eb.cycles, eb.ops) == (el.kind, el.cycles, el.ops)
+            assert eb.breakdown == el.breakdown
+
+    def test_broadcast_leading_axes(self):
+        rng = np.random.default_rng(3)
+        batched, looped = self._backends()
+        a = rng.normal(size=(2, 3, 4, 5))
+        b = rng.normal(size=(5, 6))
+        out = batched.matmul(a, b)
+        assert out.shape == (2, 3, 4, 6)
+        assert np.array_equal(out[1, 2], looped.matmul(a[1, 2], b))
+        assert len(batched.array.trace) == 6
+
+    def test_batched_result_breakdown_scales(self):
+        config = small_config()
+        array = SystolicArray(config)
+        rng = np.random.default_rng(4)
+        a = quantize(rng.normal(size=(3, 4, 4)), INT16)
+        b = quantize(rng.normal(size=(3, 4, 4)), INT16)
+        result = array.gemm_raw_batched(a, b)
+        single = array.gemm_raw(a[0], b[0])
+        assert result.breakdown.total == 3 * single.breakdown.total
+
+    def test_batched_rejects_bad_shapes(self):
+        array = SystolicArray(small_config())
+        with pytest.raises(ValueError):
+            array.gemm_raw_batched(np.zeros((2, 3, 4)), np.zeros((3, 4, 2)))
+        with pytest.raises(ValueError):
+            array.gemm_raw_batched(np.zeros((2, 3, 4)), np.zeros((2, 5, 2)))
+        with pytest.raises(ValueError):
+            array.gemm_raw_batched(np.zeros((3, 4)), np.zeros((4, 2)))
+
+
+class TestCycleSimCrossCheck:
+    """The event-level PE grid still agrees with the whole-matrix path."""
+
+    @pytest.mark.parametrize(
+        "config", [small_config(), rect_config()], ids=["square", "rect"]
+    )
+    def test_single_tile_matches_cycle_sim(self, config):
+        rng = np.random.default_rng(6)
+        m, n = config.pe_rows, config.pe_cols
+        a = quantize(rng.normal(size=(m, 10)), INT16)
+        b = quantize(rng.normal(size=(10, n)), INT16)
+        fast, _ = execute_gemm(config, a, b)
+        sim = CycleSimulator(config).run_gemm_tile(a, b)
+        assert np.array_equal(fast, sim.output)
+
+    def test_multi_tile_blocks_match_cycle_sim(self):
+        config = rect_config()
+        rng = np.random.default_rng(7)
+        a = quantize(rng.normal(size=(5, 6)), INT16)
+        b = quantize(rng.normal(size=(6, 11)), INT16)
+        whole, schedule = execute_gemm(config, a, b)
+        for tile in schedule.tiles:
+            sim = CycleSimulator(config).run_gemm_tile(
+                a[tile.row_start : tile.row_end, :],
+                b[:, tile.col_start : tile.col_end],
+            )
+            assert np.array_equal(
+                whole[tile.row_start : tile.row_end, tile.col_start : tile.col_end],
+                sim.output,
+            )
+
+
+class TestRearrangeMetadataOnly:
+    def test_hot_path_builds_no_streams(self):
+        array = SystolicArray(small_config())
+        x = quantize(np.random.default_rng(8).normal(size=(6, 6)), INT16)
+        result = array.apply_nonlinear_raw("gelu", x, 0.25)
+        assert result.streams is None
+
+    def test_flag_materializes_streams(self):
+        array = SystolicArray(small_config())
+        rng = np.random.default_rng(9)
+        x = quantize(rng.normal(size=(6, 6)), INT16)
+        plain = array.apply_nonlinear_raw("gelu", x, 0.25)
+        streamed = array.apply_nonlinear_raw(
+            "gelu", x, 0.25, materialize_streams=True
+        )
+        assert np.array_equal(plain.raw, streamed.raw)
+        assert streamed.streams is not None
+        # The materialized pass agrees with the closed-form cycle cost
+        # and carries the operands losslessly.
+        assert streamed.streams.cycles == rearrange_cycles(
+            6, 6, port_width=array.config.l3_in_width
+        )
+        from repro.systolic.rearrange import deinterleave
+
+        xs, ones = deinterleave(streamed.streams.input_stream)
+        assert np.array_equal(xs, x)
+        assert np.all(ones == 1 << INT16.frac_bits)
+
+    def test_rearrange_cycles_matches_constructed(self):
+        out = rearrange_for_mhp(
+            np.zeros((5, 4)), np.zeros((5, 4)), np.zeros((5, 4)), 4, 256,
+            port_width=16,
+        )
+        assert out.cycles == rearrange_cycles(5, 4, port_width=16)
+
+
+class TestTraceAggregateMode:
+    def _event(self, kind="gemm", label="l", cycles=10, ops=100):
+        return TraceEvent(kind, label, cycles=cycles, ops=ops)
+
+    def test_aggregate_only_is_memory_bounded(self):
+        trace = Trace(retain_events=False)
+        for i in range(10_000):
+            trace.record(self._event(cycles=i % 7, ops=1))
+        assert trace.events_retained == 0
+        assert len(trace) == 10_000
+        assert trace.total_cycles == sum(i % 7 for i in range(10_000))
+        assert trace.ops_by_kind() == {"gemm": 10_000}
+
+    def test_bounded_log_keeps_most_recent(self):
+        trace = Trace(max_events=4)
+        for i in range(10):
+            trace.record(self._event(label=f"op{i}"))
+        assert trace.events_retained == 4
+        assert [e.label for e in trace.events] == ["op6", "op7", "op8", "op9"]
+        # Aggregates still cover the full history.
+        assert trace.total_cycles == 100
+        assert len(trace) == 10
+
+    def test_aggregates_match_event_scan(self):
+        trace = Trace()
+        rng = np.random.default_rng(10)
+        for _ in range(200):
+            kind = ("gemm", "mhp", "ipf")[int(rng.integers(3))]
+            trace.record(
+                self._event(
+                    kind=kind,
+                    label=f"{kind}.x",
+                    cycles=int(rng.integers(1, 50)),
+                    ops=int(rng.integers(1, 500)),
+                )
+            )
+        assert trace.total_cycles == sum(e.cycles for e in trace.events)
+        by_kind = {}
+        for e in trace.events:
+            by_kind[e.kind] = by_kind.get(e.kind, 0) + e.cycles
+        assert trace.cycles_by_kind() == by_kind
+
+    def test_configure_switches_modes_in_place(self):
+        trace = Trace()
+        for _ in range(5):
+            trace.record(self._event())
+        trace.configure(retain_events=False)
+        # Already-collected events survive the switch; only future
+        # appends stop.
+        assert trace.events_retained == 5
+        trace.record(self._event())
+        assert trace.events_retained == 5
+        assert trace.total_cycles == 60
+        trace.configure(retain_events=True, max_events=2)
+        trace.record(self._event())
+        trace.record(self._event())
+        trace.record(self._event())
+        assert trace.events_retained == 2
+        assert trace.total_cycles == 90
+
+    def test_clear_preserves_mode(self):
+        trace = Trace(retain_events=False)
+        trace.record(self._event())
+        trace.clear()
+        assert trace.total_cycles == 0
+        assert len(trace) == 0
+        trace.record(self._event())
+        assert trace.events_retained == 0
+
+    def test_invalid_max_events(self):
+        with pytest.raises(ValueError):
+            Trace(max_events=0)
+        with pytest.raises(ValueError):
+            Trace().configure(max_events=-1)
+
+    def test_array_o1_aggregates_follow_mode(self):
+        array = SystolicArray(small_config(), retain_trace_events=False)
+        array.matmul(np.ones((8, 8)), np.ones((8, 8)))
+        array.apply_nonlinear("gelu", np.zeros((4, 4)), 0.25)
+        assert array.total_cycles > 0
+        assert array.trace.events_retained == 0
+        summary = array.utilization_summary()
+        assert sum(summary.values()) == pytest.approx(1.0)
+        array.reset()
+        assert array.total_cycles == 0
+        array.matmul(np.ones((4, 4)), np.ones((4, 4)))
+        assert array.trace.events_retained == 0  # mode survives reset
