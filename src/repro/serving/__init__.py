@@ -1,33 +1,53 @@
-"""Batched inference serving on top of the (ONE-)SA simulator.
+"""Multi-tenant batched inference serving on top of the (ONE-)SA simulator.
 
-This subpackage turns the single-call simulator into a multi-request
-serving system:
+This subpackage turns the single-call simulator into a multi-request,
+multi-tenant serving system:
 
-* request/completion records (:mod:`repro.serving.request`);
+* request/completion records with tenant, priority and deadline fields
+  (:mod:`repro.serving.request`);
 * deterministic dynamic batching with max-batch-size and flush-timeout
-  knobs (:mod:`repro.serving.batcher`) — co-pending requests for the
-  same model are stacked so their GEMMs share tiles, which the
-  vectorized :func:`repro.fixedpoint.fixed_matmul` executes in one
-  call, bit-identical to per-request inference;
+  knobs (:mod:`repro.serving.batcher`) — co-pending requests of the
+  same tenant and model are stacked so their GEMMs share tiles, which
+  the vectorized :func:`repro.fixedpoint.fixed_matmul` executes in one
+  call, bit-identical to per-request inference; the incremental
+  :class:`~repro.serving.batcher.BatchAssembler` applies the same
+  rules while requests keep arriving;
+* tenant contracts — fair-share weight, strict priority, latency SLO
+  (:mod:`repro.serving.tenancy`);
+* per-tenant queues with pluggable fairness policies (weighted
+  round-robin, strict priority) driving a discrete-event scheduler
+  loop that admits requests while batches are in flight
+  (:mod:`repro.serving.scheduler`);
 * round-robin sharding across a pool of
   :class:`~repro.systolic.array.SystolicArray` instances with per-array
-  trace aggregation (:mod:`repro.serving.dispatcher`);
-* the engine tying queue, batcher and shards together
+  trace aggregation and per-tenant namespace attribution
+  (:mod:`repro.serving.dispatcher`);
+* the engine tying admission, scheduler and shards together
   (:mod:`repro.serving.engine`);
 * serving-level reporting — latency percentiles, throughput,
-  cycles/request (:mod:`repro.serving.report`).
+  cycles/request, per-tenant SLO attainment
+  (:mod:`repro.serving.report`).
 
-See ``examples/serving_demo.py`` for an end-to-end tour.
+See ``examples/serving_demo.py`` and ``examples/multitenant_demo.py``
+for end-to-end tours, and ``docs/serving.md`` for the operator guide.
 """
 
-from repro.serving.batcher import Batch, DynamicBatcher
+from repro.serving.batcher import Batch, BatchAssembler, DynamicBatcher
 from repro.serving.dispatcher import ShardedDispatcher
 from repro.serving.engine import InferenceEngine, ModelEndpoint
 from repro.serving.report import ServingReport
 from repro.serving.request import CompletedRequest, InferenceRequest
+from repro.serving.scheduler import (
+    SchedulingPolicy,
+    StrictPriority,
+    TenantScheduler,
+    WeightedRoundRobin,
+)
+from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig, TenantRegistry
 
 __all__ = [
     "Batch",
+    "BatchAssembler",
     "DynamicBatcher",
     "ShardedDispatcher",
     "InferenceEngine",
@@ -35,4 +55,11 @@ __all__ = [
     "ServingReport",
     "CompletedRequest",
     "InferenceRequest",
+    "SchedulingPolicy",
+    "StrictPriority",
+    "TenantScheduler",
+    "WeightedRoundRobin",
+    "DEFAULT_TENANT",
+    "TenantConfig",
+    "TenantRegistry",
 ]

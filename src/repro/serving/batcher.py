@@ -1,13 +1,23 @@
 """Dynamic batching of queued inference requests.
 
-The batcher groups requests *per model* in arrival order and flushes an
-open batch when either knob fires:
+Batches group requests *per (tenant, model)* in arrival order — one
+batch never mixes tenants, so its traced cycles attribute to exactly
+one tenant — and an open batch flushes when either knob fires:
 
 * **max_batch_size** — the batch is full the moment the Nth request
   joins; it becomes ready at that request's arrival time;
 * **flush_timeout** — an incomplete batch stops waiting for company
   ``flush_timeout`` seconds after its oldest request arrived and
   becomes ready at that deadline.
+
+Two front-ends share those semantics:
+
+* :class:`DynamicBatcher` plans a complete request list offline
+  (the PR-1 drain model; kept as the reference semantics);
+* :class:`BatchAssembler` applies the same rules *incrementally* —
+  requests are admitted one at a time, open groups can be inspected
+  and popped as simulated time advances — which is what lets the
+  scheduler loop accept new requests while a batch is in flight.
 
 Batching is planned deterministically from the arrival timestamps
 (discrete-event style) rather than with threads, so a request stream
@@ -17,20 +27,23 @@ rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.serving.request import InferenceRequest
+from repro.serving.tenancy import DEFAULT_TENANT
 
 
 @dataclass(frozen=True)
 class Batch:
-    """A group of same-model requests executed as one stacked inference."""
+    """A group of same-tenant, same-model requests executed as one
+    stacked inference."""
 
     index: int
     model: str
     requests: Tuple[InferenceRequest, ...]
     ready_time: float
+    tenant: str = DEFAULT_TENANT
 
     @property
     def size(self) -> int:
@@ -64,20 +77,22 @@ class DynamicBatcher:
 
     def plan(self, requests: Sequence[InferenceRequest]) -> List[Batch]:
         """Group ``requests`` into batches, ordered by ready time."""
-        pending: Dict[str, List[InferenceRequest]] = {}
-        deadline: Dict[str, float] = {}
+        Key = Tuple[str, str]  # (tenant, model)
+        pending: Dict[Key, List[InferenceRequest]] = {}
+        deadline: Dict[Key, float] = {}
         batches: List[Batch] = []
 
-        def flush(model: str, at: float) -> None:
-            group = pending.pop(model, [])
-            deadline.pop(model, None)
+        def flush(key: Key, at: float) -> None:
+            group = pending.pop(key, [])
+            deadline.pop(key, None)
             if group:
                 batches.append(
                     Batch(
                         index=len(batches),
-                        model=model,
+                        model=key[1],
                         requests=tuple(group),
                         ready_time=at,
+                        tenant=key[0],
                     )
                 )
 
@@ -88,26 +103,176 @@ class DynamicBatcher:
             # still joins (this is what keeps a same-instant burst in
             # one batch even with flush_timeout=0).
             expired = sorted(
-                (when, model)
-                for model, when in deadline.items()
+                (when, key)
+                for key, when in deadline.items()
                 if when < req.arrival
             )
-            for when, model in expired:
-                flush(model, at=when)
+            for when, key in expired:
+                flush(key, at=when)
 
-            group = pending.setdefault(req.model, [])
+            key = (req.tenant, req.model)
+            group = pending.setdefault(key, [])
             group.append(req)
             if len(group) == 1:
-                deadline[req.model] = req.arrival + self.flush_timeout
+                deadline[key] = req.arrival + self.flush_timeout
             if len(group) >= self.max_batch_size:
-                flush(req.model, at=req.arrival)
+                flush(key, at=req.arrival)
 
         # End of stream: remaining timers run out.
-        for when, model in sorted((when, model) for model, when in deadline.items()):
-            flush(model, at=when)
+        for when, key in sorted((when, key) for key, when in deadline.items()):
+            flush(key, at=when)
 
         batches.sort(key=lambda b: (b.ready_time, b.index))
         return [
-            Batch(index=i, model=b.model, requests=b.requests, ready_time=b.ready_time)
+            Batch(
+                index=i,
+                model=b.model,
+                requests=b.requests,
+                ready_time=b.ready_time,
+                tenant=b.tenant,
+            )
             for i, b in enumerate(batches)
         ]
+
+
+@dataclass
+class OpenGroup:
+    """One in-assembly batch of a ``(tenant, model)`` pair.
+
+    ``closed_at`` is set the moment the group stops accepting requests
+    — at the size-capping request's arrival when it fills, or at its
+    flush deadline when a later same-key arrival proves the deadline
+    has passed; until then the group's ready time is its oldest
+    arrival plus the flush timeout.
+    """
+
+    tenant: str
+    model: str
+    seq: int
+    requests: List[InferenceRequest] = field(default_factory=list)
+    closed_at: Optional[float] = None
+
+    def ready_time(self, flush_timeout: float) -> float:
+        if self.closed_at is not None:
+            return self.closed_at
+        return self.requests[0].arrival + flush_timeout
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class BatchAssembler:
+    """Incremental batch assembly with the :class:`DynamicBatcher` rules.
+
+    Requests are admitted one at a time into at most one *open* group
+    per ``(tenant, model)`` pair; a group that reaches
+    ``max_batch_size`` closes immediately (ready at the filling
+    arrival) and the next same-key request starts a fresh group, while
+    a partial group becomes ready ``flush_timeout`` after its oldest
+    arrival.  The scheduler polls :meth:`earliest_ready` /
+    :meth:`ready_groups` as its simulated clock advances and pops
+    groups for execution — admission between pops is what the
+    admit-while-in-flight serving path rides on.
+
+    Fed the same request stream, the assembler produces exactly the
+    *batch compositions and ready times* :meth:`DynamicBatcher.plan`
+    would (the scheduler tests assert this).  Execution order of
+    batches tied at the same ready instant is admission (seq) order —
+    policy-arbitrated across tenants — rather than the offline
+    planner's flush order, which for timer ties was an artifact of
+    key iteration.
+    """
+
+    def __init__(self, max_batch_size: int = 8, flush_timeout: float = 1e-3):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if flush_timeout < 0:
+            raise ValueError(f"flush_timeout must be >= 0, got {flush_timeout}")
+        self.max_batch_size = int(max_batch_size)
+        self.flush_timeout = float(flush_timeout)
+        self._open: Dict[Tuple[str, str], OpenGroup] = {}
+        self._closed: Dict[int, OpenGroup] = {}  # seq -> group, insertion order
+        self._seq = 0
+        self._n_pending = 0
+        # Cached min ready time over all groups.  Admission only ever
+        # adds a group or *lowers* one's ready time (closing on fill),
+        # so the cache updates in O(1) per admit; a pop recomputes it
+        # (O(groups), once per executed batch).
+        self._earliest: Optional[float] = None
+
+    @property
+    def n_pending(self) -> int:
+        """Requests admitted and not yet popped."""
+        return self._n_pending
+
+    def _groups(self) -> List[OpenGroup]:
+        return list(self._closed.values()) + list(self._open.values())
+
+    def _close(self, group: OpenGroup, at: float) -> None:
+        group.closed_at = at
+        del self._open[(group.tenant, group.model)]
+        self._closed[group.seq] = group
+
+    def admit(self, request: InferenceRequest) -> None:
+        """Add one request to its (tenant, model) open group (O(1)).
+
+        A same-key group whose flush deadline already passed (strictly
+        before this arrival) is sealed first, exactly as
+        :meth:`DynamicBatcher.plan` fires expired timers before a new
+        request joins — the request then opens a fresh group.
+        """
+        key = (request.tenant, request.model)
+        group = self._open.get(key)
+        if group is not None and group.ready_time(self.flush_timeout) < request.arrival:
+            self._close(group, at=group.ready_time(self.flush_timeout))
+            group = None
+        if group is None:
+            group = OpenGroup(tenant=request.tenant, model=request.model, seq=self._seq)
+            self._seq += 1
+            self._open[key] = group
+        group.requests.append(request)
+        self._n_pending += 1
+        if group.size >= self.max_batch_size:
+            self._close(group, at=request.arrival)
+        ready = group.ready_time(self.flush_timeout)
+        if self._earliest is None or ready < self._earliest:
+            self._earliest = ready
+
+    def earliest_ready(self) -> Optional[float]:
+        """Soonest simulated time any group is ready (None if empty, O(1))."""
+        return self._earliest
+
+    def ready_groups(self, now: float) -> List[OpenGroup]:
+        """Groups ready at or before ``now``, in (ready, seq) order."""
+        ready = [
+            g
+            for g in self._groups()
+            if g.ready_time(self.flush_timeout) <= now
+        ]
+        ready.sort(key=lambda g: (g.ready_time(self.flush_timeout), g.seq))
+        return ready
+
+    def pop(self, group: OpenGroup, index: int) -> Batch:
+        """Remove ``group`` from assembly as an executable :class:`Batch`."""
+        if group.closed_at is not None:
+            del self._closed[group.seq]
+        else:
+            del self._open[(group.tenant, group.model)]
+        self._n_pending -= group.size
+        times = [g.ready_time(self.flush_timeout) for g in self._groups()]
+        self._earliest = min(times) if times else None
+        return Batch(
+            index=index,
+            model=group.model,
+            requests=tuple(group.requests),
+            ready_time=group.ready_time(self.flush_timeout),
+            tenant=group.tenant,
+        )
+
+    def clear(self) -> None:
+        """Drop every admitted-but-unpopped request."""
+        self._open.clear()
+        self._closed.clear()
+        self._n_pending = 0
+        self._earliest = None

@@ -65,6 +65,23 @@ class ShardedDispatcher:
                 cycles[shard] = array.total_cycles
         return cycles
 
+    def namespace_cycles(self) -> Dict[str, int]:
+        """Traced cycles per trace namespace, summed over the pool.
+
+        The engine executes every batch inside the owning tenant's
+        namespace (see :meth:`repro.systolic.trace.Trace.namespace`),
+        so this is the pool-wide per-tenant cycle account — available
+        even in aggregate-only retention mode.
+        """
+        totals: Dict[str, int] = {}
+        for shard in range(self.n_shards):
+            array = self.array_of(shard)
+            if array is None:
+                continue
+            for name, cycles in array.trace.cycles_by_namespace().items():
+                totals[name] = totals.get(name, 0) + cycles
+        return totals
+
     def reset(self) -> None:
         """Clear all array traces and restart the round-robin pointer."""
         for shard in range(self.n_shards):

@@ -1,18 +1,33 @@
-"""The batched inference serving engine.
+"""The multi-tenant batched inference serving engine.
 
 :class:`InferenceEngine` accepts concurrent requests for any number of
-registered models, packs co-pending same-model requests into shared
-batches (one stacked ``infer`` call — whose linear layers fold the
-batch into single wide GEMM tiles), and places the batches on a
+registered models from any number of tenants, packs co-pending
+same-tenant same-model requests into shared batches (one stacked
+``infer`` call — whose linear layers fold the batch into single wide
+GEMM tiles), and places the batches on a
 :class:`~repro.serving.dispatcher.ShardedDispatcher` pool round-robin.
-Each run produces a :class:`~repro.serving.report.ServingReport` with
-latency percentiles, throughput and cycles/request aggregated from the
-per-array traces.
+Which tenant's ready batch runs next is decided by the configured
+scheduling policy (weighted round-robin or strict priority — see
+:mod:`repro.serving.scheduler`).  Each run produces a
+:class:`~repro.serving.report.ServingReport` with latency percentiles,
+throughput, cycles/request, and a per-tenant SLO section aggregated
+from the per-array traces.
+
+**Admission is decoupled from execution.**  :meth:`submit` only queues;
+the scheduler loop inside :meth:`run` (or a caller-driven
+:meth:`step` sequence) interleaves admission with batch execution, so
+new requests — from the submission buffer, from a streaming
+``request_source``, or submitted by callbacks while a batch is in
+flight — join their tenant queues without waiting for a drain.  The
+loop is discrete-event over simulated arrival time, so a request
+stream always reproduces the same batches, placements and report.
 
 Batched execution is bit-identical to running every request alone:
 stacking adds rows to the GEMMs and elementwise stages, and every
 output element is still produced by the same saturating fixed-point
 dot product — the equivalence the test suite asserts per backend.
+Tenancy never changes results either: it only partitions batches and
+orders them, which the same tests pin down.
 
 **Memory contract.**  A serving process is long-lived, so the engine
 puts every hardware shard's trace into *aggregate-only* mode at
@@ -20,16 +35,18 @@ construction (see :class:`~repro.systolic.trace.Trace`): per-request
 cycle accounting reads the O(1) streaming aggregates and no further
 per-event log accumulates (events a trace already retained are left
 in place), keeping shard memory constant over arbitrarily long
-request streams.  Request outputs are handed over exactly once by
+request streams.  Per-tenant attribution costs O(tenants x labels),
+not O(events): each batch executes inside its tenant's trace
+namespace.  Request outputs are handed over exactly once by
 :meth:`InferenceEngine.result` and released.  Pass
 ``retain_trace_events=True`` to keep the full per-event logs instead
 (for Fig.-1-style op-mix breakdowns of a serving run); memory then
 grows with the number of traced operations until
 :meth:`InferenceEngine.reset`.
 
-Typical use::
+Typical multi-tenant use::
 
-    from repro.serving import InferenceEngine, ShardedDispatcher
+    from repro.serving import InferenceEngine, ShardedDispatcher, TenantConfig
     from repro.systolic import SystolicArray, ONE_SA_PAPER_CONFIG
 
     pool = ShardedDispatcher.from_arrays(
@@ -37,24 +54,34 @@ Typical use::
     )
     engine = InferenceEngine(pool, max_batch_size=8, flush_timeout=1e-4)
     engine.register("bert", model)
-    ids = [engine.submit("bert", tokens) for tokens in token_rows]
+    engine.register_tenant("gold", weight=3.0, slo_latency=2e-3)
+    engine.register_tenant("free", weight=1.0)
+    ids = [engine.submit("bert", row, tenant="gold") for row in gold_rows]
+    ids += [engine.submit("bert", row, tenant="free") for row in free_rows]
     report = engine.run()
     outputs = [engine.result(i) for i in ids]
-    print(report.summary())
+    print(report.summary())        # includes the per-tenant SLO section
+
+The single-tenant API is unchanged: ``submit`` without a tenant uses
+the implicit default tenant, and with one tenant the scheduler
+degenerates to plain ready-time (FIFO) order.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
-from repro.serving.batcher import Batch, DynamicBatcher
+from repro.serving.batcher import Batch
 from repro.serving.dispatcher import ShardedDispatcher
 from repro.serving.report import ServingReport
 from repro.serving.request import CompletedRequest, InferenceRequest
+from repro.serving.scheduler import SchedulingPolicy, TenantScheduler
+from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig, TenantRegistry
 
 
 @dataclass(frozen=True)
@@ -72,21 +99,65 @@ class ModelEndpoint:
     batchable: bool = True
 
 
+class _RequestSource:
+    """One-item-lookahead wrapper over a streaming request iterable.
+
+    The lookahead holds the *raw* item: peeking only parses its
+    arrival time, and full coercion (request-id assignment, validation,
+    the engine's last-arrival bookkeeping) happens at :meth:`pop`, when
+    the request is actually admitted — so an item merely peeked at has
+    no side effects on concurrently submitted requests.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, items: Iterable, engine: "InferenceEngine") -> None:
+        self._iter: Iterator = iter(items)
+        self._engine = engine
+        self._head: object = next(self._iter, self._SENTINEL)
+        self._last_arrival: Optional[float] = None
+
+    def peek_arrival(self) -> Optional[float]:
+        if self._head is self._SENTINEL:
+            return None
+        return self._engine._peek_item_arrival(self._head)
+
+    def pop(self) -> InferenceRequest:
+        assert self._head is not self._SENTINEL
+        request = self._engine._coerce_source_item(self._head)
+        if self._last_arrival is not None and request.arrival < self._last_arrival:
+            raise ValueError(
+                "request_source must be sorted by arrival time: got "
+                f"{request.arrival} after {self._last_arrival}"
+            )
+        self._last_arrival = request.arrival
+        self._head = next(self._iter, self._SENTINEL)
+        return request
+
+
 class InferenceEngine:
-    """Queue + dynamic batcher + sharded dispatch over model endpoints.
+    """Admission queue + tenant scheduler + sharded dispatch.
 
     Parameters
     ----------
     dispatcher:
         The shard pool batches execute on.
     max_batch_size, flush_timeout:
-        Dynamic-batching knobs (see
-        :class:`~repro.serving.batcher.DynamicBatcher`).
+        Batch-assembly knobs, applied per (tenant, model) group (see
+        :class:`~repro.serving.batcher.BatchAssembler`).
     retain_trace_events:
         False (default) flips every hardware shard's trace to
         aggregate-only mode so serving memory stays bounded; True keeps
         the full per-event logs on the shard arrays (see the module
         docstring's memory contract).
+    policy:
+        Tenant arbitration when several tenants have batches ready at
+        the same instant: ``"weighted_round_robin"`` (default),
+        ``"strict_priority"``, or a
+        :class:`~repro.serving.scheduler.SchedulingPolicy` instance.
+    tenants:
+        Optional iterable of :class:`~repro.serving.tenancy.TenantConfig`
+        to pre-register (equivalent to :meth:`register_tenant` calls).
     """
 
     def __init__(
@@ -95,15 +166,23 @@ class InferenceEngine:
         max_batch_size: int = 8,
         flush_timeout: float = 1e-3,
         retain_trace_events: bool = False,
+        policy: Union[str, SchedulingPolicy] = "weighted_round_robin",
+        tenants: Optional[Iterable[TenantConfig]] = None,
     ):
         self.dispatcher = dispatcher
         for shard in range(dispatcher.n_shards):
             array = dispatcher.array_of(shard)
             if array is not None:
                 array.trace.configure(retain_events=retain_trace_events)
-        self.batcher = DynamicBatcher(max_batch_size, flush_timeout)
+        self.tenants = TenantRegistry()
+        for config in tenants or ():
+            self.tenants.register(config)
+        self.scheduler = TenantScheduler(
+            self.tenants, policy, max_batch_size, flush_timeout
+        )
         self._endpoints: Dict[str, ModelEndpoint] = {}
-        self._pending: List[InferenceRequest] = []
+        self._submitted: List[InferenceRequest] = []
+        self._run_buffered = 0  # run()-local feed not yet admitted
         self._results: Dict[int, np.ndarray] = {}
         self._next_id = 0
         self._last_arrival = 0.0
@@ -131,69 +210,294 @@ class InferenceEngine:
             infer_fn = model.infer  # type: ignore[union-attr]
         self._endpoints[name] = ModelEndpoint(name, infer_fn, batchable)
 
+    def register_tenant(
+        self,
+        tenant_id: str,
+        *,
+        weight: float = 1.0,
+        priority: int = 0,
+        slo_latency: Optional[float] = None,
+    ) -> TenantConfig:
+        """Declare a tenant's fair-share weight, priority and SLO.
+
+        Unregistered tenant ids are still accepted at :meth:`submit`
+        with default weight 1 / priority 0 / no SLO.
+        """
+        return self.tenants.register(
+            TenantConfig(
+                tenant_id=tenant_id,
+                weight=weight,
+                priority=priority,
+                slo_latency=slo_latency,
+            )
+        )
+
     def submit(
         self,
         model: str,
         inputs: np.ndarray,
         arrival: Optional[float] = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        priority: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> int:
         """Queue one request; returns its id for :meth:`result`.
 
         ``arrival`` is the simulated arrival time; it defaults to the
         previous request's arrival, so back-to-back submissions model a
         concurrent burst that the batcher may pack together.
+        ``priority`` defaults to the tenant's configured priority,
+        resolved lazily at scheduling time (so ``register_tenant``
+        after ``submit`` still applies), and ``deadline`` (absolute
+        simulated time) defaults to none — a request finishing late is
+        still answered but counts as a miss in the report's SLO
+        accounting.
+
+        Submission is pure admission: it can be called before a run,
+        between :meth:`step` calls, or from code executing while a
+        batch is in flight; the scheduler loop picks the request up at
+        its next decision point.
         """
+        request = self._make_request(model, inputs, arrival, tenant, priority, deadline)
+        self._submitted.append(request)
+        return request.request_id
+
+    def _make_request(
+        self,
+        model: str,
+        inputs: np.ndarray,
+        arrival: Optional[float],
+        tenant: str,
+        priority: Optional[int],
+        deadline: Optional[float],
+    ) -> InferenceRequest:
+        """Validate and build one request (shared by submit and source)."""
         if model not in self._endpoints:
             raise KeyError(
                 f"unknown model {model!r}; registered: {sorted(self._endpoints)}"
             )
         if arrival is None:
             arrival = self._last_arrival
+        arrival = float(arrival)
         if arrival < 0:
             raise ValueError(f"arrival must be >= 0, got {arrival}")
-        self._last_arrival = float(arrival)
+        self._last_arrival = arrival
         request = InferenceRequest(
             request_id=self._next_id,
             model=model,
             inputs=np.asarray(inputs),
-            arrival=float(arrival),
+            arrival=arrival,
+            tenant=tenant,
+            priority=None if priority is None else int(priority),
+            deadline=None if deadline is None else float(deadline),
         )
         self._next_id += 1
-        self._pending.append(request)
-        return request.request_id
+        return request
+
+    _SOURCE_FIELDS = ("model", "inputs", "arrival", "tenant", "priority", "deadline")
+
+    def _peek_item_arrival(self, item: object) -> float:
+        """Arrival of a raw ``request_source`` item, without admitting it."""
+        if isinstance(item, dict):
+            arrival = item.get("arrival")
+        elif isinstance(item, tuple):
+            arrival = item[2] if len(item) > 2 else None
+        else:
+            arrival = self._raise_bad_source_item(item)
+        # An omitted or explicit-None arrival defaults, like submit().
+        return self._last_arrival if arrival is None else float(arrival)
+
+    @staticmethod
+    def _raise_bad_source_item(item: object) -> None:
+        # InferenceRequest instances are deliberately NOT accepted:
+        # the engine assigns its own request ids, so a caller-built
+        # request's id would silently stop matching result().
+        raise TypeError(
+            "request_source items must be dicts of submit() keywords or "
+            f"(model, inputs[, arrival[, tenant]]) tuples, got {type(item)!r}"
+        )
+
+    def _coerce_source_item(self, item: object) -> InferenceRequest:
+        """Turn one ``request_source`` element into a queued request."""
+        if isinstance(item, dict):
+            unknown = set(item) - set(self._SOURCE_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"request_source dict has unknown keys {sorted(unknown)}; "
+                    f"allowed: {list(self._SOURCE_FIELDS)}"
+                )
+            kwargs = dict(item)
+        elif isinstance(item, tuple):
+            fields = self._SOURCE_FIELDS[:4]
+            if len(item) > len(fields):
+                raise ValueError(
+                    f"request_source tuple has {len(item)} elements; expected "
+                    f"at most {len(fields)}: {fields} (use a dict for "
+                    "priority/deadline)"
+                )
+            kwargs = dict(zip(fields, item))
+        else:
+            self._raise_bad_source_item(item)
+        missing = {"model", "inputs"} - set(kwargs)
+        if missing:
+            raise ValueError(
+                f"request_source item is missing required {sorted(missing)}: {item!r}"
+            )
+        return self._make_request(
+            model=kwargs.get("model"),
+            inputs=kwargs["inputs"],
+            arrival=kwargs.get("arrival"),
+            tenant=kwargs.get("tenant", DEFAULT_TENANT),
+            priority=kwargs.get("priority"),
+            deadline=kwargs.get("deadline"),
+        )
 
     @property
     def pending(self) -> int:
-        """Number of queued, not yet executed requests."""
-        return len(self._pending)
+        """Requests admitted or buffered, not yet executed.
+
+        Accurate even when read from inside a run (e.g. by an
+        ``infer_fn`` callback): requests the scheduler loop has taken
+        out of the submission buffer but not yet admitted are counted.
+        """
+        return len(self._submitted) + self._run_buffered + self.scheduler.pending
 
     # ------------------------------------------------------------------
-    # Execution
+    # Execution: the scheduler loop
     # ------------------------------------------------------------------
-    def run(self) -> ServingReport:
-        """Drain the queue: batch, dispatch, execute, account.
+    def run(self, request_source: Optional[Iterable] = None) -> ServingReport:
+        """Serve until every queue is drained, then report.
+
+        The discrete-event scheduler loop alternates admission and
+        execution: at each step it either admits the next request whose
+        arrival precedes the earliest ready batch (from the submission
+        buffer or ``request_source``), or pops the policy-selected
+        ready batch and executes it — so requests that arrive while an
+        earlier batch occupies a shard are batched and scheduled
+        normally instead of waiting for the next drain.
+
+        ``request_source`` is an optional arrival-sorted iterable of
+        requests (dicts of :meth:`submit` keywords, or
+        ``(model, inputs[, arrival[, tenant]])`` tuples — request ids
+        are engine-assigned, so finished ids are read off the returned
+        report's records); it models streaming request I/O and is
+        interleaved with buffered submissions by arrival time.
 
         Returns the serving report for the requests processed by *this*
         call; their outputs become available via :meth:`result`.
         """
-        requests, self._pending = self._pending, []
         wall_start = time.perf_counter()
         cycles_before = self.dispatcher.shard_cycles()
+        tenant_cycles_before = self.dispatcher.namespace_cycles()
+        source = _RequestSource(request_source, self) if request_source is not None else None
+
         completed: List[CompletedRequest] = []
-        for batch in self.batcher.plan(requests):
-            completed.extend(self._execute_batch(batch))
+        buffer: List[InferenceRequest] = []
+        head = 0
+        try:
+            while True:
+                if self._submitted:
+                    # Pick up submissions made since the last decision —
+                    # including any issued while the previous batch was
+                    # in flight — and merge them into the arrival-ordered
+                    # feed.
+                    fresh = sorted(
+                        self._submitted, key=lambda r: (r.arrival, r.request_id)
+                    )
+                    self._submitted.clear()
+                    buffer = sorted(
+                        buffer[head:] + fresh, key=lambda r: (r.arrival, r.request_id)
+                    )
+                    head = 0
+                    self._run_buffered = len(buffer)
+
+                ready_at = self.scheduler.earliest_ready()
+                feed_arrival = buffer[head].arrival if head < len(buffer) else None
+                source_arrival = None if source is None else source.peek_arrival()
+
+                next_arrival = None
+                take_from_buffer = False
+                if feed_arrival is not None and (
+                    source_arrival is None or feed_arrival <= source_arrival
+                ):
+                    next_arrival, take_from_buffer = feed_arrival, True
+                elif source_arrival is not None:
+                    next_arrival = source_arrival
+
+                if next_arrival is not None and (
+                    ready_at is None or next_arrival <= ready_at
+                ):
+                    if take_from_buffer:
+                        self.scheduler.admit(buffer[head])
+                        head += 1
+                        self._run_buffered = len(buffer) - head
+                    else:
+                        self.scheduler.admit(source.pop())  # type: ignore[union-attr]
+                    continue
+                if ready_at is None:
+                    break
+                executed = self._drain_one()
+                if not executed:  # pragma: no cover — ready_at implies a batch
+                    break
+                completed.extend(executed)
+        finally:
+            self._run_buffered = 0
+
         cycles_after = self.dispatcher.shard_cycles()
-        for record in completed:
-            self._results[record.request.request_id] = record.outputs
         shard_cycles = {
             shard: cycles_after[shard] - cycles_before.get(shard, 0)
             for shard in cycles_after
         }
+        tenant_cycles_after = self.dispatcher.namespace_cycles()
+        run_tenants = {record.request.tenant for record in completed}
+        # Namespaces persist on the shard traces across runs; report
+        # only the tenants this run actually touched (nonzero delta or
+        # a completed request), not every tenant ever served.
+        tenant_cycles = {
+            tenant: delta
+            for tenant in tenant_cycles_after
+            if (delta := tenant_cycles_after[tenant] - tenant_cycles_before.get(tenant, 0))
+            or tenant in run_tenants
+        }
+        for tenant in run_tenants:
+            tenant_cycles.setdefault(tenant, 0)
         return ServingReport(
             completed=tuple(completed),
             shard_cycles=shard_cycles,
             wall_seconds=time.perf_counter() - wall_start,
+            tenant_cycles=tenant_cycles,
+            tenants=self.tenants.configured(),
         )
+
+    def step(self) -> List[CompletedRequest]:
+        """Admit everything buffered, execute at most one ready batch.
+
+        The caller-driven flavour of the scheduler loop: interleave
+        :meth:`submit` and :meth:`step` to model request admission
+        while earlier batches are in flight.  Outputs are stored for
+        :meth:`result` as usual; the returned records carry placement
+        and timing.  (:meth:`run` is the drain-and-report flavour.)
+        """
+        for request in sorted(
+            self._submitted, key=lambda r: (r.arrival, r.request_id)
+        ):
+            self.scheduler.admit(request)
+        self._submitted.clear()
+        return self._drain_one()
+
+    def _drain_one(self) -> List[CompletedRequest]:
+        """Pop the policy-selected ready batch, execute, store results."""
+        ready_at = self.scheduler.earliest_ready()
+        if ready_at is None:
+            return []
+        batch = self.scheduler.pop_ready(ready_at)
+        if batch is None:  # pragma: no cover — ready_at implies a batch
+            return []
+        completed = self._execute_batch(batch)
+        for record in completed:
+            self._results[record.request.request_id] = record.outputs
+        return completed
 
     def result(self, request_id: int, keep: bool = False) -> np.ndarray:
         """Output of a completed request (KeyError if not yet run).
@@ -210,7 +514,9 @@ class InferenceEngine:
 
     def reset(self) -> None:
         """Drop queued requests, stored results and shard occupancy."""
-        self._pending.clear()
+        self._submitted.clear()
+        self._run_buffered = 0
+        self.scheduler.reset()
         self._results.clear()
         self._shard_free.clear()
         self._last_arrival = 0.0
@@ -225,23 +531,30 @@ class InferenceEngine:
         array = self.dispatcher.array_of(shard)
         cycles_before = array.total_cycles if array is not None else 0
 
+        # Attribute everything the batch records to its tenant's trace
+        # namespace — per-tenant cycle accounting that works even in
+        # aggregate-only retention mode.
+        namespace = (
+            array.trace.namespace(batch.tenant) if array is not None else nullcontext()
+        )
         t0 = time.perf_counter()
-        if endpoint.batchable:
-            stacked = np.stack([r.inputs for r in batch.requests])
-            outputs = np.asarray(endpoint.infer_fn(stacked, backend))
-            if outputs.ndim < 1 or outputs.shape[0] != batch.size:
-                raise ValueError(
-                    f"endpoint {endpoint.name!r} returned output of shape "
-                    f"{outputs.shape} for a batch of {batch.size}; a "
-                    "batchable infer_fn must preserve the leading batch "
-                    "axis (register with batchable=False otherwise)"
-                )
-            per_request = list(outputs)
-        else:
-            per_request = [
-                np.asarray(endpoint.infer_fn(r.inputs, backend))
-                for r in batch.requests
-            ]
+        with namespace:
+            if endpoint.batchable:
+                stacked = np.stack([r.inputs for r in batch.requests])
+                outputs = np.asarray(endpoint.infer_fn(stacked, backend))
+                if outputs.ndim < 1 or outputs.shape[0] != batch.size:
+                    raise ValueError(
+                        f"endpoint {endpoint.name!r} returned output of shape "
+                        f"{outputs.shape} for a batch of {batch.size}; a "
+                        "batchable infer_fn must preserve the leading batch "
+                        "axis (register with batchable=False otherwise)"
+                    )
+                per_request = list(outputs)
+            else:
+                per_request = [
+                    np.asarray(endpoint.infer_fn(r.inputs, backend))
+                    for r in batch.requests
+                ]
         elapsed_wall = time.perf_counter() - t0
 
         if array is not None:

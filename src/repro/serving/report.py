@@ -1,18 +1,27 @@
 """Serving-level performance report.
 
 Aggregates one :meth:`InferenceEngine.run` into the metrics a serving
-operator watches: latency percentiles, request throughput, and the
-cycle cost per request summed over every shard's array trace.
+operator watches: latency percentiles, request throughput, the cycle
+cost per request summed over every shard's array trace — and, per
+tenant, the same latency view plus cycle attribution (from the tenant
+trace namespaces), deadline misses and SLO attainment.
+
+The tenant cycle account is exact: every batch executes inside its
+tenant's trace namespace, so :attr:`ServingReport.tenant_cycles` sums
+to :attr:`ServingReport.total_cycles` — cycles are attributed, never
+double-counted or dropped, even in aggregate-only trace retention.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.serving.request import CompletedRequest
+from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig
 
 
 @dataclass(frozen=True)
@@ -28,11 +37,19 @@ class ServingReport:
     wall_seconds:
         Host wall-clock time the run took (simulation cost, *not* the
         modelled latency).
+    tenant_cycles:
+        Traced cycles attributed to each tenant (via the per-tenant
+        trace namespaces); sums to :attr:`total_cycles`.
+    tenants:
+        Scheduling contracts of the tenants known to the engine
+        (weights, priorities, SLO targets) for the SLO section.
     """
 
     completed: Tuple[CompletedRequest, ...]
     shard_cycles: Dict[int, int]
     wall_seconds: float
+    tenant_cycles: Dict[str, int] = field(default_factory=dict)
+    tenants: Dict[str, TenantConfig] = field(default_factory=dict)
 
     # -- request-level views --------------------------------------------
     @property
@@ -94,6 +111,112 @@ class ServingReport:
     def mean_batch_size(self) -> float:
         return self.n_requests / self.n_batches if self.n_batches else 0.0
 
+    # -- per-tenant views -----------------------------------------------
+    @cached_property
+    def _completed_by_tenant(self) -> Dict[str, List[CompletedRequest]]:
+        """One-pass grouping; reports are immutable so caching is safe."""
+        groups: Dict[str, List[CompletedRequest]] = {}
+        for record in self.completed:
+            groups.setdefault(record.request.tenant, []).append(record)
+        return groups
+
+    @property
+    def tenant_ids(self) -> List[str]:
+        """Tenants that appear in this run, sorted."""
+        seen = set(self._completed_by_tenant)
+        seen.update(self.tenant_cycles)
+        return sorted(seen)
+
+    def tenant_completed(self, tenant: str) -> List[CompletedRequest]:
+        """This tenant's finished requests."""
+        return list(self._completed_by_tenant.get(tenant, ()))
+
+    def tenant_latencies(self, tenant: str) -> np.ndarray:
+        """This tenant's simulated latencies, seconds."""
+        return np.array(
+            [c.latency for c in self._completed_by_tenant.get(tenant, ())],
+            dtype=np.float64,
+        )
+
+    def tenant_percentile(self, tenant: str, q: float) -> float:
+        """The ``q``-th latency percentile within one tenant."""
+        latencies = self.tenant_latencies(tenant)
+        if latencies.size == 0:
+            return 0.0
+        return float(np.percentile(latencies, q))
+
+    def _effective_deadline(self, record: CompletedRequest) -> Optional[float]:
+        """Request deadline, falling back to arrival + tenant SLO."""
+        if record.request.deadline is not None:
+            return record.request.deadline
+        config = self.tenants.get(record.request.tenant)
+        if config is not None and config.slo_latency is not None:
+            return record.request.arrival + config.slo_latency
+        return None
+
+    def deadline_misses(self, tenant: str) -> int:
+        """Requests that finished after their effective deadline."""
+        return sum(
+            1
+            for c in self._completed_by_tenant.get(tenant, ())
+            if (due := self._effective_deadline(c)) is not None and c.finish > due
+        )
+
+    def slo_attainment(self, tenant: str) -> Optional[float]:
+        """Fraction of the tenant's requests that met their deadline.
+
+        None when the tenant has no deadline-carrying requests (no
+        per-request deadlines and no configured SLO).
+        """
+        scored = [
+            c.finish <= due
+            for c in self._completed_by_tenant.get(tenant, ())
+            if (due := self._effective_deadline(c)) is not None
+        ]
+        if not scored:
+            return None
+        return sum(scored) / len(scored)
+
+    def slo_section(self) -> str:
+        """Per-tenant block of the summary: share, latency, SLO."""
+        total = self.total_cycles
+        lines = []
+        for tenant in self.tenant_ids:
+            records = self._completed_by_tenant.get(tenant, ())
+            cycles = self.tenant_cycles.get(tenant, 0)
+            share = cycles / total if total else 0.0
+            config = self.tenants.get(tenant)
+            lines.append(
+                f"tenant {tenant!r}: {len(records)} requests, "
+                f"{cycles:,} cycles ({share:.0%} of pool)"
+            )
+            if records:
+                lines.append(
+                    f"  latency p50/p99    : "
+                    f"{self.tenant_percentile(tenant, 50.0) * 1e6:,.1f} / "
+                    f"{self.tenant_percentile(tenant, 99.0) * 1e6:,.1f} us"
+                )
+            # One pass over the records so the printed miss count and
+            # attainment percentage can never disagree.
+            scored = missed = 0
+            for record in records:
+                due = self._effective_deadline(record)
+                if due is not None:
+                    scored += 1
+                    if record.finish > due:
+                        missed += 1
+            if scored:
+                target = (
+                    f" (target {config.slo_latency * 1e6:,.1f} us)"
+                    if config is not None and config.slo_latency is not None
+                    else ""
+                )
+                lines.append(
+                    f"  SLO attainment     : {(scored - missed) / scored:.0%}"
+                    f"{target}, {missed} missed"
+                )
+        return "\n".join(lines)
+
     def summary(self) -> str:
         """Paper-artifact-style text table of the serving run."""
         lines = [
@@ -109,5 +232,13 @@ class ServingReport:
             lines.append(
                 f"  shard {shard} cycles    : {self.shard_cycles[shard]:,}"
             )
+        tenant_ids = self.tenant_ids
+        # Per-tenant block for any named tenant, or whenever deadlines
+        # were in play (even on the implicit default tenant).
+        if tenant_ids and (
+            tenant_ids != [DEFAULT_TENANT]
+            or any(self._effective_deadline(c) is not None for c in self.completed)
+        ):
+            lines.append(self.slo_section())
         lines.append(f"host wall time       : {self.wall_seconds * 1e3:,.1f} ms")
         return "\n".join(lines)

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.serving.tenancy import DEFAULT_TENANT
+
 
 @dataclass(frozen=True)
 class InferenceRequest:
@@ -29,12 +31,28 @@ class InferenceRequest:
         for a sequence model, a ``(C, H, W)`` image for a CNN).
     arrival:
         Simulated arrival time in seconds.
+    tenant:
+        Id of the tenant the request belongs to (defaults to the
+        engine's implicit single tenant).
+    priority:
+        Priority under the strict-priority policy, or None to inherit
+        the tenant's configured priority — resolved at *scheduling*
+        time, so registering the tenant after submitting still takes
+        effect (mirroring how WRR weights are read lazily).
+    deadline:
+        Absolute simulated time the response is due, or None.  A
+        request finishing after its deadline is still executed and
+        answered, but counts as a deadline miss in the report's SLO
+        accounting.
     """
 
     request_id: int
     model: str
     inputs: np.ndarray
     arrival: float = 0.0
+    tenant: str = DEFAULT_TENANT
+    priority: "int | None" = None
+    deadline: "float | None" = None
 
 
 @dataclass(frozen=True)
@@ -78,3 +96,17 @@ class CompletedRequest:
     def queue_delay(self) -> float:
         """Time spent waiting for batching and a free shard."""
         return self.start - self.request.arrival
+
+    @property
+    def deadline_missed(self) -> bool:
+        """True when the request had an *explicit* deadline and
+        finished past it.
+
+        A record cannot see tenant configs, so misses against a
+        tenant-level ``slo_latency`` (requests submitted without their
+        own deadline) are scored only by the report, which can:
+        :meth:`ServingReport.deadline_misses` /
+        :meth:`ServingReport.slo_attainment`.
+        """
+        deadline = self.request.deadline
+        return deadline is not None and self.finish > deadline

@@ -1,10 +1,12 @@
 """The user-facing systolic array.
 
 :class:`SystolicArray` ties the microarchitecture modules together: it
-executes GEMMs with the output-stationary schedule, and nonlinear
-operations as the IPF → rearrange → MHP event chain, all bit-accurate in
-the configured fixed-point format and with cycle accounting recorded in
-an execution trace.
+executes GEMMs as single whole-operand ``fixed_matmul`` calls *costed*
+by the output-stationary tile schedule (the per-tile loop is only the
+pinned equivalence reference, :func:`~repro.systolic.gemm.execute_gemm_per_tile`),
+and nonlinear operations as the IPF → rearrange → MHP event chain, all
+bit-accurate in the configured fixed-point format and with cycle
+accounting recorded in an execution trace.
 
 Typical use::
 

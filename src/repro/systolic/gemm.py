@@ -1,15 +1,18 @@
 """GEMM dataflow schedule and tiling.
 
-The array computes ``C = A @ B`` as output-stationary P×P tiles: a
-weight tile is preloaded, the matching input rows stream through, every
-PE accumulates one output element (``macs_per_pe`` reduction lanes per
-cycle), and the finished tile drains through the L2 output banks into
-the single L3 output buffer.
+The *modelled hardware* computes ``C = A @ B`` as output-stationary
+P×P tiles: a weight tile is preloaded, the matching input rows stream
+through, every PE accumulates one output element (``macs_per_pe``
+reduction lanes per cycle), and the finished tile drains through the
+L2 output banks into the single L3 output buffer.  The *software* does
+not loop over those tiles: since PR 2 the functional result is one
+whole-operand :func:`repro.fixedpoint.fixed_matmul` call, and the tile
+schedule survives purely as analytic metadata for the trace and energy
+accounting.
 
-This module enumerates the tile schedule (used by the trace and energy
-accounting), computes per-tile cycle costs consistent with
-:mod:`repro.systolic.timing`, and provides the bit-accurate functional
-execution via :func:`repro.fixedpoint.fixed_matmul`.
+This module derives that tile schedule analytically, computes cycle
+costs consistent with :mod:`repro.systolic.timing`, and provides the
+bit-accurate whole-matrix functional execution.
 
 Two hot-path properties matter for serving throughput:
 

@@ -9,6 +9,18 @@ maintained *streaming* on :meth:`Trace.record`, so consulting them is
 O(1) in the number of recorded events — a long-lived serving process can
 read ``total_cycles`` per request without re-scanning its history.
 
+Label namespaces
+----------------
+A trace can attribute cycles to a *namespace* — e.g. the serving
+engine's tenant executing the current batch — without retaining a
+single event: :meth:`Trace.namespace` is a context manager that tags
+every event recorded inside it, and the per-namespace aggregates
+(:meth:`cycles_by_namespace`, and per-label within a namespace via
+``cycles_by_label(namespace=...)``) are maintained streaming exactly
+like the global ones.  Memory is bounded by
+``distinct namespaces x distinct labels``, never by event count, so
+aggregate-only retention and tenant attribution compose.
+
 Retention modes
 ---------------
 * ``retain_events=True`` (default) — every :class:`TraceEvent` stays in
@@ -25,8 +37,9 @@ Retention modes
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional
 
 from repro.systolic.timing import CycleBreakdown
 
@@ -71,6 +84,9 @@ class Trace:
         self._cycles_by_kind: Dict[str, int] = {}
         self._ops_by_kind: Dict[str, int] = {}
         self._cycles_by_label: Dict[str, int] = {}
+        self._namespace: Optional[str] = None
+        self._cycles_by_namespace: Dict[str, int] = {}
+        self._ns_cycles_by_label: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -85,8 +101,30 @@ class Trace:
         ops[event.kind] = ops.get(event.kind, 0) + event.ops
         label = self._cycles_by_label
         label[event.label] = label.get(event.label, 0) + event.cycles
+        if self._namespace is not None:
+            ns = self._cycles_by_namespace
+            ns[self._namespace] = ns.get(self._namespace, 0) + event.cycles
+            ns_labels = self._ns_cycles_by_label.setdefault(self._namespace, {})
+            ns_labels[event.label] = ns_labels.get(event.label, 0) + event.cycles
         if self.retain_events:
             self.events.append(event)
+
+    @contextmanager
+    def namespace(self, name: str) -> Iterator["Trace"]:
+        """Attribute events recorded inside the block to ``name``.
+
+        Nested namespaces replace each other (the innermost wins), and
+        recording outside any namespace touches only the global
+        aggregates.  The serving engine wraps each batch execution in
+        the owning tenant's namespace so aggregate-only traces can
+        still attribute cycles per tenant.
+        """
+        previous = self._namespace
+        self._namespace = name
+        try:
+            yield self
+        finally:
+            self._namespace = previous
 
     def configure(
         self,
@@ -131,9 +169,20 @@ class Trace:
         """Aggregate op counts per operation kind."""
         return dict(self._ops_by_kind)
 
-    def cycles_by_label(self) -> Dict[str, int]:
-        """Aggregate cycles per event label (e.g. per layer)."""
+    def cycles_by_label(self, namespace: Optional[str] = None) -> Dict[str, int]:
+        """Aggregate cycles per event label (e.g. per layer).
+
+        With ``namespace``, only cycles recorded inside that
+        :meth:`namespace` block are reported (empty dict for a
+        namespace the trace has never seen).
+        """
+        if namespace is not None:
+            return dict(self._ns_cycles_by_label.get(namespace, {}))
         return dict(self._cycles_by_label)
+
+    def cycles_by_namespace(self) -> Dict[str, int]:
+        """Aggregate cycles per namespace (see :meth:`namespace`)."""
+        return dict(self._cycles_by_namespace)
 
     @property
     def events_recorded(self) -> int:
@@ -153,6 +202,8 @@ class Trace:
         self._cycles_by_kind.clear()
         self._ops_by_kind.clear()
         self._cycles_by_label.clear()
+        self._cycles_by_namespace.clear()
+        self._ns_cycles_by_label.clear()
 
     def __len__(self) -> int:
         """Number of events *recorded* (see :attr:`events_retained`)."""

@@ -44,6 +44,10 @@ def test_serving_demo_runs():
     run_example("serving_demo")
 
 
+def test_multitenant_demo_runs():
+    run_example("multitenant_demo")
+
+
 def test_design_space_example_runs():
     run_example("design_space_exploration")
 
