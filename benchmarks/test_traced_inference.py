@@ -42,6 +42,21 @@ from repro.systolic.trace import TraceEvent
 REPO_ROOT = Path(__file__).resolve().parent.parent
 ARTIFACT = REPO_ROOT / "BENCH_traced.json"
 SPEEDUP_GATE = 5.0
+PLACEMENT_GATE = 1.3
+
+
+def _update_artifact(**sections) -> None:
+    """Merge sections into ``BENCH_traced.json`` (tests run separately)."""
+    data = {}
+    if ARTIFACT.exists():
+        try:
+            data = json.loads(ARTIFACT.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.update(sections)
+    data["benchmark"] = "traced_inference"
+    data["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
 
 
 # --------------------------------------------------------------------------
@@ -242,18 +257,10 @@ def test_traced_inference_speedup(print_artifact):
         )
     print_artifact("\n".join(lines))
 
-    ARTIFACT.write_text(
-        json.dumps(
-            {
-                "benchmark": "traced_inference",
-                "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-                "design_point": _paper_config().describe(),
-                "speedup_gate": SPEEDUP_GATE,
-                "workloads": results,
-            },
-            indent=2,
-        )
-        + "\n"
+    _update_artifact(
+        design_point=_paper_config().describe(),
+        speedup_gate=SPEEDUP_GATE,
+        workloads=results,
     )
 
     for name, row in results.items():
@@ -305,3 +312,97 @@ def test_serving_throughput_measurably_up(print_artifact):
     # "Measurably up": well clear of noise, conservative vs the >=5x
     # single-model gates because the engine adds shared batching work.
     assert seed_t / new_t >= 2.0
+
+
+def test_placement_cost_aware_beats_round_robin(print_artifact):
+    """Cost-aware placement >= 1.3x lower simulated makespan than blind
+    round-robin on a skewed heterogeneous 4-shard pool.
+
+    The pool mixes grid sizes, MAC counts and clocks (~160x capability
+    spread end to end); the request mix is shape-skewed (two
+    transformer endpoints with different sequence lengths and widths).
+    Cost estimates come from the closed-form cycle model via batched
+    ``Workload`` inventories — the same ``gemm_cycles`` the plan cache
+    stores — so the policy prices every batch on every design point
+    without executing anything twice.  Outputs stay bit-identical:
+    placement moves work between shards, never changes arithmetic.
+    """
+    from repro.nn.workload import transformer_serving_workload
+    from repro.serving import ClusterSpec, InferenceEngine, workload_cost_model
+
+    pool_configs = [
+        SystolicConfig(pe_rows=8, pe_cols=8, macs_per_pe=16, clock_hz=250e6),
+        SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4, clock_hz=250e6),
+        SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4, clock_hz=100e6),
+        SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=2, clock_hz=100e6),
+    ]
+    small_kw = dict(vocab=16, seq_len=8, dim=8, heads=2, ff_dim=16, n_layers=1)
+    large_kw = dict(vocab=16, seq_len=16, dim=16, heads=4, ff_dim=32, n_layers=2)
+    rng = np.random.default_rng(4)
+    small_rows = rng.integers(0, 16, size=(24, small_kw["seq_len"]))
+    large_rows = rng.integers(0, 16, size=(8, large_kw["seq_len"]))
+
+    def cost(kw):
+        return workload_cost_model(
+            lambda batch, shape: transformer_serving_workload(
+                batch, kw["seq_len"], kw["dim"], kw["heads"],
+                kw["ff_dim"], kw["n_layers"],
+            )
+        )
+
+    def run(placement):
+        engine = InferenceEngine(
+            ClusterSpec.heterogeneous(pool_configs).build(),
+            max_batch_size=4,
+            flush_timeout=1e-4,
+            placement=placement,
+        )
+        engine.register("bert_small", TinyBERT(**small_kw), cost_model=cost(small_kw))
+        engine.register("bert_large", TinyBERT(**large_kw), cost_model=cost(large_kw))
+        ids = [engine.submit("bert_small", row, arrival=0.0) for row in small_rows]
+        ids += [engine.submit("bert_large", row, arrival=0.0) for row in large_rows]
+        report = engine.run()
+        outputs = [engine.result(i) for i in ids]
+        return outputs, report
+
+    rr_outputs, rr_report = run("round_robin")
+    ca_outputs, ca_report = run("cost_aware")
+
+    for a, b in zip(rr_outputs, ca_outputs):
+        assert np.array_equal(a, b), "placement changed results"
+    assert rr_report.n_requests == ca_report.n_requests == 32
+    # The pinned backward-compat mapping: i-th batch -> shard i % 4.
+    for decision in rr_report.placements:
+        assert decision.shard == decision.batch_index % 4
+
+    ratio = rr_report.makespan / ca_report.makespan
+    results = {
+        "pool": [
+            f"{c.describe()} @ {c.clock_hz / 1e6:.0f} MHz" for c in pool_configs
+        ],
+        "requests": 32,
+        "round_robin_makespan_us": rr_report.makespan * 1e6,
+        "cost_aware_makespan_us": ca_report.makespan * 1e6,
+        "speedup": ratio,
+        "gate": PLACEMENT_GATE,
+        "round_robin_imbalance": rr_report.imbalance(),
+        "cost_aware_imbalance": ca_report.imbalance(),
+        "cost_aware_utilization": {
+            str(shard): round(util, 4)
+            for shard, util in ca_report.shard_utilization().items()
+        },
+    }
+    _update_artifact(placement=results)
+
+    print_artifact(
+        "Placement on a skewed heterogeneous 4-shard pool "
+        "(32 requests, 2 endpoints)\n"
+        f"  round_robin makespan {rr_report.makespan * 1e6:9.1f} us\n"
+        f"  cost_aware  makespan {ca_report.makespan * 1e6:9.1f} us   "
+        f"{ratio:4.1f}x\n"
+        + ca_report.placement_section()
+    )
+    assert ratio >= PLACEMENT_GATE, (
+        f"cost_aware only {ratio:.2f}x better than round_robin "
+        f"(< {PLACEMENT_GATE}x gate)"
+    )

@@ -1,0 +1,124 @@
+"""Heterogeneous shard pools: cost-aware placement vs blind round-robin.
+
+Builds a skewed 4-shard cluster — one big 8x8x16 array at 250 MHz next
+to three small 4x4x4 arrays, one of them down-clocked to 100 MHz — and
+serves the same TinyBERT burst under all three placement policies:
+
+* ``round_robin`` — the historical default, blind to shard speed and
+  occupancy;
+* ``least_loaded`` — occupancy-aware, cost-blind;
+* ``cost_aware`` — estimates each shard's finish time for the batch
+  shape from the closed-form cycle model (here declared through a
+  batched-transformer :class:`~repro.nn.workload.Workload`) and picks
+  the earliest.
+
+Outputs are bit-identical across policies (grids and clocks change
+timing, never arithmetic); the makespan, per-shard utilization and the
+imbalance metric show what placement awareness buys.  A second pass
+demonstrates admission control: a queue-depth cap and deadline-doomed
+shedding on a best-effort tenant.
+
+    python examples/heterogeneous_demo.py
+"""
+
+import numpy as np
+
+from repro.nn.models import TinyBERT
+from repro.nn.workload import transformer_serving_workload
+from repro.serving import (
+    ClusterSpec,
+    InferenceEngine,
+    TenantConfig,
+    workload_cost_model,
+)
+from repro.systolic import SystolicConfig
+
+GRANULARITY = 0.25
+
+#: The skewed pool: capability ratio of ~32x between first and last.
+POOL = [
+    SystolicConfig(pe_rows=8, pe_cols=8, macs_per_pe=16, clock_hz=250e6),
+    SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4, clock_hz=250e6),
+    SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4, clock_hz=250e6),
+    SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4, clock_hz=100e6),
+]
+
+BERT_KW = dict(vocab=16, seq_len=8, dim=8, heads=2, ff_dim=16, n_layers=1)
+
+
+def build_engine(placement: str) -> InferenceEngine:
+    spec = ClusterSpec.heterogeneous(POOL, granularity=GRANULARITY)
+    engine = InferenceEngine(
+        spec.build(), max_batch_size=4, flush_timeout=1e-4, placement=placement
+    )
+    cost = workload_cost_model(
+        lambda batch, shape: transformer_serving_workload(
+            batch,
+            BERT_KW["seq_len"],
+            BERT_KW["dim"],
+            BERT_KW["heads"],
+            BERT_KW["ff_dim"],
+            BERT_KW["n_layers"],
+        )
+    )
+    engine.register("bert", TinyBERT(**BERT_KW), cost_model=cost)
+    return engine
+
+
+def serve_burst(placement: str, tokens: np.ndarray):
+    engine = build_engine(placement)
+    ids = [engine.submit("bert", row, arrival=0.0) for row in tokens]
+    report = engine.run()
+    outputs = [engine.result(i) for i in ids]
+    return outputs, report
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, 16, size=(24, 8))
+
+    print("=== the pool ===")
+    print(ClusterSpec.heterogeneous(POOL).describe())
+
+    results = {}
+    for placement in ("round_robin", "least_loaded", "cost_aware"):
+        outputs, report = serve_burst(placement, tokens)
+        results[placement] = (outputs, report)
+        print(f"\n=== placement: {placement} ===")
+        print(f"makespan {report.makespan * 1e6:,.1f} us")
+        print(report.placement_section())
+
+    # Same numerics under every policy: placement moves work, not bits.
+    rr_outputs = results["round_robin"][0]
+    for placement in ("least_loaded", "cost_aware"):
+        for a, b in zip(rr_outputs, results[placement][0]):
+            assert np.array_equal(a, b)
+    rr_span = results["round_robin"][1].makespan
+    ca_span = results["cost_aware"][1].makespan
+    print(
+        f"\ncost_aware finishes the burst {rr_span / ca_span:.2f}x faster than "
+        "round_robin (bit-identical outputs)"
+    )
+
+    # -- admission control -----------------------------------------------
+    engine = build_engine("cost_aware")
+    engine.tenants.register(
+        TenantConfig("besteffort", max_queue_depth=4, shed_doomed=True)
+    )
+    for i, row in enumerate(rng.integers(0, 16, size=(10, 8))):
+        # The 9th/10th requests carry deadlines already in the past.
+        deadline = 0.0 if i >= 8 else None
+        engine.submit(
+            "bert", row, arrival=1e-6 * i, tenant="besteffort", deadline=deadline
+        )
+    report = engine.run()
+    print("\n=== admission control (queue cap 4, shed_doomed) ===")
+    print(
+        f"served {report.n_requests}, shed {report.shed_count} "
+        f"{report.shed_by_reason()}"
+    )
+    assert report.shed_count > 0
+
+
+if __name__ == "__main__":
+    main()

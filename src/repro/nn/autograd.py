@@ -13,13 +13,59 @@ arrays (and, for the CPWL backends, fixed-point raw integers).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.core.functions import gelu as _gelu_fn
 
 ArrayLike = Union[float, int, np.ndarray, "Tensor"]
+
+
+# ---------------------------------------------------------------------------
+# Parameter dirty-tracking
+# ---------------------------------------------------------------------------
+# Version counters for in-place mutation of parameter arrays, keyed by
+# the owning buffer's identity.  numpy arrays carry no mutation counter
+# of their own, so consumers that cache derived forms of a parameter
+# (e.g. the quantized-weight cache in repro.nn.executor) validate
+# against this registry: anything that mutates a parameter in place
+# must bump its version — the shipped optimizers do via
+# :meth:`Tensor.mark_dirty` — and rebinding ``tensor.data`` to a fresh
+# array invalidates naturally (new buffer identity).  Entries are
+# dropped when the array is garbage collected.
+_data_versions: Dict[int, int] = {}
+
+
+def version_base(array: np.ndarray) -> np.ndarray:
+    """The buffer owner: versions live on bases so views share them.
+
+    Caches keying derived parameter data by buffer identity (the
+    quantized-weight cache) resolve through this same helper, so a
+    cache entry always validates against the buffer whose version
+    :func:`bump_data_version` bumps.
+    """
+    base = getattr(array, "base", None)
+    return array if base is None else base
+
+
+def bump_data_version(array: np.ndarray) -> int:
+    """Record an in-place mutation of ``array``; returns the new version."""
+    base = version_base(array)
+    key = id(base)
+    if key not in _data_versions:
+        # First mutation of this buffer: arrange cleanup at collection
+        # (one finalizer per live buffer, not per bump).
+        weakref.finalize(base, _data_versions.pop, key, None)
+    version = _data_versions.get(key, 0) + 1
+    _data_versions[key] = version
+    return version
+
+
+def data_version(array: np.ndarray) -> int:
+    """Current mutation version of ``array``'s buffer (0 if never bumped)."""
+    return _data_versions.get(id(version_base(array)), 0)
 
 _SQRT_2 = np.sqrt(2.0)
 _INV_SQRT_2PI = 1.0 / np.sqrt(2.0 * np.pi)
@@ -141,6 +187,20 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+
+    def mark_dirty(self) -> "Tensor":
+        """Record an in-place mutation of :attr:`data`.
+
+        Keeps parameter caches staleness-safe: backends caching a
+        derived form of this tensor's array (the quantized-weight
+        cache) revalidate against the buffer's version.  The shipped
+        optimizers call this after every in-place update; custom code
+        mutating ``tensor.data[...]`` directly must do the same
+        (rebinding ``tensor.data`` to a new array needs nothing — a
+        fresh buffer invalidates by identity).
+        """
+        bump_data_version(self.data)
+        return self
 
     # ------------------------------------------------------------------
     # Arithmetic

@@ -17,7 +17,9 @@ different execution models:
 
 from __future__ import annotations
 
-from typing import Optional
+import weakref
+from collections import OrderedDict
+from typing import Callable
 
 import numpy as np
 
@@ -25,7 +27,75 @@ from repro.core import nonlinear_ops as NL
 from repro.core.functions import get_function
 from repro.fixedpoint import QFormat, dequantize, fixed_matmul, quantize
 from repro.fixedpoint.qformat import INT16
+from repro.nn.autograd import data_version, version_base
 from repro.nn.functional import im2col
+
+
+class ParamCache:
+    """Staleness-safe cache of derived parameter arrays (weights, biases).
+
+    Serving executes the same layers for every request, and the seed
+    re-quantized each layer's weights on every traced call — the last
+    repeated per-request quantize cost in steady state.  This bounded
+    LRU keeps the derived form (quantized raw codes, dequantized bias)
+    keyed by the parameter buffer's identity and layout, and guards
+    staleness two ways:
+
+    * **identity** — a weak reference to the owning buffer; a
+      parameter rebound to a fresh array (``tensor.data = ...``) can
+      never hit a stale entry, and dead buffers cannot alias recycled
+      ``id``\\ s;
+    * **dirty-tracking** — the buffer's mutation version from
+      :func:`repro.nn.autograd.data_version`.  In-place updates must
+      bump it (the shipped optimizers do via ``Tensor.mark_dirty``);
+      that is the cache's contract with training code.
+
+    Derived arrays are marked read-only so a consumer cannot mutate a
+    cached value in place.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        array: np.ndarray,
+        tag: str,
+        derive: Callable[[np.ndarray], np.ndarray],
+    ) -> np.ndarray:
+        """The cached ``derive(array)``, recomputed when stale."""
+        base = version_base(array)
+        key = (
+            id(base),
+            tag,
+            array.__array_interface__["data"][0],
+            array.shape,
+            array.strides,
+        )
+        entry = self._entries.get(key)
+        version = data_version(array)
+        if entry is not None:
+            ref, cached_version, value = entry
+            if ref() is base and cached_version == version:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+            del self._entries[key]
+        value = derive(array)
+        value.setflags(write=False)
+        self._entries[key] = (weakref.ref(base), version, value)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        self.misses += 1
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 class FloatBackend:
@@ -190,6 +260,30 @@ class CPWLBackend:
             raise ValueError(f"granularity must be positive, got {granularity}")
         self.granularity = float(granularity)
         self.fmt = fmt
+        self.param_cache = ParamCache()
+
+    # -- parameter caching ----------------------------------------------
+    def _quantized_param(self, array: np.ndarray) -> np.ndarray:
+        """Raw float64 code points of a parameter tensor, cached.
+
+        Weights are long-lived and rarely mutated, so steady-state
+        serving skips the per-request quantize passes; dirty-tracking
+        (see :class:`ParamCache`) keeps the entry staleness-safe across
+        training steps.
+        """
+        return self.param_cache.get(
+            array,
+            "raw",
+            lambda a: quantize(
+                np.asarray(a, dtype=np.float64), self.fmt, dtype=np.float64
+            ),
+        )
+
+    def _dequantized_param(self, array: np.ndarray) -> np.ndarray:
+        """A parameter rounded onto the format grid (bias add operand)."""
+        return self.param_cache.get(
+            array, "deq", lambda a: dequantize(quantize(a, self.fmt), self.fmt)
+        )
 
     # -- linear ---------------------------------------------------------
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -210,9 +304,15 @@ class CPWLBackend:
     def linear(self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
         orig_shape = x.shape
         x2 = np.asarray(x, dtype=np.float64).reshape(-1, orig_shape[-1])
-        out = self.matmul(x2, weight.T) + dequantize(
-            quantize(bias, self.fmt), self.fmt
-        )
+        x_raw = quantize(x2, self.fmt, dtype=np.float64)
+        # Weight codes come from the staleness-safe parameter cache;
+        # quantize commutes with transposition, so caching the
+        # untransposed codes and passing the view is bit-identical to
+        # quantizing weight.T per call (and integer-exact accumulation
+        # makes the result layout-independent).
+        w_raw_t = self._quantized_param(weight).T
+        out = dequantize(self._gemm2d_raw(x_raw, w_raw_t), self.fmt)
+        out += self._dequantized_param(bias)
         # The INT16 writeback of the bias add.  Both addends sit exactly
         # on the 2^-frac grid and their float64 sum is exact, so the
         # quantize-dequantize round trip reduces to range saturation —
@@ -235,21 +335,20 @@ class CPWLBackend:
             np.asarray(x, dtype=np.float64), self.fmt, dtype=np.float64
         )
         cols_raw, out_hw = im2col(x_raw, kernel, stride, padding)
-        w_raw = quantize(
-            np.asarray(weight_mat, dtype=np.float64).T, self.fmt, dtype=np.float64
-        )
-        out_raw = self._conv_gemm_raw(cols_raw, w_raw)
-        out = dequantize(out_raw, self.fmt) + dequantize(
-            quantize(bias, self.fmt), self.fmt
-        )
+        # The filter matrix is a reshape view of the layer's weight
+        # buffer, so the parameter cache hits on every call (identity
+        # and layout of the view are part of the key).
+        w_raw_t = self._quantized_param(weight_mat).T
+        out_raw = self._gemm2d_raw(cols_raw, w_raw_t)
+        out = dequantize(out_raw, self.fmt) + self._dequantized_param(bias)
         # Bias-add writeback: exact on-grid sum, so saturation suffices
         # (same argument as in linear()).
         np.clip(out, self.fmt.min_value, self.fmt.max_value, out=out)
         return out, out_hw
 
-    def _conv_gemm_raw(self, cols_raw: np.ndarray, w_raw: np.ndarray) -> np.ndarray:
-        """GEMM stage of conv_cols on raw operands (hook for tracing)."""
-        return fixed_matmul(cols_raw, w_raw, self.fmt)
+    def _gemm2d_raw(self, a_raw: np.ndarray, b_raw: np.ndarray) -> np.ndarray:
+        """2-D GEMM on raw operands (hook: ArrayBackend routes + traces)."""
+        return fixed_matmul(a_raw, b_raw, self.fmt)
 
     # -- nonlinear ------------------------------------------------------
     def relu(self, x: np.ndarray) -> np.ndarray:
@@ -323,10 +422,10 @@ class ArrayBackend(CPWLBackend):
         out = dequantize(result.raw, self.fmt)
         return out.reshape(lead + (a.shape[-2], b.shape[-1]))
 
-    def _conv_gemm_raw(self, cols_raw: np.ndarray, w_raw: np.ndarray) -> np.ndarray:
-        # Route the conv GEMM through the array so it lands in the trace
-        # exactly like the seed's post-unfold dispatch did.
-        return self.array.gemm_raw(cols_raw, w_raw).raw
+    def _gemm2d_raw(self, a_raw: np.ndarray, b_raw: np.ndarray) -> np.ndarray:
+        # Route linear/conv GEMMs through the array so they land in the
+        # trace exactly like the seed's dispatch did.
+        return self.array.gemm_raw(a_raw, b_raw).raw
 
     def gelu(self, x: np.ndarray) -> np.ndarray:
         return self._scalar_on_array("gelu", x)

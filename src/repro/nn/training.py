@@ -32,6 +32,7 @@ class SGD:
             v *= self.momentum
             v -= self.lr * p.grad
             p.data += v
+            p.mark_dirty()  # invalidate cached quantized forms
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -68,6 +69,7 @@ class Adam:
             m_hat = m / (1 - self.beta1**self._t)
             v_hat = v / (1 - self.beta2**self._t)
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.mark_dirty()  # invalidate cached quantized forms
 
     def zero_grad(self) -> None:
         for p in self.params:

@@ -299,6 +299,48 @@ def gcn_workload(
     return wl
 
 
+def transformer_serving_workload(
+    batch: int,
+    seq_len: int,
+    dim: int,
+    heads: int,
+    ff_dim: int,
+    n_layers: int,
+    n_classes: int = 2,
+) -> Workload:
+    """Op inventory of one *batched* encoder inference (serving shapes).
+
+    Mirrors how the serving engine executes a stacked batch: the linear
+    projections fold the batch into single ``(batch * seq_len)``-row
+    GEMMs, while the attention matmuls and softmaxes stay per sample
+    and head.  Feed it to
+    :func:`repro.serving.cluster.workload_cost_model` for closed-form
+    cost-aware placement of TinyBERT-family endpoints::
+
+        cost = workload_cost_model(
+            lambda b, shape: transformer_serving_workload(b, 8, 8, 2, 16, 1)
+        )
+        engine.register("bert", model, cost_model=cost)
+    """
+    wl = Workload("transformer-batch")
+    rows = batch * seq_len
+    head_dim = dim // heads
+    pairs = batch * heads
+    for layer in range(n_layers):
+        tag = f"l{layer}"
+        wl.add_gemm(rows, dim, dim, count=4, label=f"{tag}.proj")
+        wl.add_gemm(seq_len, head_dim, seq_len, count=pairs, label=f"{tag}.scores")
+        wl.add_nonlinear("softmax", seq_len, seq_len, count=pairs, label=f"{tag}.sm")
+        wl.add_gemm(seq_len, seq_len, head_dim, count=pairs, label=f"{tag}.ctx")
+        wl.add_nonlinear("add", rows, dim, count=2, label=f"{tag}.res")
+        wl.add_nonlinear("layernorm", rows, dim, count=2, label=f"{tag}.ln")
+        wl.add_gemm(rows, dim, ff_dim, label=f"{tag}.ff1")
+        wl.add_nonlinear("gelu", rows, ff_dim, label=f"{tag}.gelu")
+        wl.add_gemm(rows, ff_dim, dim, label=f"{tag}.ff2")
+    wl.add_gemm(batch, dim, n_classes, label="classifier")
+    return wl
+
+
 #: Registry used by the comparison and profiling experiments.
 def paper_workloads() -> Dict[str, Workload]:
     """The three Table IV workloads with the paper's evaluation shapes."""

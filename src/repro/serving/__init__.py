@@ -3,8 +3,8 @@
 This subpackage turns the single-call simulator into a multi-request,
 multi-tenant serving system:
 
-* request/completion records with tenant, priority and deadline fields
-  (:mod:`repro.serving.request`);
+* request/completion/shed records with tenant, priority and deadline
+  fields (:mod:`repro.serving.request`);
 * deterministic dynamic batching with max-batch-size and flush-timeout
   knobs (:mod:`repro.serving.batcher`) — co-pending requests of the
   same tenant and model are stacked so their GEMMs share tiles, which
@@ -12,31 +12,56 @@ multi-tenant serving system:
   call, bit-identical to per-request inference; the incremental
   :class:`~repro.serving.batcher.BatchAssembler` applies the same
   rules while requests keep arriving;
-* tenant contracts — fair-share weight, strict priority, latency SLO
+* tenant contracts — fair-share weight, strict priority, latency SLO,
+  and admission control (queue-depth caps, deadline-doomed shedding)
   (:mod:`repro.serving.tenancy`);
 * per-tenant queues with pluggable fairness policies (weighted
   round-robin, strict priority) driving a discrete-event scheduler
   loop that admits requests while batches are in flight
   (:mod:`repro.serving.scheduler`);
-* round-robin sharding across a pool of
-  :class:`~repro.systolic.array.SystolicArray` instances with per-array
-  trace aggregation and per-tenant namespace attribution
-  (:mod:`repro.serving.dispatcher`);
-* the engine tying admission, scheduler and shards together
+* the cluster placement API (:mod:`repro.serving.cluster`):
+  :class:`~repro.serving.cluster.ClusterSpec` declares a pool of
+  shards with possibly *heterogeneous* array design points, and a
+  pluggable :class:`~repro.serving.cluster.PlacementPolicy` —
+  round-robin (the backward-compatible default), least-loaded
+  (occupancy-aware) or cost-aware (closed-form cycle-model finish-time
+  estimates) — decides at batch-ready time which shard runs each
+  batch, with per-array trace aggregation and per-tenant namespace
+  attribution (:class:`~repro.serving.cluster.ClusterDispatcher`;
+  :mod:`repro.serving.dispatcher` keeps the historical
+  ``ShardedDispatcher`` name alive);
+* the engine tying admission, scheduler, placement and shards together
   (:mod:`repro.serving.engine`);
 * serving-level reporting — latency percentiles, throughput,
-  cycles/request, per-tenant SLO attainment
+  cycles/request, per-shard utilization and the placement-decision
+  log, per-tenant SLO attainment and shed accounting
   (:mod:`repro.serving.report`).
 
-See ``examples/serving_demo.py`` and ``examples/multitenant_demo.py``
-for end-to-end tours, and ``docs/serving.md`` for the operator guide.
+See ``examples/serving_demo.py``, ``examples/multitenant_demo.py`` and
+``examples/heterogeneous_demo.py`` for end-to-end tours, and
+``docs/serving.md`` for the operator guide.
 """
 
 from repro.serving.batcher import Batch, BatchAssembler, DynamicBatcher
+from repro.serving.cluster import (
+    BatchProfile,
+    CalibratingCostModel,
+    ClusterDispatcher,
+    ClusterSpec,
+    CostAwarePlacement,
+    LeastLoadedPlacement,
+    PlacementDecision,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    ShardSpec,
+    ShardView,
+    make_placement_policy,
+    workload_cost_model,
+)
 from repro.serving.dispatcher import ShardedDispatcher
 from repro.serving.engine import InferenceEngine, ModelEndpoint
 from repro.serving.report import ServingReport
-from repro.serving.request import CompletedRequest, InferenceRequest
+from repro.serving.request import CompletedRequest, InferenceRequest, ShedRecord
 from repro.serving.scheduler import (
     SchedulingPolicy,
     StrictPriority,
@@ -49,12 +74,26 @@ __all__ = [
     "Batch",
     "BatchAssembler",
     "DynamicBatcher",
+    "BatchProfile",
+    "CalibratingCostModel",
+    "ClusterDispatcher",
+    "ClusterSpec",
+    "CostAwarePlacement",
+    "LeastLoadedPlacement",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "ShardSpec",
+    "ShardView",
+    "make_placement_policy",
+    "workload_cost_model",
     "ShardedDispatcher",
     "InferenceEngine",
     "ModelEndpoint",
     "ServingReport",
     "CompletedRequest",
     "InferenceRequest",
+    "ShedRecord",
     "SchedulingPolicy",
     "StrictPriority",
     "TenantScheduler",

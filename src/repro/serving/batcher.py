@@ -195,6 +195,7 @@ class BatchAssembler:
         self._closed: Dict[int, OpenGroup] = {}  # seq -> group, insertion order
         self._seq = 0
         self._n_pending = 0
+        self._pending_by_tenant: Dict[str, int] = {}
         # Cached min ready time over all groups.  Admission only ever
         # adds a group or *lowers* one's ready time (closing on fill),
         # so the cache updates in O(1) per admit; a pop recomputes it
@@ -205,6 +206,13 @@ class BatchAssembler:
     def n_pending(self) -> int:
         """Requests admitted and not yet popped."""
         return self._n_pending
+
+    def pending_of(self, tenant: str) -> int:
+        """Requests of one tenant admitted and not yet popped (O(1)).
+
+        The quantity per-tenant queue-depth caps are enforced against.
+        """
+        return self._pending_by_tenant.get(tenant, 0)
 
     def _groups(self) -> List[OpenGroup]:
         return list(self._closed.values()) + list(self._open.values())
@@ -233,6 +241,9 @@ class BatchAssembler:
             self._open[key] = group
         group.requests.append(request)
         self._n_pending += 1
+        self._pending_by_tenant[request.tenant] = (
+            self._pending_by_tenant.get(request.tenant, 0) + 1
+        )
         if group.size >= self.max_batch_size:
             self._close(group, at=request.arrival)
         ready = group.ready_time(self.flush_timeout)
@@ -260,6 +271,11 @@ class BatchAssembler:
         else:
             del self._open[(group.tenant, group.model)]
         self._n_pending -= group.size
+        remaining = self._pending_by_tenant.get(group.tenant, 0) - group.size
+        if remaining > 0:
+            self._pending_by_tenant[group.tenant] = remaining
+        else:
+            self._pending_by_tenant.pop(group.tenant, None)
         times = [g.ready_time(self.flush_timeout) for g in self._groups()]
         self._earliest = min(times) if times else None
         return Batch(
@@ -275,4 +291,5 @@ class BatchAssembler:
         self._open.clear()
         self._closed.clear()
         self._n_pending = 0
+        self._pending_by_tenant.clear()
         self._earliest = None

@@ -1,0 +1,616 @@
+"""The cluster placement API: heterogeneous shard pools + dispatch policies.
+
+PR 1's dispatcher handed batches to shards blind round-robin.  This
+module makes the dispatch boundary explicit and heterogeneous-aware:
+
+* :class:`ShardSpec` / :class:`ClusterSpec` declare a pool of shards
+  whose :class:`~repro.systolic.config.SystolicConfig` design points may
+  differ — grid sizes, MAC counts, clocks, even quantization formats
+  (the paper's design-space premise: array configurations trade cycles
+  for resources).  ``ClusterSpec.build()`` materialises the pool as a
+  :class:`ClusterDispatcher` of ``ArrayBackend`` shards.
+* :class:`ClusterDispatcher` owns the pool state placement consumes:
+  per-shard design point, clock, cycle trace, and the discrete-event
+  **busy-until** horizon the engine maintains as batches execute.
+* :class:`PlacementPolicy` is the pluggable decision: given a
+  :class:`BatchProfile` (what is about to run) and the pool's
+  :class:`ShardView` list (who could run it, how busy, how fast),
+  return the shard index.  Three policies ship:
+
+  - :class:`RoundRobinPlacement` (``"round_robin"``, the default) —
+    the PR 1 counter, pinned bit-identical to the historical
+    batch→shard mapping by a regression test;
+  - :class:`LeastLoadedPlacement` (``"least_loaded"``) — fewest
+    in-flight estimated cycles (the busy-until backlog scaled by the
+    shard clock) wins; ties break to the lowest shard index;
+  - :class:`CostAwarePlacement` (``"cost_aware"``) — estimates each
+    candidate's *finish time* for this batch shape from the
+    closed-form cycle model (``SystolicConfig.estimate_gemm_cycles``
+    and friends) plus the shard's current backlog, and picks the
+    earliest.
+
+Cost estimates resolve per model endpoint: an explicit
+``cost_model`` callable registered with the endpoint (see
+:func:`workload_cost_model` for deriving one from a
+:class:`~repro.nn.workload.Workload` builder) wins; otherwise the
+engine's :class:`CalibratingCostModel` supplies estimates from cycles
+it has already observed for the same (model, shape) — exact on repeat
+shapes, scaled across batch sizes and design points, and absent (the
+policy then degenerates to earliest-available) before first contact.
+
+Everything here is deterministic: policies see only simulated state,
+so a request stream reproduces the same placements every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.systolic.config import SystolicConfig
+
+
+# ---------------------------------------------------------------------------
+# Cluster declaration
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """Declaration of one shard: an array design point plus CPWL knobs.
+
+    Attributes
+    ----------
+    config:
+        The shard's :class:`SystolicConfig` design point.  Different
+        shards of one cluster may use different grids, MAC counts,
+        clocks or formats.  Note a shard's *format* changes its
+        numerics: heterogeneous-format pools produce
+        placement-dependent outputs, so keep formats uniform when
+        bit-stable results matter.
+    granularity:
+        CPWL approximation granularity of the shard's backend.
+    name:
+        Optional label used in reports and ``describe()``.
+    """
+
+    config: SystolicConfig
+    granularity: float = 0.25
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.granularity <= 0:
+            raise ValueError(
+                f"shard granularity must be positive, got {self.granularity}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A declared pool of (possibly heterogeneous) shards.
+
+    Build dispatchers from it::
+
+        spec = ClusterSpec.heterogeneous([big_config, small_config])
+        engine = InferenceEngine(spec.build(), placement="cost_aware")
+    """
+
+    shards: Tuple[ShardSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("cluster needs at least one shard")
+
+    @classmethod
+    def homogeneous(
+        cls, config: SystolicConfig, n_shards: int, granularity: float = 0.25
+    ) -> "ClusterSpec":
+        """``n_shards`` identical shards of one design point."""
+        return cls(tuple(ShardSpec(config, granularity) for _ in range(n_shards)))
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        configs: Sequence[SystolicConfig],
+        granularity: float = 0.25,
+    ) -> "ClusterSpec":
+        """One shard per design point in ``configs``."""
+        return cls(tuple(ShardSpec(config, granularity) for config in configs))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def build(self) -> "ClusterDispatcher":
+        """Materialise the pool: one ``SystolicArray`` backend per shard."""
+        from repro.nn.executor import ArrayBackend
+        from repro.systolic.array import SystolicArray
+
+        backends = [
+            ArrayBackend(SystolicArray(spec.config), spec.granularity)
+            for spec in self.shards
+        ]
+        return ClusterDispatcher(backends, specs=self.shards)
+
+    def describe(self) -> str:
+        """One line per shard: name and design point."""
+        lines = []
+        for index, spec in enumerate(self.shards):
+            name = spec.name or f"shard{index}"
+            clock = spec.config.clock_hz / 1e6
+            lines.append(f"{name}: {spec.config.describe()} @ {clock:.0f} MHz")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# What placement sees
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardView:
+    """One shard's state at a placement decision.
+
+    ``busy_until`` is the simulated time the shard finishes everything
+    already placed on it (the discrete-event backlog horizon);
+    ``config``/``clock_hz`` are ``None`` for functional (untraced)
+    backends, which have no cycle model.
+    """
+
+    index: int
+    busy_until: float
+    clock_hz: Optional[float] = None
+    config: Optional[SystolicConfig] = None
+
+    def backlog_seconds(self, now: float) -> float:
+        """Seconds of already-placed work outstanding at ``now``."""
+        return max(0.0, self.busy_until - now)
+
+    def backlog_cycles(self, now: float) -> float:
+        """The backlog expressed in this shard's cycles (its occupancy)."""
+        seconds = self.backlog_seconds(now)
+        return seconds * self.clock_hz if self.clock_hz else seconds
+
+
+@dataclass(frozen=True)
+class BatchProfile:
+    """What the engine knows about a batch at placement time.
+
+    ``estimator(profile, config)`` returns the estimated cycles of the
+    batch on ``config`` (or None when unknown) — resolved by the engine
+    to the endpoint's declared cost model or its calibrating default.
+    """
+
+    model: str
+    tenant: str
+    batch_size: int
+    sample_shape: Tuple[int, ...]
+    ready_time: float
+    estimator: Optional[
+        Callable[["BatchProfile", SystolicConfig], Optional[float]]
+    ] = None
+
+    def estimate_cycles(self, config: Optional[SystolicConfig]) -> Optional[float]:
+        """Estimated cycles of this batch on ``config`` (None if unknown)."""
+        if config is None or self.estimator is None:
+            return None
+        return self.estimator(self, config)
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """One entry of the report's placement-decision log."""
+
+    batch_index: int
+    model: str
+    tenant: str
+    batch_size: int
+    shard: int
+    policy: str
+    ready_time: float
+    start: float
+    finish: float
+    batch_cycles: int = 0
+
+    @property
+    def queue_delay(self) -> float:
+        """Time the ready batch waited for its chosen shard."""
+        return self.start - self.ready_time
+
+
+# ---------------------------------------------------------------------------
+# Placement policies
+# ---------------------------------------------------------------------------
+class PlacementPolicy:
+    """Decides which shard executes a ready batch.
+
+    ``place`` is called once per batch, at batch-ready time, with the
+    full pool state; it must return a valid shard index.  Policies may
+    keep state (the round-robin counter) but must stay deterministic
+    functions of the simulated inputs.
+    """
+
+    name = "placement"
+
+    def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget accumulated state (new serving epoch)."""
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """The historical default: a counter over the pool, blind to load.
+
+    Bit-identical to the PR 1/PR 3 acquire-time mapping — the i-th
+    executed batch lands on shard ``i % n_shards`` — which the
+    regression tests pin, so homogeneous-pool callers see unchanged
+    placements, latencies and reports.
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
+        shard = self._next % len(shards)
+        self._next = (shard + 1) % len(shards)
+        return shard
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Fewest in-flight estimated cycles wins; ties to the lowest index.
+
+    Occupancy is the shard's busy-until backlog at the batch's ready
+    time, expressed in that shard's own cycles (seconds x clock), so a
+    fast shard with a short queue beats a slow shard with the same
+    queue in seconds.  In a *mixed* pool (some shards functional, with
+    no cycle model) cycles and seconds are incomparable, so the whole
+    pool is compared in backlog seconds instead.  Blind to the
+    *incoming* batch's cost — see :class:`CostAwarePlacement` for that.
+    """
+
+    name = "least_loaded"
+
+    def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
+        in_cycles = all(s.clock_hz for s in shards)
+
+        def occupancy(view: ShardView) -> Tuple[float, int]:
+            backlog = (
+                view.backlog_cycles(batch.ready_time)
+                if in_cycles
+                else view.backlog_seconds(batch.ready_time)
+            )
+            return (backlog, view.index)
+
+        return min(shards, key=occupancy).index
+
+
+class CostAwarePlacement(PlacementPolicy):
+    """Earliest estimated finish time for *this* batch shape wins.
+
+    For each candidate: ``finish = max(ready, busy_until) + est_cycles /
+    clock`` with ``est_cycles`` from the batch profile's cost model
+    (closed-form ``gemm_cycles``/plan-cache estimates, an endpoint's
+    declared workload model, or the engine's calibrated observations).
+    A shard *without* an estimate (functional backends, or a design
+    point the model has never priced) is charged the most expensive
+    known service time — pessimistic, so an unpriceable shard cannot
+    win on ignorance against shards with real estimates.  With no cost
+    information anywhere the policy degenerates to earliest-available —
+    still occupancy-aware, never worse than round-robin on backlog.
+    Ties break by backlog then index.
+    """
+
+    name = "cost_aware"
+
+    def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
+        services = {}
+        for view in shards:
+            estimate = batch.estimate_cycles(view.config)
+            if estimate is not None and view.clock_hz:
+                services[view.index] = estimate / view.clock_hz
+        unknown_service = max(services.values(), default=0.0)
+
+        def finish(view: ShardView) -> Tuple[float, float, int]:
+            service = services.get(view.index, unknown_service)
+            eta = max(batch.ready_time, view.busy_until) + service
+            return (eta, view.busy_until, view.index)
+
+        return min(shards, key=finish).index
+
+
+_PLACEMENTS = {
+    "round_robin": RoundRobinPlacement,
+    "rr": RoundRobinPlacement,
+    "least_loaded": LeastLoadedPlacement,
+    "cost_aware": CostAwarePlacement,
+}
+
+
+def make_placement_policy(
+    policy: Union[str, PlacementPolicy],
+) -> PlacementPolicy:
+    """Resolve a placement-policy name (or pass an instance through)."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    try:
+        return _PLACEMENTS[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {policy!r}; "
+            f"available: {sorted(set(_PLACEMENTS))}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Cost models
+# ---------------------------------------------------------------------------
+def _cycle_key(config: SystolicConfig) -> SystolicConfig:
+    """Design point with the clock normalised out (cycles don't scale)."""
+    return replace(config, clock_hz=1.0)
+
+
+class CalibratingCostModel:
+    """Batch-cycle estimator from cycles the engine has already traced.
+
+    Estimates resolve in confidence order:
+
+    1. **exact** — the same (model, batch size, sample shape) was
+       observed on the same design point (clock excluded: cycle counts
+       don't depend on it);
+    2. **per-row scaling** — the same (model, sample shape) was
+       observed on the design point at another batch size; batching
+       only adds GEMM rows, so cycles scale ~linearly per request;
+    3. **cross-config scaling** — the shape was only observed on a
+       *different* design point; scale its per-row cycles by the
+       closed-form GEMM cycle ratio between the two design points (a
+       coarse proxy, refined to exact the first time the shape actually
+       runs on the shard);
+    4. **None** — never seen anywhere; the policy falls back to
+       earliest-available.
+
+    Observation and estimation are deterministic (insertion-ordered),
+    and state is O(distinct (model, shape, design-point) triples).
+    """
+
+    #: Square GEMM edge used for the cross-config cycle-ratio proxy.
+    PROXY_DIM = 256
+
+    def __init__(self) -> None:
+        self._exact: Dict[tuple, float] = {}
+        # (model, shape) -> {cycle_key: per_row_cycles}
+        self._per_row: Dict[tuple, Dict[SystolicConfig, float]] = {}
+        self._proxy: Dict[Tuple[SystolicConfig, SystolicConfig], float] = {}
+
+    def observe(
+        self,
+        model: str,
+        batch_size: int,
+        sample_shape: Tuple[int, ...],
+        config: SystolicConfig,
+        cycles: int,
+    ) -> None:
+        """Record the traced cycles of one executed batch."""
+        if cycles <= 0 or batch_size <= 0:
+            return
+        key = _cycle_key(config)
+        self._exact[(model, batch_size, sample_shape, key)] = float(cycles)
+        self._per_row.setdefault((model, sample_shape), {})[key] = cycles / batch_size
+
+    def _ratio(self, target: SystolicConfig, source: SystolicConfig) -> float:
+        """Closed-form cycle ratio target/source for a proxy GEMM."""
+        pair = (target, source)
+        if pair not in self._proxy:
+            dim = self.PROXY_DIM
+            self._proxy[pair] = target.estimate_gemm_cycles(
+                dim, dim, dim
+            ) / source.estimate_gemm_cycles(dim, dim, dim)
+        return self._proxy[pair]
+
+    def estimate(
+        self, profile: BatchProfile, config: SystolicConfig
+    ) -> Optional[float]:
+        """Estimated cycles of ``profile`` on ``config`` (None if unknown)."""
+        key = _cycle_key(config)
+        exact = self._exact.get(
+            (profile.model, profile.batch_size, profile.sample_shape, key)
+        )
+        if exact is not None:
+            return exact
+        observed = self._per_row.get((profile.model, profile.sample_shape))
+        if not observed:
+            return None
+        if key in observed:
+            return observed[key] * profile.batch_size
+        # First (insertion-order) observation on any design point,
+        # scaled by the closed-form proxy ratio — deterministic.
+        source_key, per_row = next(iter(observed.items()))
+        return per_row * profile.batch_size * self._ratio(key, source_key)
+
+    # The engine passes the estimator around as a plain callable.
+    __call__ = estimate
+
+    def reset(self) -> None:
+        self._exact.clear()
+        self._per_row.clear()
+
+
+def workload_cost_model(
+    builder: Callable[[int, Tuple[int, ...]], object],
+) -> Callable[[BatchProfile, SystolicConfig], float]:
+    """Endpoint cost model from a :class:`~repro.nn.workload.Workload` builder.
+
+    ``builder(batch_size, sample_shape)`` returns the batch's op
+    inventory; the returned callable maps it to total cycles on a
+    design point via the closed-form cycle model, memoised per
+    (batch size, sample shape, design point).  Design points without
+    the nonlinear datapath are charged their GEMMs only.
+    """
+    cache: Dict[tuple, float] = {}
+
+    def estimate(profile: BatchProfile, config: SystolicConfig) -> float:
+        key = (profile.batch_size, profile.sample_shape, _cycle_key(config))
+        if key not in cache:
+            workload = builder(profile.batch_size, profile.sample_shape)
+            try:
+                total = float(workload.latency_breakdown(config).total)
+            except RuntimeError:
+                # No nonlinear datapath on this design point: GEMMs only.
+                total = float(
+                    sum(
+                        config.estimate_gemm_cycles(op.m, op.k, op.n) * op.count
+                        for op in workload.gemm_ops
+                    )
+                )
+            cache[key] = total
+        return cache[key]
+
+    return estimate
+
+
+# ---------------------------------------------------------------------------
+# The dispatcher: pool state + trace aggregation
+# ---------------------------------------------------------------------------
+class ClusterDispatcher:
+    """A pool of execution backends with placement-relevant state.
+
+    A shard is one inference backend — typically an
+    :class:`~repro.nn.executor.ArrayBackend` wrapping its own
+    :class:`~repro.systolic.array.SystolicArray`, so every shard
+    carries an independent design point and cycle trace.  The engine
+    asks a :class:`PlacementPolicy` where each ready batch runs
+    (:meth:`shard_views` is the pool state it decides on) and maintains
+    :attr:`busy_until` as the discrete-event loop advances;
+    :meth:`acquire` survives for legacy callers that want the blind
+    round-robin iterator.
+
+    Parameters
+    ----------
+    backends:
+        One inference backend per shard.  Backends exposing an
+        ``array`` attribute (the hardware-routed ones) contribute cycle
+        traces and design points; others execute functionally with
+        wall-clock timing.
+    specs:
+        Optional :class:`ShardSpec` declarations (kept when the pool
+        was built from a :class:`ClusterSpec`).
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[object],
+        specs: Optional[Sequence[ShardSpec]] = None,
+    ):
+        if not backends:
+            raise ValueError("dispatcher needs at least one backend shard")
+        if specs is not None and len(specs) != len(backends):
+            raise ValueError(
+                f"got {len(specs)} shard specs for {len(backends)} backends"
+            )
+        self.backends: List[object] = list(backends)
+        self.specs: Optional[Tuple[ShardSpec, ...]] = (
+            tuple(specs) if specs is not None else None
+        )
+        #: Simulated time each shard finishes everything placed on it.
+        self.busy_until: Dict[int, float] = {}
+        self._next = 0
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Sequence[object], granularity: float
+    ) -> "ClusterDispatcher":
+        """Build a pool of :class:`ArrayBackend` shards over ``arrays``."""
+        from repro.nn.executor import ArrayBackend
+
+        return cls([ArrayBackend(array, granularity) for array in arrays])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.backends)
+
+    def acquire(self) -> Tuple[int, object]:
+        """Next ``(shard_index, backend)`` in round-robin order (legacy)."""
+        shard = self._next
+        self._next = (self._next + 1) % len(self.backends)
+        return shard, self.backends[shard]
+
+    def array_of(self, shard: int) -> Optional[object]:
+        """The shard's systolic array, if it is hardware-routed."""
+        return getattr(self.backends[shard], "array", None)
+
+    def config_of(self, shard: int) -> Optional[SystolicConfig]:
+        """The shard's design point (None for functional backends)."""
+        array = self.array_of(shard)
+        return None if array is None else array.config
+
+    def clock_hz(self, shard: int) -> Optional[float]:
+        """Clock of the shard's array (None for functional backends)."""
+        config = self.config_of(shard)
+        return None if config is None else config.clock_hz
+
+    def shard_views(self) -> List[ShardView]:
+        """Pool state snapshot for a placement decision."""
+        return [
+            ShardView(
+                index=shard,
+                busy_until=self.busy_until.get(shard, 0.0),
+                clock_hz=self.clock_hz(shard),
+                config=self.config_of(shard),
+            )
+            for shard in range(self.n_shards)
+        ]
+
+    def describe(self) -> str:
+        """One line per shard: design point and clock."""
+        lines = []
+        for shard in range(self.n_shards):
+            config = self.config_of(shard)
+            name = (
+                self.specs[shard].name
+                if self.specs is not None and self.specs[shard].name
+                else f"shard{shard}"
+            )
+            if config is None:
+                kind = type(self.backends[shard]).__name__
+                lines.append(f"{name}: functional backend ({kind})")
+            else:
+                lines.append(
+                    f"{name}: {config.describe()} @ {config.clock_hz / 1e6:.0f} MHz"
+                )
+        return "\n".join(lines)
+
+    def shard_cycles(self) -> Dict[int, int]:
+        """Aggregate traced cycles per hardware-routed shard."""
+        cycles: Dict[int, int] = {}
+        for shard in range(self.n_shards):
+            array = self.array_of(shard)
+            if array is not None:
+                cycles[shard] = array.total_cycles
+        return cycles
+
+    def namespace_cycles(self) -> Dict[str, int]:
+        """Traced cycles per trace namespace, summed over the pool.
+
+        The engine executes every batch inside the owning tenant's
+        namespace (see :meth:`repro.systolic.trace.Trace.namespace`),
+        so this is the pool-wide per-tenant cycle account — available
+        even in aggregate-only retention mode.
+        """
+        totals: Dict[str, int] = {}
+        for shard in range(self.n_shards):
+            array = self.array_of(shard)
+            if array is None:
+                continue
+            for name, cycles in array.trace.cycles_by_namespace().items():
+                totals[name] = totals.get(name, 0) + cycles
+        return totals
+
+    def reset(self) -> None:
+        """Clear traces, busy horizons, and the round-robin pointer."""
+        for shard in range(self.n_shards):
+            array = self.array_of(shard)
+            if array is not None:
+                array.reset()
+        self.busy_until.clear()
+        self._next = 0

@@ -1,91 +1,22 @@
-"""Sharded dispatch over a pool of execution backends.
+"""Backward-compat shim over the cluster placement API.
 
-A shard is one inference backend — typically an
-:class:`~repro.nn.executor.ArrayBackend` wrapping its own
-:class:`~repro.systolic.array.SystolicArray` instance, so every shard
-carries an independent cycle trace.  The dispatcher hands batches to
-shards round-robin and aggregates the per-array traces into the
-serving-level cycle account the report consumes.
+The dispatch boundary moved to :mod:`repro.serving.cluster` when
+placement became policy-driven (``ClusterSpec`` + ``PlacementPolicy``);
+:class:`ShardedDispatcher` survives as a thin alias so PR 1-era code
+(``ShardedDispatcher.from_arrays(...)``, manual ``acquire()`` loops)
+keeps working unchanged — it *is* a :class:`ClusterDispatcher`, just
+under its historical name.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from repro.serving.cluster import ClusterDispatcher
 
 
-class ShardedDispatcher:
-    """Round-robin placement of batches onto a backend pool.
+class ShardedDispatcher(ClusterDispatcher):
+    """Historical name of :class:`~repro.serving.cluster.ClusterDispatcher`.
 
-    Parameters
-    ----------
-    backends:
-        One inference backend per shard.  Backends exposing an
-        ``array`` attribute (the hardware-routed ones) contribute cycle
-        traces; others execute functionally with wall-clock timing.
+    Identical in every respect; new code should construct pools via
+    :class:`~repro.serving.cluster.ClusterSpec` (heterogeneous design
+    points, named shards) or :class:`ClusterDispatcher` directly.
     """
-
-    def __init__(self, backends: Sequence[object]):
-        if not backends:
-            raise ValueError("dispatcher needs at least one backend shard")
-        self.backends: List[object] = list(backends)
-        self._next = 0
-
-    @classmethod
-    def from_arrays(cls, arrays: Sequence[object], granularity: float) -> "ShardedDispatcher":
-        """Build a pool of :class:`ArrayBackend` shards over ``arrays``."""
-        from repro.nn.executor import ArrayBackend
-
-        return cls([ArrayBackend(array, granularity) for array in arrays])
-
-    @property
-    def n_shards(self) -> int:
-        return len(self.backends)
-
-    def acquire(self) -> Tuple[int, object]:
-        """Next ``(shard_index, backend)`` in round-robin order."""
-        shard = self._next
-        self._next = (self._next + 1) % len(self.backends)
-        return shard, self.backends[shard]
-
-    def array_of(self, shard: int) -> Optional[object]:
-        """The shard's systolic array, if it is hardware-routed."""
-        return getattr(self.backends[shard], "array", None)
-
-    def clock_hz(self, shard: int) -> Optional[float]:
-        """Clock of the shard's array (None for functional backends)."""
-        array = self.array_of(shard)
-        return None if array is None else array.config.clock_hz
-
-    def shard_cycles(self) -> Dict[int, int]:
-        """Aggregate traced cycles per hardware-routed shard."""
-        cycles: Dict[int, int] = {}
-        for shard in range(self.n_shards):
-            array = self.array_of(shard)
-            if array is not None:
-                cycles[shard] = array.total_cycles
-        return cycles
-
-    def namespace_cycles(self) -> Dict[str, int]:
-        """Traced cycles per trace namespace, summed over the pool.
-
-        The engine executes every batch inside the owning tenant's
-        namespace (see :meth:`repro.systolic.trace.Trace.namespace`),
-        so this is the pool-wide per-tenant cycle account — available
-        even in aggregate-only retention mode.
-        """
-        totals: Dict[str, int] = {}
-        for shard in range(self.n_shards):
-            array = self.array_of(shard)
-            if array is None:
-                continue
-            for name, cycles in array.trace.cycles_by_namespace().items():
-                totals[name] = totals.get(name, 0) + cycles
-        return totals
-
-    def reset(self) -> None:
-        """Clear all array traces and restart the round-robin pointer."""
-        for shard in range(self.n_shards):
-            array = self.array_of(shard)
-            if array is not None:
-                array.reset()
-        self._next = 0

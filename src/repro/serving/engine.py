@@ -5,13 +5,27 @@ registered models from any number of tenants, packs co-pending
 same-tenant same-model requests into shared batches (one stacked
 ``infer`` call — whose linear layers fold the batch into single wide
 GEMM tiles), and places the batches on a
-:class:`~repro.serving.dispatcher.ShardedDispatcher` pool round-robin.
+:class:`~repro.serving.cluster.ClusterDispatcher` pool — possibly
+*heterogeneous* (shards with different grid sizes, MAC counts and
+clocks, declared via :class:`~repro.serving.cluster.ClusterSpec`).
 Which tenant's ready batch runs next is decided by the configured
 scheduling policy (weighted round-robin or strict priority — see
-:mod:`repro.serving.scheduler`).  Each run produces a
-:class:`~repro.serving.report.ServingReport` with latency percentiles,
-throughput, cycles/request, and a per-tenant SLO section aggregated
-from the per-array traces.
+:mod:`repro.serving.scheduler`); *where* it runs is decided at
+batch-ready time by the configured placement policy (round-robin,
+least-loaded, or cost-aware — see :mod:`repro.serving.cluster`), which
+sees each shard's design point and discrete-event busy horizon.  Each
+run produces a :class:`~repro.serving.report.ServingReport` with
+latency percentiles, throughput, cycles/request, per-shard utilization
+and the placement-decision log, and a per-tenant SLO section
+aggregated from the per-array traces.
+
+**Admission control** is per tenant and off by default: a
+:class:`~repro.serving.tenancy.TenantConfig` may cap its queue depth
+(``max_queue_depth``) and opt into shedding requests whose deadline is
+already unmeetable at admit time (``shed_doomed``).  Shed requests are
+never executed; they surface as
+:attr:`~repro.serving.report.ServingReport.shed_count` and per-record
+reasons in the report.
 
 **Admission is decoupled from execution.**  :meth:`submit` only queues;
 the scheduler loop inside :meth:`run` (or a caller-driven
@@ -77,9 +91,16 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
 import numpy as np
 
 from repro.serving.batcher import Batch
-from repro.serving.dispatcher import ShardedDispatcher
+from repro.serving.cluster import (
+    BatchProfile,
+    CalibratingCostModel,
+    ClusterDispatcher,
+    PlacementDecision,
+    PlacementPolicy,
+    make_placement_policy,
+)
 from repro.serving.report import ServingReport
-from repro.serving.request import CompletedRequest, InferenceRequest
+from repro.serving.request import CompletedRequest, InferenceRequest, ShedRecord
 from repro.serving.scheduler import SchedulingPolicy, TenantScheduler
 from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig, TenantRegistry
 
@@ -92,11 +113,17 @@ class ModelEndpoint:
     ``(B, ...)`` input array for batchable endpoints, or one unstacked
     sample when ``batchable`` is False (models whose inputs cannot be
     stacked, e.g. graphs of varying size).
+
+    ``cost_model(profile, config)`` optionally estimates the cycles a
+    batch of this model costs on a design point (see
+    :func:`~repro.serving.cluster.workload_cost_model`); endpoints
+    without one fall back to the engine's calibrating estimator.
     """
 
     name: str
     infer_fn: Callable[[np.ndarray, object], np.ndarray]
     batchable: bool = True
+    cost_model: Optional[Callable[[BatchProfile, object], float]] = None
 
 
 class _RequestSource:
@@ -155,6 +182,11 @@ class InferenceEngine:
         the same instant: ``"weighted_round_robin"`` (default),
         ``"strict_priority"``, or a
         :class:`~repro.serving.scheduler.SchedulingPolicy` instance.
+    placement:
+        Which shard a ready batch executes on:
+        ``"round_robin"`` (default; bit-identical to the historical
+        acquire-time mapping), ``"least_loaded"``, ``"cost_aware"``,
+        or a :class:`~repro.serving.cluster.PlacementPolicy` instance.
     tenants:
         Optional iterable of :class:`~repro.serving.tenancy.TenantConfig`
         to pre-register (equivalent to :meth:`register_tenant` calls).
@@ -162,11 +194,12 @@ class InferenceEngine:
 
     def __init__(
         self,
-        dispatcher: ShardedDispatcher,
+        dispatcher: ClusterDispatcher,
         max_batch_size: int = 8,
         flush_timeout: float = 1e-3,
         retain_trace_events: bool = False,
         policy: Union[str, SchedulingPolicy] = "weighted_round_robin",
+        placement: Union[str, PlacementPolicy] = "round_robin",
         tenants: Optional[Iterable[TenantConfig]] = None,
     ):
         self.dispatcher = dispatcher
@@ -180,13 +213,17 @@ class InferenceEngine:
         self.scheduler = TenantScheduler(
             self.tenants, policy, max_batch_size, flush_timeout
         )
+        self.placement = make_placement_policy(placement)
         self._endpoints: Dict[str, ModelEndpoint] = {}
         self._submitted: List[InferenceRequest] = []
         self._run_buffered = 0  # run()-local feed not yet admitted
         self._results: Dict[int, np.ndarray] = {}
         self._next_id = 0
         self._last_arrival = 0.0
-        self._shard_free: Dict[int, float] = {}
+        self._calibrator = CalibratingCostModel()
+        self._placements: List[PlacementDecision] = []
+        self._shed: List[ShedRecord] = []
+        self._shard_busy: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Registration and submission
@@ -198,17 +235,22 @@ class InferenceEngine:
         *,
         infer_fn: Optional[Callable[[np.ndarray, object], np.ndarray]] = None,
         batchable: bool = True,
+        cost_model: Optional[Callable[[BatchProfile, object], float]] = None,
     ) -> None:
         """Register a model endpoint under ``name``.
 
         Pass either ``model`` (an object with ``infer(inputs, backend)``)
-        or an explicit ``infer_fn``.
+        or an explicit ``infer_fn``.  ``cost_model`` optionally supplies
+        closed-form batch-cycle estimates for cost-aware placement (see
+        :func:`~repro.serving.cluster.workload_cost_model`); without
+        one, estimates come from the engine's calibrating model once
+        the (model, shape) has executed somewhere.
         """
         if (model is None) == (infer_fn is None):
             raise ValueError("register() needs exactly one of model / infer_fn")
         if infer_fn is None:
             infer_fn = model.infer  # type: ignore[union-attr]
-        self._endpoints[name] = ModelEndpoint(name, infer_fn, batchable)
+        self._endpoints[name] = ModelEndpoint(name, infer_fn, batchable, cost_model)
 
     def register_tenant(
         self,
@@ -390,6 +432,13 @@ class InferenceEngine:
         wall_start = time.perf_counter()
         cycles_before = self.dispatcher.shard_cycles()
         tenant_cycles_before = self.dispatcher.namespace_cycles()
+        # Placement/shed/busy accounting is per run: entries from
+        # caller-driven step() sequences are readable on
+        # :attr:`placement_log` / :attr:`shed_log` until the next run
+        # starts.
+        self._placements.clear()
+        self._shed.clear()
+        self._shard_busy = {shard: 0.0 for shard in range(self.dispatcher.n_shards)}
         source = _RequestSource(request_source, self) if request_source is not None else None
 
         completed: List[CompletedRequest] = []
@@ -429,11 +478,11 @@ class InferenceEngine:
                     ready_at is None or next_arrival <= ready_at
                 ):
                     if take_from_buffer:
-                        self.scheduler.admit(buffer[head])
+                        self._admit(buffer[head])
                         head += 1
                         self._run_buffered = len(buffer) - head
                     else:
-                        self.scheduler.admit(source.pop())  # type: ignore[union-attr]
+                        self._admit(source.pop())  # type: ignore[union-attr]
                     continue
                 if ready_at is None:
                     break
@@ -468,6 +517,10 @@ class InferenceEngine:
             wall_seconds=time.perf_counter() - wall_start,
             tenant_cycles=tenant_cycles,
             tenants=self.tenants.configured(),
+            placements=tuple(self._placements),
+            shed=tuple(self._shed),
+            shard_busy=dict(self._shard_busy),
+            placement_policy=self.placement.name,
         )
 
     def step(self) -> List[CompletedRequest]:
@@ -482,9 +535,92 @@ class InferenceEngine:
         for request in sorted(
             self._submitted, key=lambda r: (r.arrival, r.request_id)
         ):
-            self.scheduler.admit(request)
+            self._admit(request)
         self._submitted.clear()
         return self._drain_one()
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _admit(self, request: InferenceRequest) -> bool:
+        """Admit one request, or shed it per its tenant's contract.
+
+        Both gates are evaluated at the request's (simulated) arrival:
+        the queue-depth cap against the tenant's currently queued
+        requests, and — for ``shed_doomed`` tenants — the effective
+        deadline against the best case of starting immediately on the
+        fastest shard (a conservative bound: queueing is ignored, so
+        only certainly-unmeetable requests shed).
+        """
+        config = self.tenants.get(request.tenant)
+        if (
+            config.max_queue_depth is not None
+            and self.scheduler.tenant_pending(request.tenant)
+            >= config.max_queue_depth
+        ):
+            self._shed.append(ShedRecord(request, "queue_full", request.arrival))
+            return False
+        if config.shed_doomed:
+            due = request.deadline
+            if due is None and config.slo_latency is not None:
+                due = request.arrival + config.slo_latency
+            if due is not None and self._best_case_finish(request) > due:
+                self._shed.append(
+                    ShedRecord(request, "deadline_doomed", request.arrival)
+                )
+                return False
+        self.scheduler.admit(request)
+        return True
+
+    def _best_case_finish(self, request: InferenceRequest) -> float:
+        """Earliest conceivable finish: run alone, immediately, on the
+        fastest shard (0 service time where no estimate exists)."""
+        profile = self._profile(
+            model=request.model,
+            tenant=request.tenant,
+            batch_size=1,
+            sample_shape=np.asarray(request.inputs).shape,
+            ready_time=request.arrival,
+        )
+        best = None
+        for view in self.dispatcher.shard_views():
+            estimate = profile.estimate_cycles(view.config)
+            service = (
+                estimate / view.clock_hz
+                if estimate is not None and view.clock_hz
+                else 0.0
+            )
+            finish = request.arrival + service
+            if best is None or finish < best:
+                best = finish
+        return best if best is not None else request.arrival
+
+    def _profile(self, model, tenant, batch_size, sample_shape, ready_time):
+        """Build the placement-time view of a batch (or lone request)."""
+        endpoint = self._endpoints[model]
+        estimator = (
+            endpoint.cost_model
+            if endpoint.cost_model is not None
+            else self._calibrator.estimate
+        )
+        return BatchProfile(
+            model=model,
+            tenant=tenant,
+            batch_size=batch_size,
+            sample_shape=tuple(sample_shape),
+            ready_time=ready_time,
+            estimator=estimator,
+        )
+
+    @property
+    def placement_log(self) -> "tuple[PlacementDecision, ...]":
+        """Placement decisions since the start of the last :meth:`run`."""
+        return tuple(self._placements)
+
+    @property
+    def shed_log(self) -> "tuple[ShedRecord, ...]":
+        """Requests shed since the start of the last :meth:`run`."""
+        return tuple(self._shed)
 
     def _drain_one(self) -> List[CompletedRequest]:
         """Pop the policy-selected ready batch, execute, store results."""
@@ -517,8 +653,12 @@ class InferenceEngine:
         self._submitted.clear()
         self._run_buffered = 0
         self.scheduler.reset()
+        self.placement.reset()
+        self._calibrator.reset()
         self._results.clear()
-        self._shard_free.clear()
+        self._placements.clear()
+        self._shed.clear()
+        self._shard_busy.clear()
         self._last_arrival = 0.0
         self.dispatcher.reset()
 
@@ -527,7 +667,23 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     def _execute_batch(self, batch: Batch) -> List[CompletedRequest]:
         endpoint = self._endpoints[batch.model]
-        shard, backend = self.dispatcher.acquire()
+        # Placement happens here — at batch-ready time, not acquire
+        # time — so the policy sees every shard's busy horizon and the
+        # batch's shape/cost profile before choosing.
+        profile = self._profile(
+            model=batch.model,
+            tenant=batch.tenant,
+            batch_size=batch.size,
+            sample_shape=np.asarray(batch.requests[0].inputs).shape,
+            ready_time=batch.ready_time,
+        )
+        shard = self.placement.place(profile, self.dispatcher.shard_views())
+        if not 0 <= shard < self.dispatcher.n_shards:
+            raise ValueError(
+                f"placement policy {self.placement.name!r} returned shard "
+                f"{shard} for a pool of {self.dispatcher.n_shards}"
+            )
+        backend = self.dispatcher.backends[shard]
         array = self.dispatcher.array_of(shard)
         cycles_before = array.total_cycles if array is not None else 0
 
@@ -566,9 +722,31 @@ class InferenceEngine:
             batch_cycles = 0
             duration = elapsed_wall
 
-        start = max(batch.ready_time, self._shard_free.get(shard, 0.0))
+        start = max(batch.ready_time, self.dispatcher.busy_until.get(shard, 0.0))
         finish = start + duration
-        self._shard_free[shard] = finish
+        self.dispatcher.busy_until[shard] = finish
+        self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + duration
+        if array is not None and batch_cycles > 0:
+            # Feed the calibrating cost model: the next placement of
+            # this (model, shape) estimates from traced ground truth.
+            self._calibrator.observe(
+                batch.model, batch.size, profile.sample_shape,
+                array.config, batch_cycles,
+            )
+        self._placements.append(
+            PlacementDecision(
+                batch_index=batch.index,
+                model=batch.model,
+                tenant=batch.tenant,
+                batch_size=batch.size,
+                shard=shard,
+                policy=self.placement.name,
+                ready_time=batch.ready_time,
+                start=start,
+                finish=finish,
+                batch_cycles=batch_cycles,
+            )
+        )
         return [
             CompletedRequest(
                 request=req,

@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.serving.request import CompletedRequest
+from repro.serving.cluster import PlacementDecision
+from repro.serving.request import CompletedRequest, ShedRecord
 from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig
 
 
@@ -43,6 +44,19 @@ class ServingReport:
     tenants:
         Scheduling contracts of the tenants known to the engine
         (weights, priorities, SLO targets) for the SLO section.
+    placements:
+        The placement-decision log: one
+        :class:`~repro.serving.cluster.PlacementDecision` per executed
+        batch, in execution order.
+    shed:
+        Requests refused at admission (queue-depth cap or
+        deadline-doomed), never executed.
+    shard_busy:
+        Simulated seconds each shard spent executing during the run
+        (keys cover the whole pool, idle shards at 0.0) — the basis of
+        :meth:`shard_utilization` and :meth:`imbalance`.
+    placement_policy:
+        Name of the placement policy that made the decisions.
     """
 
     completed: Tuple[CompletedRequest, ...]
@@ -50,6 +64,10 @@ class ServingReport:
     wall_seconds: float
     tenant_cycles: Dict[str, int] = field(default_factory=dict)
     tenants: Dict[str, TenantConfig] = field(default_factory=dict)
+    placements: Tuple[PlacementDecision, ...] = ()
+    shed: Tuple[ShedRecord, ...] = ()
+    shard_busy: Dict[int, float] = field(default_factory=dict)
+    placement_policy: str = "round_robin"
 
     # -- request-level views --------------------------------------------
     @property
@@ -110,6 +128,78 @@ class ServingReport:
     @property
     def mean_batch_size(self) -> float:
         return self.n_requests / self.n_batches if self.n_batches else 0.0
+
+    # -- placement / admission views ------------------------------------
+    @property
+    def shed_count(self) -> int:
+        """Requests refused at admission during this run."""
+        return len(self.shed)
+
+    def tenant_shed(self, tenant: str) -> int:
+        """One tenant's shed-request count."""
+        return sum(1 for record in self.shed if record.request.tenant == tenant)
+
+    def shed_by_reason(self) -> Dict[str, int]:
+        """Shed counts grouped by admission-control reason."""
+        counts: Dict[str, int] = {}
+        for record in self.shed:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return counts
+
+    def shard_utilization(self) -> Dict[int, float]:
+        """Busy fraction of the run's makespan, per shard.
+
+        1.0 means the shard executed for the entire span between the
+        first arrival and the last completion; heterogeneous pools
+        under blind placement typically show fast shards far below it.
+        """
+        span = self.makespan
+        if span <= 0:
+            return {shard: 0.0 for shard in self.shard_busy}
+        return {
+            shard: busy / span for shard, busy in sorted(self.shard_busy.items())
+        }
+
+    def imbalance(self) -> float:
+        """Max-over-mean shard busy time (1.0 = perfectly balanced).
+
+        The load-skew metric of the placement section: a 4-shard pool
+        where one shard does all the work scores 4.0.  Returns 0.0
+        when nothing ran.
+        """
+        if not self.shard_busy:
+            return 0.0
+        busy = list(self.shard_busy.values())
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 0.0
+
+    def placement_section(self) -> str:
+        """Per-shard block of the summary: decisions, busy, utilization."""
+        lines = [
+            f"placement            : {self.placement_policy} "
+            f"({len(self.placements)} decisions)"
+        ]
+        batches_on = {shard: 0 for shard in self.shard_busy}
+        for decision in self.placements:
+            batches_on[decision.shard] = batches_on.get(decision.shard, 0) + 1
+        utilization = self.shard_utilization()
+        for shard in sorted(self.shard_busy):
+            lines.append(
+                f"  shard {shard} placement : {batches_on.get(shard, 0)} batches, "
+                f"busy {self.shard_busy[shard] * 1e6:,.1f} us "
+                f"(util {utilization.get(shard, 0.0):.0%})"
+            )
+        if len(self.shard_busy) > 1:
+            lines.append(
+                f"  imbalance          : {self.imbalance():.2f} (max/mean busy)"
+            )
+        if self.shed:
+            reasons = ", ".join(
+                f"{reason} {count}"
+                for reason, count in sorted(self.shed_by_reason().items())
+            )
+            lines.append(f"  requests shed      : {self.shed_count} ({reasons})")
+        return "\n".join(lines)
 
     # -- per-tenant views -----------------------------------------------
     @cached_property
@@ -232,6 +322,10 @@ class ServingReport:
             lines.append(
                 f"  shard {shard} cycles    : {self.shard_cycles[shard]:,}"
             )
+        # Placement block whenever there was a pool to balance over or
+        # admission control refused anything.
+        if len(self.shard_busy) > 1 or self.shed:
+            lines.append(self.placement_section())
         tenant_ids = self.tenant_ids
         # Per-tenant block for any named tenant, or whenever deadlines
         # were in play (even on the implicit default tenant).

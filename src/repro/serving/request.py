@@ -110,3 +110,27 @@ class CompletedRequest:
         """
         deadline = self.request.deadline
         return deadline is not None and self.finish > deadline
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """A request refused at admission (never executed).
+
+    Attributes
+    ----------
+    request:
+        The shed :class:`InferenceRequest`.  Its id never produces an
+        output; :meth:`InferenceEngine.result` raises ``KeyError``.
+    reason:
+        ``"queue_full"`` (the tenant was at its
+        :attr:`~repro.serving.tenancy.TenantConfig.max_queue_depth`) or
+        ``"deadline_doomed"`` (its effective deadline was unmeetable
+        even starting immediately on the fastest shard).
+    at:
+        Simulated time of the admission decision (the request's
+        arrival, in the discrete-event loop).
+    """
+
+    request: InferenceRequest
+    reason: str
+    at: float

@@ -209,6 +209,14 @@ class TenantScheduler:
         """Requests admitted and not yet handed out in a batch."""
         return self.assembler.n_pending
 
+    def tenant_pending(self, tenant: str) -> int:
+        """One tenant's queued (admitted, unexecuted) request count.
+
+        The admission-control engine checks this against the tenant's
+        ``max_queue_depth`` before admitting.
+        """
+        return self.assembler.pending_of(tenant)
+
     # ------------------------------------------------------------------
     # Scheduling decisions
     # ------------------------------------------------------------------

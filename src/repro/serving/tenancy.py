@@ -41,12 +41,27 @@ class TenantConfig:
         Target arrival-to-completion latency in simulated seconds.
         When set, requests without an explicit deadline are scored
         against ``arrival + slo_latency`` in the report's SLO section.
+    max_queue_depth:
+        Admission control: the most requests this tenant may have
+        queued (admitted, not yet executed) at once.  A request
+        arriving above the cap is *shed* — never executed, reported
+        under :attr:`~repro.serving.report.ServingReport.shed_count`.
+        ``None`` (default) disables the cap.
+    shed_doomed:
+        Admission control: when True, a request whose effective
+        deadline (explicit, else ``arrival + slo_latency``) cannot be
+        met even starting immediately on the fastest shard is shed at
+        admit time instead of wasting pool cycles on an answer that
+        scores as a miss.  Default False: deadlines stay
+        accounting-only, the pre-admission-control behaviour.
     """
 
     tenant_id: str
     weight: float = 1.0
     priority: int = 0
     slo_latency: Optional[float] = None
+    max_queue_depth: Optional[int] = None
+    shed_doomed: bool = False
 
     def __post_init__(self) -> None:
         if not self.tenant_id:
@@ -59,6 +74,11 @@ class TenantConfig:
             raise ValueError(
                 f"tenant {self.tenant_id!r} slo_latency must be > 0, "
                 f"got {self.slo_latency}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(
+                f"tenant {self.tenant_id!r} max_queue_depth must be >= 1, "
+                f"got {self.max_queue_depth}"
             )
 
 

@@ -176,6 +176,32 @@ class SystolicConfig:
         """
         return self.pe_rows * self.macs_per_pe / 2.0
 
+    # ------------------------------------------------------------------
+    # Cost estimation (consumed by cluster placement)
+    # ------------------------------------------------------------------
+    def estimate_gemm_cycles(self, m_dim: int, k_dim: int, n_dim: int) -> int:
+        """Closed-form cycles of ``(M,K) @ (K,N)`` on this design point.
+
+        The hook cost-aware cluster placement estimates candidate
+        shards with; delegates to
+        :func:`repro.systolic.timing.gemm_cycles` (the same model the
+        plan cache stores), imported lazily to keep the layering
+        acyclic.
+        """
+        from repro.systolic.timing import gemm_cycles
+
+        return gemm_cycles(self, m_dim, k_dim, n_dim).total
+
+    def estimate_gemm_seconds(self, m_dim: int, k_dim: int, n_dim: int) -> float:
+        """The same estimate on this design point's clock."""
+        return self.estimate_gemm_cycles(m_dim, k_dim, n_dim) / self.clock_hz
+
+    def estimate_nonlinear_cycles(self, m_dim: int, n_dim: int) -> int:
+        """Closed-form cycles of one fused nonlinear pass (ONE-SA only)."""
+        from repro.systolic.timing import nonlinear_cycles
+
+        return nonlinear_cycles(self, m_dim, n_dim).total
+
     def with_size(self, pe_dim: int, macs_per_pe: "int | None" = None) -> "SystolicConfig":
         """Derive a new design point with a different grid / MAC count."""
         return replace(

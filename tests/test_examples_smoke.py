@@ -48,6 +48,10 @@ def test_multitenant_demo_runs():
     run_example("multitenant_demo")
 
 
+def test_heterogeneous_demo_runs():
+    run_example("heterogeneous_demo")
+
+
 def test_design_space_example_runs():
     run_example("design_space_exploration")
 
