@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import weakref
 from collections import OrderedDict
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -96,6 +97,75 @@ class ParamCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+
+@dataclass(frozen=True)
+class LayerKV:
+    """One layer's cached key/value prefix rows, ``(P, D)`` each.
+
+    The arrays hold the backend's *dequantized on-grid* activations —
+    exactly the values the cold path's head split consumes — and are
+    frozen read-only so a consumer cannot corrupt a shared cache entry.
+    """
+
+    k: np.ndarray
+    v: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return self.k.nbytes + self.v.nbytes
+
+
+class KVTap:
+    """Per-layer K/V capture for transformer prefix reuse.
+
+    Passed as ``kv_tap`` into a causal model's ``infer``; each attention
+    layer hands it the merged ``(N, T, D)`` key/value activations and
+    the model hands it the final hidden states.  The tap keeps the first
+    ``prefix_len`` rows of sequence 0 — within a prefix-keyed batch all
+    sequences share the prompt, and per-row/per-pair exactness of the
+    fixed-point pipeline makes row 0's activations identical to any
+    other sequence's (and to any future request's) for the same prefix
+    tokens.
+
+    Capture costs no extra compute: the slices are copies of activations
+    the cold pass produced anyway.  The derived parameter arrays the
+    projections used come from the backend's :class:`ParamCache`, so a
+    capture pass and a reuse pass share the same quantized weights.
+    """
+
+    def __init__(self, prefix_len: int):
+        if prefix_len < 1:
+            raise ValueError(f"prefix_len must be >= 1, got {prefix_len}")
+        self.prefix_len = int(prefix_len)
+        self.layers: List[LayerKV] = []
+        self.final_hidden: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _freeze(rows: np.ndarray) -> np.ndarray:
+        # Always a fresh owning copy: a no-copy view of the (N, T, D)
+        # activation would pin the whole batch array alive while the
+        # cache charges only the (P, D) slice against its byte budget.
+        frozen = np.array(rows, copy=True)
+        frozen.setflags(write=False)
+        return frozen
+
+    def capture(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Record one layer's merged K/V (called in layer order)."""
+        p = self.prefix_len
+        self.layers.append(LayerKV(self._freeze(k[0, :p]), self._freeze(v[0, :p])))
+
+    def capture_final(self, hidden: np.ndarray) -> None:
+        """Record the final hidden prefix rows (for pooled readout)."""
+        self.final_hidden = self._freeze(hidden[0, : self.prefix_len])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the captured activations occupy (cache budget unit)."""
+        total = sum(layer.nbytes for layer in self.layers)
+        if self.final_hidden is not None:
+            total += self.final_hidden.nbytes
+        return total
 
 
 class FloatBackend:

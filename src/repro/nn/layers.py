@@ -313,15 +313,31 @@ class MultiHeadSelfAttention(Module):
     inference path charges four GEMMs (Q, K, V, output projections), the
     two attention batched matmuls, and one softmax per head-row — the
     exact op mix the BERT workload descriptor counts.
+
+    With ``causal=True`` position ``i`` attends only to positions
+    ``<= i``.  The inference path enforces the mask *structurally*: row
+    ``i``'s softmax runs over its first ``i + 1`` scores only and the
+    remaining attention weights are exact zeros, so every output row is
+    a function of the tokens at or before it — never of the sequence
+    length or of later tokens.  That suffix-independence is what makes
+    cached-prefix reuse (:meth:`infer_suffix`) bit-identical to cold
+    execution.  The training path uses the conventional additive
+    ``-inf``-style mask, which matches only to float precision.
     """
 
-    def __init__(self, dim: int, heads: int, rng: np.random.Generator):
+    #: Additive pre-softmax bias of masked scores on the training path.
+    _MASK_BIAS = -1e9
+
+    def __init__(
+        self, dim: int, heads: int, rng: np.random.Generator, causal: bool = False
+    ):
         super().__init__()
         if dim % heads:
             raise ValueError(f"heads ({heads}) must divide dim ({dim})")
         self.dim = dim
         self.heads = heads
         self.head_dim = dim // heads
+        self.causal = bool(causal)
         self.q_proj = Linear(dim, dim, rng)
         self.k_proj = Linear(dim, dim, rng)
         self.v_proj = Linear(dim, dim, rng)
@@ -337,47 +353,144 @@ class MultiHeadSelfAttention(Module):
         v = self._split(self.v_proj(x), n, t)
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if self.causal:
+            bias = np.triu(np.full((t, t), self._MASK_BIAS), k=1)
+            scores = scores + Tensor(bias)
         attn = scores.softmax(axis=-1)
         ctx = attn @ v  # (N, H, T, hd)
         merged = ctx.transpose(0, 2, 1, 3).reshape(n, t, self.dim)
         return self.out_proj(merged)
 
-    def infer(self, x: np.ndarray, backend) -> np.ndarray:
+    def infer(self, x: np.ndarray, backend, kv_tap=None) -> np.ndarray:
+        """Full-sequence inference; optionally captures K/V on ``kv_tap``.
+
+        ``kv_tap`` (see :class:`repro.nn.executor.KVTap`) receives the
+        merged ``(N, T, D)`` key/value activations of this layer before
+        the head split — the arrays a prefix cache retains.
+        """
         n, t, _ = x.shape
         q = self.q_proj.infer(x, backend)
         k = self.k_proj.infer(x, backend)
         v = self.v_proj.infer(x, backend)
+        if kv_tap is not None:
+            kv_tap.capture(k, v)
+        return self._attend(q, k, v, backend, row_offset=0)
+
+    def infer_suffix(
+        self,
+        x_suffix: np.ndarray,
+        k_prefix: np.ndarray,
+        v_prefix: np.ndarray,
+        backend,
+    ) -> np.ndarray:
+        """Incremental attention over the suffix rows of a causal layer.
+
+        ``x_suffix`` holds the hidden rows of positions ``P..T-1``;
+        ``k_prefix``/``v_prefix`` are this layer's cached ``(P, D)``
+        key/value rows of the shared prompt.  Because the causal mask
+        makes K/V rows functions of their own prefix only, concatenating
+        the cached rows with freshly projected suffix rows reproduces
+        the cold path's operands exactly — every suffix output row is
+        bit-identical to its cold counterpart while the prefix rows'
+        GEMM work is skipped entirely.
+        """
+        if not self.causal:
+            raise ValueError("prefix reuse requires a causal attention layer")
+        n, _, _ = x_suffix.shape
+        p = k_prefix.shape[-2]
+        q = self.q_proj.infer(x_suffix, backend)
+        k_s = self.k_proj.infer(x_suffix, backend)
+        v_s = self.v_proj.infer(x_suffix, backend)
+        k = np.concatenate([np.broadcast_to(k_prefix, (n, p, self.dim)), k_s], axis=1)
+        v = np.concatenate([np.broadcast_to(v_prefix, (n, p, self.dim)), v_s], axis=1)
+        return self._attend(q, k, v, backend, row_offset=p)
+
+    def _attend(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        backend,
+        row_offset: int,
+    ) -> np.ndarray:
+        """Attention of ``R`` query rows (global positions ``row_offset``
+        onward) against ``T`` key/value rows; merged output ``(N, R, D)``."""
+        n, r, _ = q.shape
+        t = k.shape[1]
 
         def split(a: np.ndarray) -> np.ndarray:
-            return a.reshape(n, t, self.heads, self.head_dim).transpose(0, 2, 1, 3)
+            rows = a.shape[1]
+            return a.reshape(n, rows, self.heads, self.head_dim).transpose(0, 2, 1, 3)
 
         q, k, v = split(q), split(k), split(v)
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = backend.matmul(q, k.transpose(0, 1, 3, 2)) * scale
-        attn = backend.softmax(scores, axis=-1)
+        if self.causal:
+            # Structural mask: one softmax per global position over its
+            # first i+1 scores; weights past the diagonal are exact
+            # zeros, so the context GEMM's masked terms contribute
+            # nothing regardless of later tokens.
+            attn = np.zeros_like(scores)
+            for row in range(r):
+                limit = row_offset + row + 1
+                attn[:, :, row, :limit] = backend.softmax(
+                    scores[:, :, row, :limit], axis=-1
+                )
+        else:
+            attn = backend.softmax(scores, axis=-1)
         ctx = backend.matmul(attn, v)
-        merged = ctx.transpose(0, 2, 1, 3).reshape(n, t, self.dim)
+        merged = ctx.transpose(0, 2, 1, 3).reshape(n, r, self.dim)
         return self.out_proj.infer(merged, backend)
 
 
 class TransformerEncoderLayer(Module):
-    """Post-norm encoder block: MHA + LayerNorm + GELU feed-forward."""
+    """Post-norm encoder block: MHA + LayerNorm + GELU feed-forward.
 
-    def __init__(self, dim: int, heads: int, ff_dim: int, rng: np.random.Generator):
+    ``causal=True`` makes the attention sub-layer causal; everything
+    else in the block (residuals, layernorms, the feed-forward) is
+    already per-row, so the whole block then maps row ``i`` from rows
+    ``<= i`` only — the property :meth:`infer_suffix` rides on.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        ff_dim: int,
+        rng: np.random.Generator,
+        causal: bool = False,
+    ):
         super().__init__()
-        self.attn = MultiHeadSelfAttention(dim, heads, rng)
+        self.attn = MultiHeadSelfAttention(dim, heads, rng, causal=causal)
         self.ln1 = LayerNorm(dim)
         self.fc1 = Linear(dim, ff_dim, rng)
         self.fc2 = Linear(ff_dim, dim, rng)
         self.ln2 = LayerNorm(dim)
+
+    @property
+    def causal(self) -> bool:
+        return self.attn.causal
 
     def forward(self, x: Tensor) -> Tensor:
         x = self.ln1(x + self.attn(x))
         hidden = self.fc1(x).gelu()
         return self.ln2(x + self.fc2(hidden))
 
-    def infer(self, x: np.ndarray, backend) -> np.ndarray:
-        x = self.ln1.infer(x + self.attn.infer(x, backend), backend)
+    def infer(self, x: np.ndarray, backend, kv_tap=None) -> np.ndarray:
+        x = self.ln1.infer(x + self.attn.infer(x, backend, kv_tap=kv_tap), backend)
+        hidden = backend.gelu(self.fc1.infer(x, backend))
+        return self.ln2.infer(x + self.fc2.infer(hidden, backend), backend)
+
+    def infer_suffix(
+        self,
+        x_suffix: np.ndarray,
+        k_prefix: np.ndarray,
+        v_prefix: np.ndarray,
+        backend,
+    ) -> np.ndarray:
+        """The block's suffix rows, reusing this layer's cached K/V."""
+        attn_out = self.attn.infer_suffix(x_suffix, k_prefix, v_prefix, backend)
+        x = self.ln1.infer(x_suffix + attn_out, backend)
         hidden = backend.gelu(self.fc1.infer(x, backend))
         return self.ln2.infer(x + self.fc2.infer(hidden, backend), backend)
 

@@ -16,7 +16,16 @@ from repro.nn.layers import Embedding, Linear, Module, TransformerEncoderLayer
 
 
 class TinyBERT(Module):
-    """Encoder-only classifier for integer token sequences ``(N, T)``."""
+    """Encoder-only classifier for integer token sequences ``(N, T)``.
+
+    ``causal=True`` turns every attention layer causal (position ``i``
+    attends to positions ``<= i`` only), which makes the whole encoder
+    row-causal: hidden row ``i`` at every depth depends only on tokens
+    ``<= i``.  That is the property KV-prefix reuse needs — a request
+    sharing a cached prompt can skip the prefix rows of every GEMM and
+    still produce bit-identical outputs via :meth:`infer_suffix`.  The
+    default (bidirectional) model is unchanged.
+    """
 
     def __init__(
         self,
@@ -28,16 +37,25 @@ class TinyBERT(Module):
         n_layers: int = 2,
         n_classes: int = 2,
         seed: int = 0,
+        causal: bool = False,
     ):
         super().__init__()
         rng = np.random.default_rng(seed)
+        self.vocab = vocab
         self.seq_len = seq_len
+        self.dim = dim
+        self.heads = heads
+        self.ff_dim = ff_dim
+        self.n_layers = n_layers
+        self.n_classes = n_classes
+        self.causal = bool(causal)
         self.token_emb = Embedding(vocab, dim, rng)
         self.pos_emb = Tensor(
             rng.normal(0, 0.1, size=(seq_len, dim)), requires_grad=True
         )
         self.layers = [
-            TransformerEncoderLayer(dim, heads, ff_dim, rng) for _ in range(n_layers)
+            TransformerEncoderLayer(dim, heads, ff_dim, rng, causal=causal)
+            for _ in range(n_layers)
         ]
         self.classifier = Linear(dim, n_classes, rng)
 
@@ -49,12 +67,54 @@ class TinyBERT(Module):
         pooled = x.mean(axis=1)
         return self.classifier(pooled)
 
-    def infer(self, tokens: np.ndarray, backend) -> np.ndarray:
+    def infer(self, tokens: np.ndarray, backend, kv_tap=None) -> np.ndarray:
+        """Batched inference; ``kv_tap`` captures per-layer prefix K/V.
+
+        ``kv_tap`` (a :class:`repro.nn.executor.KVTap`) records each
+        attention layer's merged key/value activations plus the final
+        hidden prefix rows during a normal cold pass, at zero extra
+        compute — the payload a :class:`~repro.serving.prefix_cache.PrefixCache`
+        entry retains.
+        """
         tokens = np.asarray(tokens)
         x = self.token_emb.infer_indices(tokens) + self.pos_emb.data
         for layer in self.layers:
-            x = layer.infer(x, backend)
+            x = layer.infer(x, backend, kv_tap=kv_tap)
+        if kv_tap is not None:
+            kv_tap.capture_final(x)
         pooled = x.mean(axis=1)
+        return self.classifier.infer(pooled, backend)
+
+    def infer_suffix(self, tokens: np.ndarray, prefix, backend) -> np.ndarray:
+        """Inference reusing a cached prompt: suffix rows only.
+
+        ``tokens`` is the full ``(N, T)`` batch whose first
+        ``prefix.prefix_len`` columns match the cached prompt;
+        ``prefix`` is a captured :class:`~repro.nn.executor.KVTap` (or
+        any object with ``prefix_len``, per-layer ``layers[i].k/.v``
+        and ``final_hidden``).  Only the suffix rows flow through the
+        encoder — each layer attends against its cached prefix K/V —
+        and the cached final hidden rows complete the mean-pool, so the
+        classifier sees exactly the cold path's pooled activations.
+        Bit-identity with :meth:`infer` is property-tested.
+        """
+        if not self.causal:
+            raise ValueError("prefix reuse requires causal=True")
+        tokens = np.asarray(tokens)
+        p = prefix.prefix_len
+        if not 0 < p < tokens.shape[-1]:
+            raise ValueError(
+                f"prefix length {p} must be in (0, {tokens.shape[-1]})"
+            )
+        if len(prefix.layers) != len(self.layers) or prefix.final_hidden is None:
+            raise ValueError("prefix payload does not match this model's depth")
+        n = tokens.shape[0]
+        x = self.token_emb.infer_indices(tokens[:, p:]) + self.pos_emb.data[p:]
+        for layer, kv in zip(self.layers, prefix.layers):
+            x = layer.infer_suffix(x, kv.k, kv.v, backend)
+        final_prefix = np.broadcast_to(prefix.final_hidden, (n,) + prefix.final_hidden.shape)
+        full = np.concatenate([final_prefix, x], axis=1)
+        pooled = full.mean(axis=1)
         return self.classifier.infer(pooled, backend)
 
     def predict(self, tokens: np.ndarray, backend) -> np.ndarray:

@@ -341,6 +341,108 @@ def transformer_serving_workload(
     return wl
 
 
+def transformer_prefix_workload(
+    batch: int,
+    seq_len: int,
+    prefix_len: int,
+    dim: int,
+    heads: int,
+    ff_dim: int,
+    n_layers: int,
+    n_classes: int = 2,
+) -> Workload:
+    """Op inventory of a batched encoder inference with a cached prefix.
+
+    The warm (prefix-hit) serving path only executes the suffix rows:
+    the Q/K/V/output projections and the feed-forward GEMMs shrink to
+    ``batch * (seq_len - prefix_len)`` rows, the attention matmuls keep
+    their full ``seq_len`` reduction axis but only produce suffix rows,
+    and the softmaxes run once per suffix row.  The classifier still
+    sees every pooled row (the prefix rows come from the cache, not
+    from compute).  Feed to
+    :func:`repro.serving.cluster.workload_cost_model` to price hit
+    batches for cost-aware placement.
+    """
+    if not 0 < prefix_len < seq_len:
+        raise ValueError(
+            f"prefix_len must be in (0, seq_len), got {prefix_len} of {seq_len}"
+        )
+    wl = Workload("transformer-prefix-hit")
+    suffix = seq_len - prefix_len
+    rows = batch * suffix
+    head_dim = dim // heads
+    pairs = batch * heads
+    for layer in range(n_layers):
+        tag = f"l{layer}"
+        wl.add_gemm(rows, dim, dim, count=4, label=f"{tag}.proj")
+        wl.add_gemm(suffix, head_dim, seq_len, count=pairs, label=f"{tag}.scores")
+        wl.add_nonlinear("softmax", suffix, seq_len, count=pairs, label=f"{tag}.sm")
+        wl.add_gemm(suffix, seq_len, head_dim, count=pairs, label=f"{tag}.ctx")
+        wl.add_nonlinear("add", rows, dim, count=2, label=f"{tag}.res")
+        wl.add_nonlinear("layernorm", rows, dim, count=2, label=f"{tag}.ln")
+        wl.add_gemm(rows, dim, ff_dim, label=f"{tag}.ff1")
+        wl.add_nonlinear("gelu", rows, ff_dim, label=f"{tag}.gelu")
+        wl.add_gemm(rows, ff_dim, dim, label=f"{tag}.ff2")
+    wl.add_gemm(batch, dim, n_classes, label="classifier")
+    return wl
+
+
+def transformer_prefix_savings(
+    batch: int,
+    seq_len: int,
+    prefix_len: int,
+    dim: int,
+    heads: int,
+    ff_dim: int,
+    n_layers: int,
+    config: SystolicConfig,
+) -> int:
+    """Traced cycles a prefix hit saves, in closed form — *exactly*.
+
+    Covers precisely the operations the ``ArrayBackend`` traces — the
+    projection/attention/feed-forward GEMMs and the GELU MHP pass
+    (softmax, layernorm, residuals and the embedding/pool stages run on
+    the CPWL fast path and record no array cycles) — as the difference
+    between the cold and the suffix-only shapes, using the same
+    :func:`~repro.systolic.timing.gemm_cycles` /
+    :func:`~repro.systolic.timing.nonlinear_cycles` closed forms the
+    trace records.  The property suite asserts
+    ``cold_total_cycles - hit_total_cycles`` equals this value for
+    random shapes and design points.
+    """
+    if not 0 < prefix_len < seq_len:
+        raise ValueError(
+            f"prefix_len must be in (0, seq_len), got {prefix_len} of {seq_len}"
+        )
+    if dim % heads:
+        raise ValueError(f"heads ({heads}) must divide dim ({dim})")
+    suffix = seq_len - prefix_len
+    head_dim = dim // heads
+    full_rows = batch * seq_len
+    suffix_rows = batch * suffix
+    pairs = batch * heads
+
+    def gemm(m: int, k: int, n: int) -> int:
+        return gemm_cycles(config, m, k, n).total
+
+    def mhp(m: int, n: int) -> int:
+        return nonlinear_cycles(config, m, n).total
+
+    per_layer = (
+        # Q, K, V and output projections: suffix rows only.
+        4 * (gemm(full_rows, dim, dim) - gemm(suffix_rows, dim, dim))
+        # Attention score rows (one traced GEMM per sample x head).
+        + pairs * (gemm(seq_len, head_dim, seq_len) - gemm(suffix, head_dim, seq_len))
+        # Context rows against the full (cached + fresh) V.
+        + pairs * (gemm(seq_len, seq_len, head_dim) - gemm(suffix, seq_len, head_dim))
+        # Feed-forward GEMMs and the GELU MHP pass.
+        + (gemm(full_rows, dim, ff_dim) - gemm(suffix_rows, dim, ff_dim))
+        + (mhp(full_rows, ff_dim) - mhp(suffix_rows, ff_dim))
+        + (gemm(full_rows, ff_dim, dim) - gemm(suffix_rows, ff_dim, dim))
+    )
+    return n_layers * per_layer
+
+
 #: Registry used by the comparison and profiling experiments.
 def paper_workloads() -> Dict[str, Workload]:
     """The three Table IV workloads with the paper's evaluation shapes."""

@@ -30,6 +30,16 @@ multi-tenant serving system:
   attribution (:class:`~repro.serving.cluster.ClusterDispatcher`;
   :mod:`repro.serving.dispatcher` keeps the historical
   ``ShardedDispatcher`` name alive);
+* KV-prefix reuse for transformer endpoints
+  (:mod:`repro.serving.prefix_cache`): a
+  :class:`~repro.serving.prefix_cache.PrefixCache` keyed on
+  (tenant, model, prompt digest) retains per-layer K/V activations in
+  the fixed-point domain under a per-shard byte budget (LRU eviction),
+  a :class:`~repro.serving.prefix_cache.TransformerPrefixAdapter`
+  runs hit batches suffix-only — bit-identical to cold execution, with
+  the skipped cycles accounted in exact closed form — and
+  :class:`~repro.serving.cluster.PrefixAffinePlacement` steers batches
+  to the shard already holding their prompt;
 * the engine tying admission, scheduler, placement and shards together
   (:mod:`repro.serving.engine`);
 * serving-level reporting — latency percentiles, throughput,
@@ -52,14 +62,23 @@ from repro.serving.cluster import (
     LeastLoadedPlacement,
     PlacementDecision,
     PlacementPolicy,
+    PrefixAffinePlacement,
     RoundRobinPlacement,
     ShardSpec,
     ShardView,
+    config_from_dict,
+    config_to_dict,
     make_placement_policy,
     workload_cost_model,
 )
 from repro.serving.dispatcher import ShardedDispatcher
 from repro.serving.engine import InferenceEngine, ModelEndpoint
+from repro.serving.prefix_cache import (
+    PrefixCache,
+    PrefixEntry,
+    PrefixEvent,
+    TransformerPrefixAdapter,
+)
 from repro.serving.report import ServingReport
 from repro.serving.request import CompletedRequest, InferenceRequest, ShedRecord
 from repro.serving.scheduler import (
@@ -87,6 +106,13 @@ __all__ = [
     "ShardView",
     "make_placement_policy",
     "workload_cost_model",
+    "PrefixAffinePlacement",
+    "config_to_dict",
+    "config_from_dict",
+    "PrefixCache",
+    "PrefixEntry",
+    "PrefixEvent",
+    "TransformerPrefixAdapter",
     "ShardedDispatcher",
     "InferenceEngine",
     "ModelEndpoint",

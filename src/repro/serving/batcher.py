@@ -1,8 +1,13 @@
 """Dynamic batching of queued inference requests.
 
-Batches group requests *per (tenant, model)* in arrival order — one
-batch never mixes tenants, so its traced cycles attribute to exactly
-one tenant — and an open batch flushes when either knob fires:
+Batches group requests *per (tenant, model, prefix-key)* in arrival
+order — one batch never mixes tenants, so its traced cycles attribute
+to exactly one tenant, and never mixes prompt prefixes, so a
+prefix-cache decision applies to the whole batch (hits and misses
+cannot silently share one stacked inference).  Requests without a
+prefix key (``prefix_key=None``, every endpoint without a prefix
+adapter) group exactly as before.  An open batch flushes when either
+knob fires:
 
 * **max_batch_size** — the batch is full the moment the Nth request
   joins; it becomes ready at that request's arrival time;
@@ -34,16 +39,28 @@ from repro.serving.request import InferenceRequest
 from repro.serving.tenancy import DEFAULT_TENANT
 
 
+def _flush_order(timer: "Tuple[float, Tuple[str, str, Optional[str]]]"):
+    """Total order for expiring flush timers.
+
+    Deadline first, then the group key with ``prefix_key=None`` sorted
+    before real keys (``None`` and ``str`` do not compare directly);
+    prefix-less groups keep the exact pre-prefix ordering.
+    """
+    when, (tenant, model, prefix_key) = timer
+    return (when, tenant, model, prefix_key is not None, prefix_key or "")
+
+
 @dataclass(frozen=True)
 class Batch:
-    """A group of same-tenant, same-model requests executed as one
-    stacked inference."""
+    """A group of same-tenant, same-model, same-prefix requests
+    executed as one stacked inference."""
 
     index: int
     model: str
     requests: Tuple[InferenceRequest, ...]
     ready_time: float
     tenant: str = DEFAULT_TENANT
+    prefix_key: Optional[str] = None
 
     @property
     def size(self) -> int:
@@ -77,7 +94,7 @@ class DynamicBatcher:
 
     def plan(self, requests: Sequence[InferenceRequest]) -> List[Batch]:
         """Group ``requests`` into batches, ordered by ready time."""
-        Key = Tuple[str, str]  # (tenant, model)
+        Key = Tuple[str, str, Optional[str]]  # (tenant, model, prefix_key)
         pending: Dict[Key, List[InferenceRequest]] = {}
         deadline: Dict[Key, float] = {}
         batches: List[Batch] = []
@@ -93,6 +110,7 @@ class DynamicBatcher:
                         requests=tuple(group),
                         ready_time=at,
                         tenant=key[0],
+                        prefix_key=key[2],
                     )
                 )
 
@@ -103,14 +121,17 @@ class DynamicBatcher:
             # still joins (this is what keeps a same-instant burst in
             # one batch even with flush_timeout=0).
             expired = sorted(
-                (when, key)
-                for key, when in deadline.items()
-                if when < req.arrival
+                (
+                    (when, key)
+                    for key, when in deadline.items()
+                    if when < req.arrival
+                ),
+                key=_flush_order,
             )
             for when, key in expired:
                 flush(key, at=when)
 
-            key = (req.tenant, req.model)
+            key = (req.tenant, req.model, req.prefix_key)
             group = pending.setdefault(key, [])
             group.append(req)
             if len(group) == 1:
@@ -119,7 +140,9 @@ class DynamicBatcher:
                 flush(key, at=req.arrival)
 
         # End of stream: remaining timers run out.
-        for when, key in sorted((when, key) for key, when in deadline.items()):
+        for when, key in sorted(
+            ((when, key) for key, when in deadline.items()), key=_flush_order
+        ):
             flush(key, at=when)
 
         batches.sort(key=lambda b: (b.ready_time, b.index))
@@ -137,7 +160,7 @@ class DynamicBatcher:
 
 @dataclass
 class OpenGroup:
-    """One in-assembly batch of a ``(tenant, model)`` pair.
+    """One in-assembly batch of a ``(tenant, model, prefix_key)`` group.
 
     ``closed_at`` is set the moment the group stops accepting requests
     — at the size-capping request's arrival when it fills, or at its
@@ -151,6 +174,7 @@ class OpenGroup:
     seq: int
     requests: List[InferenceRequest] = field(default_factory=list)
     closed_at: Optional[float] = None
+    prefix_key: Optional[str] = None
 
     def ready_time(self, flush_timeout: float) -> float:
         if self.closed_at is not None:
@@ -191,7 +215,7 @@ class BatchAssembler:
             raise ValueError(f"flush_timeout must be >= 0, got {flush_timeout}")
         self.max_batch_size = int(max_batch_size)
         self.flush_timeout = float(flush_timeout)
-        self._open: Dict[Tuple[str, str], OpenGroup] = {}
+        self._open: Dict[Tuple[str, str, Optional[str]], OpenGroup] = {}
         self._closed: Dict[int, OpenGroup] = {}  # seq -> group, insertion order
         self._seq = 0
         self._n_pending = 0
@@ -219,24 +243,29 @@ class BatchAssembler:
 
     def _close(self, group: OpenGroup, at: float) -> None:
         group.closed_at = at
-        del self._open[(group.tenant, group.model)]
+        del self._open[(group.tenant, group.model, group.prefix_key)]
         self._closed[group.seq] = group
 
     def admit(self, request: InferenceRequest) -> None:
-        """Add one request to its (tenant, model) open group (O(1)).
+        """Add one request to its (tenant, model, prefix) group (O(1)).
 
         A same-key group whose flush deadline already passed (strictly
         before this arrival) is sealed first, exactly as
         :meth:`DynamicBatcher.plan` fires expired timers before a new
         request joins — the request then opens a fresh group.
         """
-        key = (request.tenant, request.model)
+        key = (request.tenant, request.model, request.prefix_key)
         group = self._open.get(key)
         if group is not None and group.ready_time(self.flush_timeout) < request.arrival:
             self._close(group, at=group.ready_time(self.flush_timeout))
             group = None
         if group is None:
-            group = OpenGroup(tenant=request.tenant, model=request.model, seq=self._seq)
+            group = OpenGroup(
+                tenant=request.tenant,
+                model=request.model,
+                seq=self._seq,
+                prefix_key=request.prefix_key,
+            )
             self._seq += 1
             self._open[key] = group
         group.requests.append(request)
@@ -269,7 +298,7 @@ class BatchAssembler:
         if group.closed_at is not None:
             del self._closed[group.seq]
         else:
-            del self._open[(group.tenant, group.model)]
+            del self._open[(group.tenant, group.model, group.prefix_key)]
         self._n_pending -= group.size
         remaining = self._pending_by_tenant.get(group.tenant, 0) - group.size
         if remaining > 0:
@@ -284,6 +313,7 @@ class BatchAssembler:
             requests=tuple(group.requests),
             ready_time=group.ready_time(self.flush_timeout),
             tenant=group.tenant,
+            prefix_key=group.prefix_key,
         )
 
     def clear(self) -> None:

@@ -175,6 +175,11 @@ class BatchProfile:
     ``estimator(profile, config)`` returns the estimated cycles of the
     batch on ``config`` (or None when unknown) — resolved by the engine
     to the endpoint's declared cost model or its calibrating default.
+
+    ``prefix_key``/``resident_shards`` carry the batch's prefix-cache
+    context: the prompt digest (None for prefix-less batches) and the
+    shards whose cache already holds that prompt, which
+    :class:`PrefixAffinePlacement` steers towards.
     """
 
     model: str
@@ -185,6 +190,8 @@ class BatchProfile:
     estimator: Optional[
         Callable[["BatchProfile", SystolicConfig], Optional[float]]
     ] = None
+    prefix_key: Optional[str] = None
+    resident_shards: Tuple[int, ...] = ()
 
     def estimate_cycles(self, config: Optional[SystolicConfig]) -> Optional[float]:
         """Estimated cycles of this batch on ``config`` (None if unknown)."""
@@ -320,6 +327,43 @@ class CostAwarePlacement(PlacementPolicy):
         return min(shards, key=finish).index
 
 
+class PrefixAffinePlacement(PlacementPolicy):
+    """Prefer the shard whose prefix cache already holds the batch's prompt.
+
+    Wraps any inner policy.  A batch whose prompt is resident somewhere
+    (``BatchProfile.resident_shards``) is placed on a resident shard —
+    the least-backlogged one at the batch's ready time, ties to the
+    lowest index — because a cache hit skips far more cycles than
+    marginal queueing costs; re-computing the prompt on another shard
+    would discard the reuse entirely.  Batches without a resident
+    prompt (including every prefix-less batch) fall through to the
+    inner policy untouched, and affinity overrides do not advance the
+    inner policy's state, so prefix-less traffic sees the inner
+    placement bit-identically.
+
+    The engine wraps its configured policy in this automatically when
+    constructed with a :class:`~repro.serving.prefix_cache.PrefixCache`.
+    """
+
+    def __init__(self, inner: "PlacementPolicy"):
+        self.inner = inner
+        self.name = f"prefix_affine({inner.name})"
+
+    def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
+        if batch.resident_shards:
+            candidates = [
+                view for view in shards if view.index in set(batch.resident_shards)
+            ]
+            if candidates:
+                return min(
+                    candidates, key=lambda view: (view.busy_until, view.index)
+                ).index
+        return self.inner.place(batch, shards)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
 _PLACEMENTS = {
     "round_robin": RoundRobinPlacement,
     "rr": RoundRobinPlacement,
@@ -349,6 +393,44 @@ def make_placement_policy(
 def _cycle_key(config: SystolicConfig) -> SystolicConfig:
     """Design point with the clock normalised out (cycles don't scale)."""
     return replace(config, clock_hz=1.0)
+
+
+def config_to_dict(config: SystolicConfig) -> Dict[str, object]:
+    """JSON-safe dict of a design point (see :func:`config_from_dict`)."""
+    return {
+        "pe_rows": config.pe_rows,
+        "pe_cols": config.pe_cols,
+        "macs_per_pe": config.macs_per_pe,
+        "clock_hz": config.clock_hz,
+        "nonlinear_enabled": config.nonlinear_enabled,
+        "l3_out_width": config.l3_out_width,
+        "l3_in_width": config.l3_in_width,
+        "segment_capacity": config.segment_capacity,
+        "fmt": {
+            "total_bits": config.fmt.total_bits,
+            "frac_bits": config.fmt.frac_bits,
+        },
+    }
+
+
+def config_from_dict(data: Dict[str, object]) -> SystolicConfig:
+    """Rebuild a design point serialized by :func:`config_to_dict`."""
+    from repro.fixedpoint import QFormat
+
+    fmt = data.get("fmt", {})
+    return SystolicConfig(
+        pe_rows=int(data["pe_rows"]),
+        pe_cols=int(data["pe_cols"]),
+        macs_per_pe=int(data["macs_per_pe"]),
+        clock_hz=float(data["clock_hz"]),
+        fmt=QFormat(int(fmt["total_bits"]), int(fmt["frac_bits"])),
+        nonlinear_enabled=bool(data["nonlinear_enabled"]),
+        l3_out_width=(
+            None if data["l3_out_width"] is None else int(data["l3_out_width"])
+        ),
+        l3_in_width=int(data["l3_in_width"]),
+        segment_capacity=int(data["segment_capacity"]),
+    )
 
 
 class CalibratingCostModel:
@@ -434,6 +516,68 @@ class CalibratingCostModel:
     def reset(self) -> None:
         self._exact.clear()
         self._per_row.clear()
+
+    # -- persistence -----------------------------------------------------
+    #: Schema version of :meth:`to_dict` payloads.
+    STATE_VERSION = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the calibration state.
+
+        Serialize it (``json.dumps``) next to the serving process's
+        other state so a restarted engine prices placements from day
+        one instead of re-learning every (model, shape, design point)
+        from scratch::
+
+            state = engine.calibrator.to_dict()
+            ...                       # persist, restart
+            engine.calibrator.load_dict(state)
+
+        Observations are stored in insertion order, so a round trip
+        reproduces estimates *exactly* — including the insertion-order
+        dependent cross-config scaling path.
+        """
+        return {
+            "version": self.STATE_VERSION,
+            "observations": [
+                {
+                    "model": model,
+                    "batch_size": batch_size,
+                    "sample_shape": list(shape),
+                    "config": config_to_dict(key),
+                    "cycles": cycles,
+                }
+                for (model, batch_size, shape, key), cycles in self._exact.items()
+            ],
+        }
+
+    def load_dict(self, data: Dict[str, object]) -> None:
+        """Restore a :meth:`to_dict` snapshot into this instance.
+
+        Replays the stored observations in order on top of any current
+        state (call :meth:`reset` first for an exact restore).
+        """
+        version = data.get("version")
+        if version != self.STATE_VERSION:
+            raise ValueError(
+                f"unsupported calibration-state version {version!r}; "
+                f"expected {self.STATE_VERSION}"
+            )
+        for obs in data["observations"]:
+            self.observe(
+                str(obs["model"]),
+                int(obs["batch_size"]),
+                tuple(int(d) for d in obs["sample_shape"]),
+                config_from_dict(obs["config"]),
+                obs["cycles"],
+            )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CalibratingCostModel":
+        """A fresh model restored from a :meth:`to_dict` snapshot."""
+        model = cls()
+        model.load_dict(data)
+        return model
 
 
 def workload_cost_model(

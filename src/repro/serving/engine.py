@@ -97,8 +97,10 @@ from repro.serving.cluster import (
     ClusterDispatcher,
     PlacementDecision,
     PlacementPolicy,
+    PrefixAffinePlacement,
     make_placement_policy,
 )
+from repro.serving.prefix_cache import PrefixCache, PrefixEntry, PrefixEvent
 from repro.serving.report import ServingReport
 from repro.serving.request import CompletedRequest, InferenceRequest, ShedRecord
 from repro.serving.scheduler import SchedulingPolicy, TenantScheduler
@@ -118,12 +120,18 @@ class ModelEndpoint:
     batch of this model costs on a design point (see
     :func:`~repro.serving.cluster.workload_cost_model`); endpoints
     without one fall back to the engine's calibrating estimator.
+
+    ``prefix_adapter`` opts the endpoint into KV-prefix reuse (see
+    :class:`~repro.serving.prefix_cache.TransformerPrefixAdapter`);
+    it is only consulted when the engine carries a
+    :class:`~repro.serving.prefix_cache.PrefixCache`.
     """
 
     name: str
     infer_fn: Callable[[np.ndarray, object], np.ndarray]
     batchable: bool = True
     cost_model: Optional[Callable[[BatchProfile, object], float]] = None
+    prefix_adapter: Optional[object] = None
 
 
 class _RequestSource:
@@ -190,6 +198,14 @@ class InferenceEngine:
     tenants:
         Optional iterable of :class:`~repro.serving.tenancy.TenantConfig`
         to pre-register (equivalent to :meth:`register_tenant` calls).
+    prefix_cache:
+        Optional :class:`~repro.serving.prefix_cache.PrefixCache`
+        enabling KV-prefix reuse for endpoints registered with a
+        ``prefix_adapter``.  The configured placement policy is then
+        wrapped in
+        :class:`~repro.serving.cluster.PrefixAffinePlacement`, so
+        batches whose prompt is already resident prefer the holding
+        shard; prefix-less traffic is placed exactly as before.
     """
 
     def __init__(
@@ -201,6 +217,7 @@ class InferenceEngine:
         policy: Union[str, SchedulingPolicy] = "weighted_round_robin",
         placement: Union[str, PlacementPolicy] = "round_robin",
         tenants: Optional[Iterable[TenantConfig]] = None,
+        prefix_cache: Optional[PrefixCache] = None,
     ):
         self.dispatcher = dispatcher
         for shard in range(dispatcher.n_shards):
@@ -214,6 +231,11 @@ class InferenceEngine:
             self.tenants, policy, max_batch_size, flush_timeout
         )
         self.placement = make_placement_policy(placement)
+        self.prefix_cache = prefix_cache
+        if prefix_cache is not None and not isinstance(
+            self.placement, PrefixAffinePlacement
+        ):
+            self.placement = PrefixAffinePlacement(self.placement)
         self._endpoints: Dict[str, ModelEndpoint] = {}
         self._submitted: List[InferenceRequest] = []
         self._run_buffered = 0  # run()-local feed not yet admitted
@@ -224,6 +246,7 @@ class InferenceEngine:
         self._placements: List[PlacementDecision] = []
         self._shed: List[ShedRecord] = []
         self._shard_busy: Dict[int, float] = {}
+        self._prefix_events: List[PrefixEvent] = []
 
     # ------------------------------------------------------------------
     # Registration and submission
@@ -236,6 +259,7 @@ class InferenceEngine:
         infer_fn: Optional[Callable[[np.ndarray, object], np.ndarray]] = None,
         batchable: bool = True,
         cost_model: Optional[Callable[[BatchProfile, object], float]] = None,
+        prefix_adapter: Optional[object] = None,
     ) -> None:
         """Register a model endpoint under ``name``.
 
@@ -244,13 +268,35 @@ class InferenceEngine:
         closed-form batch-cycle estimates for cost-aware placement (see
         :func:`~repro.serving.cluster.workload_cost_model`); without
         one, estimates come from the engine's calibrating model once
-        the (model, shape) has executed somewhere.
+        the (model, shape) has executed somewhere.  ``prefix_adapter``
+        (see
+        :class:`~repro.serving.prefix_cache.TransformerPrefixAdapter`)
+        opts the endpoint into KV-prefix reuse; it takes effect when
+        the engine was constructed with a ``prefix_cache`` and requires
+        a batchable endpoint (the adapter runs the stacked batch
+        itself).
         """
         if (model is None) == (infer_fn is None):
             raise ValueError("register() needs exactly one of model / infer_fn")
+        if prefix_adapter is not None and not batchable:
+            raise ValueError(
+                "prefix_adapter requires a batchable endpoint: the adapter "
+                "executes the stacked batch on the hit and miss paths"
+            )
+        adapter_model = getattr(prefix_adapter, "model", None)
+        if model is not None and adapter_model is not None and adapter_model is not model:
+            # Prefix-keyed batches execute through the adapter's model,
+            # not infer_fn — a mismatched pair would silently serve a
+            # different model's outputs.
+            raise ValueError(
+                "prefix_adapter wraps a different model than the one being "
+                "registered; build the adapter from the same model instance"
+            )
         if infer_fn is None:
             infer_fn = model.infer  # type: ignore[union-attr]
-        self._endpoints[name] = ModelEndpoint(name, infer_fn, batchable, cost_model)
+        self._endpoints[name] = ModelEndpoint(
+            name, infer_fn, batchable, cost_model, prefix_adapter
+        )
 
     def register_tenant(
         self,
@@ -324,6 +370,16 @@ class InferenceEngine:
         arrival = float(arrival)
         if arrival < 0:
             raise ValueError(f"arrival must be >= 0, got {arrival}")
+        endpoint = self._endpoints[model]
+        prefix_key = None
+        if self.prefix_cache is not None and endpoint.prefix_adapter is not None:
+            # Key the request on its prompt content at admission: batch
+            # assembly groups on it, so one batch is one prompt and the
+            # cache decision at execution applies to the whole batch.
+            # May raise on malformed inputs — before any engine state
+            # (the arrival bookkeeping below) is touched, so a failed
+            # submit leaves the engine unchanged.
+            prefix_key = endpoint.prefix_adapter.request_key(inputs)
         self._last_arrival = arrival
         request = InferenceRequest(
             request_id=self._next_id,
@@ -333,6 +389,7 @@ class InferenceEngine:
             tenant=tenant,
             priority=None if priority is None else int(priority),
             deadline=None if deadline is None else float(deadline),
+            prefix_key=prefix_key,
         )
         self._next_id += 1
         return request
@@ -438,6 +495,7 @@ class InferenceEngine:
         # starts.
         self._placements.clear()
         self._shed.clear()
+        self._prefix_events.clear()
         self._shard_busy = {shard: 0.0 for shard in range(self.dispatcher.n_shards)}
         source = _RequestSource(request_source, self) if request_source is not None else None
 
@@ -521,6 +579,7 @@ class InferenceEngine:
             shed=tuple(self._shed),
             shard_busy=dict(self._shard_busy),
             placement_policy=self.placement.name,
+            prefix_events=tuple(self._prefix_events),
         )
 
     def step(self) -> List[CompletedRequest]:
@@ -595,7 +654,9 @@ class InferenceEngine:
                 best = finish
         return best if best is not None else request.arrival
 
-    def _profile(self, model, tenant, batch_size, sample_shape, ready_time):
+    def _profile(
+        self, model, tenant, batch_size, sample_shape, ready_time, prefix_key=None
+    ):
         """Build the placement-time view of a batch (or lone request)."""
         endpoint = self._endpoints[model]
         estimator = (
@@ -603,6 +664,9 @@ class InferenceEngine:
             if endpoint.cost_model is not None
             else self._calibrator.estimate
         )
+        resident: "tuple[int, ...]" = ()
+        if prefix_key is not None and self.prefix_cache is not None:
+            resident = self.prefix_cache.resident_shards(tenant, model, prefix_key)
         return BatchProfile(
             model=model,
             tenant=tenant,
@@ -610,6 +674,8 @@ class InferenceEngine:
             sample_shape=tuple(sample_shape),
             ready_time=ready_time,
             estimator=estimator,
+            prefix_key=prefix_key,
+            resident_shards=resident,
         )
 
     @property
@@ -621,6 +687,21 @@ class InferenceEngine:
     def shed_log(self) -> "tuple[ShedRecord, ...]":
         """Requests shed since the start of the last :meth:`run`."""
         return tuple(self._shed)
+
+    @property
+    def prefix_log(self) -> "tuple[PrefixEvent, ...]":
+        """Prefix-cache hit/miss events since the last :meth:`run` start."""
+        return tuple(self._prefix_events)
+
+    @property
+    def calibrator(self) -> CalibratingCostModel:
+        """The engine's calibrating cost model.
+
+        Persist it across restarts via
+        :meth:`~repro.serving.cluster.CalibratingCostModel.to_dict` /
+        :meth:`~repro.serving.cluster.CalibratingCostModel.load_dict`.
+        """
+        return self._calibrator
 
     def _drain_one(self) -> List[CompletedRequest]:
         """Pop the policy-selected ready batch, execute, store results."""
@@ -649,7 +730,8 @@ class InferenceEngine:
         return self._results.pop(request_id)
 
     def reset(self) -> None:
-        """Drop queued requests, stored results and shard occupancy."""
+        """Drop queued requests, stored results, shard occupancy and
+        cached prefixes."""
         self._submitted.clear()
         self._run_buffered = 0
         self.scheduler.reset()
@@ -658,24 +740,49 @@ class InferenceEngine:
         self._results.clear()
         self._placements.clear()
         self._shed.clear()
+        self._prefix_events.clear()
         self._shard_busy.clear()
         self._last_arrival = 0.0
+        if self.prefix_cache is not None:
+            self.prefix_cache.clear()
         self.dispatcher.reset()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_batched(
+        endpoint: ModelEndpoint, outputs: np.ndarray, batch: Batch
+    ) -> np.ndarray:
+        """Validate that a stacked inference preserved the batch axis."""
+        outputs = np.asarray(outputs)
+        if outputs.ndim < 1 or outputs.shape[0] != batch.size:
+            raise ValueError(
+                f"endpoint {endpoint.name!r} returned output of shape "
+                f"{outputs.shape} for a batch of {batch.size}; a "
+                "batchable infer_fn must preserve the leading batch "
+                "axis (register with batchable=False otherwise)"
+            )
+        return outputs
+
     def _execute_batch(self, batch: Batch) -> List[CompletedRequest]:
         endpoint = self._endpoints[batch.model]
+        use_prefix = (
+            batch.prefix_key is not None
+            and self.prefix_cache is not None
+            and endpoint.prefix_adapter is not None
+        )
         # Placement happens here — at batch-ready time, not acquire
         # time — so the policy sees every shard's busy horizon and the
-        # batch's shape/cost profile before choosing.
+        # batch's shape/cost profile (including prefix residency, for
+        # affinity) before choosing.
         profile = self._profile(
             model=batch.model,
             tenant=batch.tenant,
             batch_size=batch.size,
             sample_shape=np.asarray(batch.requests[0].inputs).shape,
             ready_time=batch.ready_time,
+            prefix_key=batch.prefix_key if use_prefix else None,
         )
         shard = self.placement.place(profile, self.dispatcher.shard_views())
         if not 0 <= shard < self.dispatcher.n_shards:
@@ -693,19 +800,40 @@ class InferenceEngine:
         namespace = (
             array.trace.namespace(batch.tenant) if array is not None else nullcontext()
         )
+        prefix_hit = False
         t0 = time.perf_counter()
         with namespace:
-            if endpoint.batchable:
+            if use_prefix or endpoint.batchable:
                 stacked = np.stack([r.inputs for r in batch.requests])
-                outputs = np.asarray(endpoint.infer_fn(stacked, backend))
-                if outputs.ndim < 1 or outputs.shape[0] != batch.size:
-                    raise ValueError(
-                        f"endpoint {endpoint.name!r} returned output of shape "
-                        f"{outputs.shape} for a batch of {batch.size}; a "
-                        "batchable infer_fn must preserve the leading batch "
-                        "axis (register with batchable=False otherwise)"
+            if use_prefix:
+                # One cache decision for the whole batch: the batcher
+                # keys groups on the prompt digest, so every request
+                # here shares the prefix the entry is verified against.
+                adapter = endpoint.prefix_adapter
+                cache = self.prefix_cache
+                prefix_tokens = adapter.prefix_tokens(batch.requests[0].inputs)
+                entry = cache.lookup(
+                    shard, batch.tenant, batch.model, batch.prefix_key, prefix_tokens
+                )
+                if entry is not None:
+                    outputs = adapter.infer_hit(stacked, entry.payload, backend)
+                    prefix_hit = True
+                else:
+                    outputs, payload = adapter.infer_cold(stacked, backend)
+                    cache.insert(
+                        shard,
+                        PrefixEntry(
+                            tenant=batch.tenant,
+                            model=batch.model,
+                            prefix_key=batch.prefix_key,
+                            prefix_tokens=prefix_tokens,
+                            payload=payload,
+                        ),
                     )
-                per_request = list(outputs)
+                per_request = list(self._check_batched(endpoint, outputs, batch))
+            elif endpoint.batchable:
+                outputs = np.asarray(endpoint.infer_fn(stacked, backend))
+                per_request = list(self._check_batched(endpoint, outputs, batch))
             else:
                 per_request = [
                     np.asarray(endpoint.infer_fn(r.inputs, backend))
@@ -726,12 +854,33 @@ class InferenceEngine:
         finish = start + duration
         self.dispatcher.busy_until[shard] = finish
         self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + duration
-        if array is not None and batch_cycles > 0:
+        if array is not None and batch_cycles > 0 and not prefix_hit:
             # Feed the calibrating cost model: the next placement of
             # this (model, shape) estimates from traced ground truth.
+            # Hit batches are excluded — their cycles reflect the
+            # suffix-only execution, which would poison full-cost
+            # estimates of the same (model, shape).
             self._calibrator.observe(
                 batch.model, batch.size, profile.sample_shape,
                 array.config, batch_cycles,
+            )
+        if use_prefix:
+            cycles_saved = (
+                int(endpoint.prefix_adapter.saved_cycles(batch.size, array.config))
+                if prefix_hit and array is not None
+                else 0
+            )
+            self._prefix_events.append(
+                PrefixEvent(
+                    batch_index=batch.index,
+                    model=batch.model,
+                    tenant=batch.tenant,
+                    shard=shard,
+                    batch_size=batch.size,
+                    prefix_key=batch.prefix_key,
+                    hit=prefix_hit,
+                    cycles_saved=cycles_saved,
+                )
             )
         self._placements.append(
             PlacementDecision(

@@ -1,0 +1,337 @@
+"""KV-prefix reuse for the transformer serving path.
+
+Production transformer traffic is dominated by *shared prompts*: many
+requests open with the same system/context tokens and differ only in a
+short suffix.  On the causal encoder
+(:class:`~repro.nn.models.bert.TinyBERT` with ``causal=True``) every
+hidden row at every depth is a function of the tokens at or before it,
+so the per-layer key/value activations of a shared prompt are identical
+across requests — computing them once and reusing them is *lossless*.
+
+This module provides the cache side of that reuse:
+
+* :class:`PrefixEntry` — one cached prompt: the verified prefix tokens
+  plus the captured payload (per-layer K/V and final hidden rows, a
+  :class:`~repro.nn.executor.KVTap`), all in the fixed-point domain the
+  backend dequantized onto, frozen read-only.
+* :class:`PrefixCache` — per-shard LRU stores under a *byte budget*:
+  entries live on the shard whose array computed them (activations are
+  format/design-point faithful, and locality is what placement affinity
+  exploits), inserting evicts least-recently-used entries until the
+  budget holds, and an entry larger than the whole budget is rejected
+  outright.  The invariant ``resident_bytes(shard) <= budget`` holds
+  after every operation, which the property suite asserts.
+* :class:`TransformerPrefixAdapter` — the endpoint glue: derives the
+  request prefix key (content digest of the prompt tokens), runs the
+  cold path with K/V capture, runs the hit path via
+  :meth:`~repro.nn.models.bert.TinyBERT.infer_suffix`, and prices the
+  skipped work with the exact closed form
+  :func:`~repro.nn.workload.transformer_prefix_savings`.
+* :class:`PrefixEvent` — one batch's hit/miss record in the serving
+  report.
+
+Keys are content digests, but correctness never rests on the digest:
+a lookup re-verifies the stored prompt tokens against the request's and
+treats any mismatch as a miss (counted as a collision), so a hit is
+*proof* the cached activations belong to this prompt.
+
+Hits and misses never share a batch: the batcher keys groups on
+``(tenant, model, prefix_key)``, so a batch is uniformly one prompt and
+the engine resolves it against the cache exactly once — either every
+request in it reuses the prefix or none does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.executor import KVTap
+from repro.nn.workload import transformer_prefix_savings
+
+
+@dataclass(frozen=True)
+class PrefixEvent:
+    """One prefix-keyed batch execution, as logged in the report.
+
+    ``cycles_saved`` is the closed-form traced-cycle cost of the ops a
+    hit skipped (0 for misses and for functional backends without a
+    cycle model); the property suite pins it to the measured
+    cold-minus-hit trace delta exactly.
+    """
+
+    batch_index: int
+    model: str
+    tenant: str
+    shard: int
+    batch_size: int
+    prefix_key: str
+    hit: bool
+    cycles_saved: int = 0
+
+
+@dataclass(frozen=True)
+class PrefixEntry:
+    """One cached prompt resident on a shard."""
+
+    tenant: str
+    model: str
+    prefix_key: str
+    prefix_tokens: np.ndarray
+    payload: KVTap
+
+    def __post_init__(self) -> None:
+        # Freeze a private copy, never the caller's array in place.
+        tokens = np.array(self.prefix_tokens, dtype=np.int64, copy=True)
+        tokens.setflags(write=False)
+        object.__setattr__(self, "prefix_tokens", tokens)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes this entry charges against its shard's budget."""
+        return self.prefix_tokens.nbytes + self.payload.nbytes
+
+    def matches(self, prefix_tokens: np.ndarray) -> bool:
+        """True when the stored prompt is exactly ``prefix_tokens``."""
+        return (
+            self.prefix_tokens.shape == prefix_tokens.shape
+            and np.array_equal(self.prefix_tokens, prefix_tokens)
+        )
+
+
+class PrefixCache:
+    """Per-shard LRU of cached prompts under a byte budget.
+
+    Parameters
+    ----------
+    shard_budget_bytes:
+        Eviction budget *per shard*.  Resident bytes on a shard never
+        exceed it: inserting evicts least-recently-used entries first,
+        and an entry that alone exceeds the budget is rejected (counted
+        in :attr:`rejections`), never resident.
+
+    Entries are keyed ``(tenant, prefix of one model's prompt)`` — a
+    tenant never hits another tenant's cache, so prompt reuse cannot
+    leak activations across tenants.
+    """
+
+    def __init__(self, shard_budget_bytes: int = 32 << 20):
+        if shard_budget_bytes < 1:
+            raise ValueError(
+                f"shard_budget_bytes must be >= 1, got {shard_budget_bytes}"
+            )
+        self.shard_budget_bytes = int(shard_budget_bytes)
+        self._shards: Dict[int, "OrderedDict[tuple, PrefixEntry]"] = {}
+        self._bytes: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejections = 0
+        self.collisions = 0
+
+    @staticmethod
+    def _key(tenant: str, model: str, prefix_key: str) -> tuple:
+        return (tenant, model, prefix_key)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        shard: int,
+        tenant: str,
+        model: str,
+        prefix_key: str,
+        prefix_tokens: np.ndarray,
+    ) -> Optional[PrefixEntry]:
+        """The resident entry for this prompt on ``shard``, or None.
+
+        A hit refreshes the entry's LRU position.  A digest match whose
+        stored tokens differ from ``prefix_tokens`` (a collision) is
+        treated as a miss — reuse is only ever granted against verified
+        token equality.
+        """
+        store = self._shards.get(shard)
+        entry = store.get(self._key(tenant, model, prefix_key)) if store else None
+        if entry is not None and not entry.matches(np.asarray(prefix_tokens)):
+            self.collisions += 1
+            entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        store.move_to_end(self._key(tenant, model, prefix_key))
+        self.hits += 1
+        return entry
+
+    def resident_shards(
+        self, tenant: str, model: str, prefix_key: str
+    ) -> Tuple[int, ...]:
+        """Shards currently holding this prompt (placement affinity).
+
+        A pure read: LRU order and hit/miss counters are untouched.
+        """
+        key = self._key(tenant, model, prefix_key)
+        return tuple(
+            shard for shard, store in sorted(self._shards.items()) if key in store
+        )
+
+    def resident_bytes(self, shard: int) -> int:
+        """Bytes of cached prompts resident on ``shard`` (<= budget)."""
+        return self._bytes.get(shard, 0)
+
+    def entries(self, shard: int) -> List[PrefixEntry]:
+        """Entries on ``shard`` in LRU → MRU order."""
+        return list(self._shards.get(shard, {}).values())
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def insert(self, shard: int, entry: PrefixEntry) -> bool:
+        """Make ``entry`` resident on ``shard``; returns False if rejected.
+
+        Evicts least-recently-used entries until the budget holds.  An
+        entry bigger than the whole budget can never fit and is
+        rejected.  Re-inserting an existing key replaces the old entry
+        (its bytes are released first).
+        """
+        size = entry.nbytes
+        if size > self.shard_budget_bytes:
+            self.rejections += 1
+            return False
+        store = self._shards.setdefault(shard, OrderedDict())
+        key = self._key(entry.tenant, entry.model, entry.prefix_key)
+        old = store.pop(key, None)
+        if old is not None:
+            self._bytes[shard] -= old.nbytes
+        while store and self._bytes.get(shard, 0) + size > self.shard_budget_bytes:
+            _, evicted = store.popitem(last=False)
+            self._bytes[shard] -= evicted.nbytes
+            self.evictions += 1
+        store[key] = entry
+        self._bytes[shard] = self._bytes.get(shard, 0) + size
+        self.insertions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry on every shard (counters are kept)."""
+        self._shards.clear()
+        self._bytes.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot plus per-shard residency."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejections": self.rejections,
+            "collisions": self.collisions,
+            "shard_budget_bytes": self.shard_budget_bytes,
+            "resident_bytes": {
+                shard: self.resident_bytes(shard)
+                for shard in sorted(self._shards)
+            },
+            "resident_entries": {
+                shard: len(store) for shard, store in sorted(self._shards.items())
+            },
+        }
+
+
+class TransformerPrefixAdapter:
+    """Endpoint glue between the engine, a causal encoder and the cache.
+
+    Parameters
+    ----------
+    model:
+        A causal :class:`~repro.nn.models.bert.TinyBERT`-shaped model:
+        ``causal=True``, with ``seq_len``/``dim``/``heads``/``ff_dim``/
+        ``n_layers`` attributes, ``infer(tokens, backend, kv_tap=...)``
+        and ``infer_suffix(tokens, payload, backend)``.
+    prefix_len:
+        Number of leading tokens that form the shared prompt; requests
+        are keyed (and cached) on exactly these.  Must leave at least
+        one suffix token.
+
+    Register it together with a cache-equipped engine::
+
+        engine = InferenceEngine(pool, prefix_cache=PrefixCache())
+        engine.register("bert", model,
+                        prefix_adapter=TransformerPrefixAdapter(model, 12))
+    """
+
+    def __init__(self, model, prefix_len: int):
+        if not getattr(model, "causal", False):
+            raise ValueError(
+                "prefix reuse requires a causal model (causal=True); "
+                "bidirectional attention lets suffix tokens influence "
+                "prefix activations, so cached prefixes would be stale"
+            )
+        if not 0 < prefix_len < model.seq_len:
+            raise ValueError(
+                f"prefix_len must be in (0, {model.seq_len}), got {prefix_len}"
+            )
+        self.model = model
+        self.prefix_len = int(prefix_len)
+        self._savings: Dict[object, int] = {}
+
+    # -- keying ---------------------------------------------------------
+    def prefix_tokens(self, inputs: np.ndarray) -> np.ndarray:
+        """The canonical prompt tokens of one request sample."""
+        tokens = np.asarray(inputs)
+        if tokens.ndim != 1 or tokens.shape[0] != self.model.seq_len:
+            raise ValueError(
+                f"expected a ({self.model.seq_len},) token row, "
+                f"got shape {tokens.shape}"
+            )
+        # An owning copy, never a view: the cache stores these tokens
+        # for hit verification, and aliasing a caller-reused input
+        # buffer would let later writes corrupt the stored prompt.
+        return np.array(tokens[: self.prefix_len], dtype=np.int64, copy=True)
+
+    def request_key(self, inputs: np.ndarray) -> str:
+        """Content digest of the request's prompt (the cache/batch key).
+
+        Digest equality alone never grants reuse — the cache re-verifies
+        token equality on lookup — but it keys batch assembly, so
+        same-prompt requests group together and mixed batches cannot
+        form.
+        """
+        prefix = self.prefix_tokens(inputs)
+        digest = hashlib.sha256(prefix.tobytes()).hexdigest()[:32]
+        return f"p{self.prefix_len}-{digest}"
+
+    # -- execution ------------------------------------------------------
+    def infer_cold(self, stacked: np.ndarray, backend) -> "tuple[np.ndarray, KVTap]":
+        """Full inference of a miss batch, capturing the prefix payload."""
+        tap = KVTap(self.prefix_len)
+        outputs = np.asarray(self.model.infer(stacked, backend, kv_tap=tap))
+        return outputs, tap
+
+    def infer_hit(self, stacked: np.ndarray, payload: KVTap, backend) -> np.ndarray:
+        """Suffix-only inference of a hit batch (bit-identical to cold)."""
+        return np.asarray(self.model.infer_suffix(stacked, payload, backend))
+
+    # -- accounting -----------------------------------------------------
+    def saved_cycles(self, batch_size: int, config) -> int:
+        """Exact traced cycles a hit of ``batch_size`` skips on ``config``."""
+        key = (batch_size, config)
+        if key not in self._savings:
+            self._savings[key] = transformer_prefix_savings(
+                batch_size,
+                self.model.seq_len,
+                self.prefix_len,
+                self.model.dim,
+                self.model.heads,
+                self.model.ff_dim,
+                self.model.n_layers,
+                config,
+            )
+        return self._savings[key]

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.serving.cluster import PlacementDecision
+from repro.serving.prefix_cache import PrefixEvent
 from repro.serving.request import CompletedRequest, ShedRecord
 from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig
 
@@ -57,6 +58,11 @@ class ServingReport:
         :meth:`shard_utilization` and :meth:`imbalance`.
     placement_policy:
         Name of the placement policy that made the decisions.
+    prefix_events:
+        One :class:`~repro.serving.prefix_cache.PrefixEvent` per
+        prefix-keyed batch, in execution order — the basis of the
+        hit/miss counters, cycles-saved totals and per-tenant reuse
+        views.
     """
 
     completed: Tuple[CompletedRequest, ...]
@@ -68,6 +74,7 @@ class ServingReport:
     shed: Tuple[ShedRecord, ...] = ()
     shard_busy: Dict[int, float] = field(default_factory=dict)
     placement_policy: str = "round_robin"
+    prefix_events: Tuple[PrefixEvent, ...] = ()
 
     # -- request-level views --------------------------------------------
     @property
@@ -201,6 +208,77 @@ class ServingReport:
             lines.append(f"  requests shed      : {self.shed_count} ({reasons})")
         return "\n".join(lines)
 
+    # -- prefix-cache views ----------------------------------------------
+    @property
+    def prefix_hits(self) -> int:
+        """Prefix-keyed batches served from a cached prompt."""
+        return sum(1 for event in self.prefix_events if event.hit)
+
+    @property
+    def prefix_misses(self) -> int:
+        """Prefix-keyed batches that executed cold (and seeded the cache)."""
+        return sum(1 for event in self.prefix_events if not event.hit)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Hit fraction over prefix-keyed batches (0.0 when none ran)."""
+        total = len(self.prefix_events)
+        return self.prefix_hits / total if total else 0.0
+
+    @property
+    def prefix_cycles_saved(self) -> int:
+        """Traced cycles the run's cache hits skipped (closed form).
+
+        Exact by construction: a hit executes the suffix-only shapes,
+        whose traced delta against cold execution is the same closed
+        form (:func:`~repro.nn.workload.transformer_prefix_savings`)
+        each event carries.
+        """
+        return sum(event.cycles_saved for event in self.prefix_events)
+
+    def tenant_prefix_reuse(self, tenant: str) -> Dict[str, int]:
+        """One tenant's reuse account: requests/batches hit and cycles saved."""
+        hits = misses = requests_reused = cycles = 0
+        for event in self.prefix_events:
+            if event.tenant != tenant:
+                continue
+            if event.hit:
+                hits += 1
+                requests_reused += event.batch_size
+                cycles += event.cycles_saved
+            else:
+                misses += 1
+        return {
+            "hit_batches": hits,
+            "miss_batches": misses,
+            "requests_reused": requests_reused,
+            "cycles_saved": cycles,
+        }
+
+    def prefix_section(self) -> str:
+        """Prefix-cache block of the summary."""
+        total = self.total_cycles
+        saved = self.prefix_cycles_saved
+        cold_equiv = total + saved
+        lines = [
+            f"prefix cache         : {self.prefix_hits} hit / "
+            f"{self.prefix_misses} miss batches "
+            f"({self.prefix_hit_rate:.0%} hit rate)",
+            f"  cycles saved       : {saved:,} "
+            f"({saved / cold_equiv:.0%} of cold-equivalent work)"
+            if cold_equiv
+            else "  cycles saved       : 0",
+        ]
+        for tenant in sorted({event.tenant for event in self.prefix_events}):
+            reuse = self.tenant_prefix_reuse(tenant)
+            lines.append(
+                f"  tenant {tenant!r} reuse : "
+                f"{reuse['hit_batches']} hit batches "
+                f"({reuse['requests_reused']} requests), "
+                f"{reuse['cycles_saved']:,} cycles saved"
+            )
+        return "\n".join(lines)
+
     # -- per-tenant views -----------------------------------------------
     @cached_property
     def _completed_by_tenant(self) -> Dict[str, List[CompletedRequest]]:
@@ -326,6 +404,8 @@ class ServingReport:
         # admission control refused anything.
         if len(self.shard_busy) > 1 or self.shed:
             lines.append(self.placement_section())
+        if self.prefix_events:
+            lines.append(self.prefix_section())
         tenant_ids = self.tenant_ids
         # Per-tenant block for any named tenant, or whenever deadlines
         # were in play (even on the implicit default tenant).

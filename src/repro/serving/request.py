@@ -44,6 +44,13 @@ class InferenceRequest:
         request finishing after its deadline is still executed and
         answered, but counts as a deadline miss in the report's SLO
         accounting.
+    prefix_key:
+        Content digest of the request's shared prompt, set by the
+        engine when its endpoint has a prefix adapter and the engine
+        carries a :class:`~repro.serving.prefix_cache.PrefixCache`.
+        Batch assembly keys groups on it, so requests with different
+        prompts (or none) never share a batch — cache hits and misses
+        cannot silently mix.
     """
 
     request_id: int
@@ -53,6 +60,7 @@ class InferenceRequest:
     tenant: str = DEFAULT_TENANT
     priority: "int | None" = None
     deadline: "float | None" = None
+    prefix_key: "str | None" = None
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,8 @@
 
 Invariants that must hold across the whole stack, independent of the
 specific calibration: quantization ordering, CPWL bracketing, tiling
-equivalence, lane partitioning, timing monotonicity, Pareto soundness.
+equivalence, lane partitioning, timing monotonicity, Pareto soundness —
+and the causality/prefix-reuse invariants the KV cache rides on.
 """
 
 import numpy as np
@@ -17,6 +18,14 @@ from repro.fixedpoint import INT16, dequantize, fixed_matmul, quantize
 from repro.hardware.pareto import pareto_front
 from repro.hardware.power import power_watts
 from repro.hardware.resources import total_resources
+from repro.nn.executor import CPWLBackend, KVTap
+from repro.nn.models import TinyBERT
+from repro.nn.workload import (
+    GemmOp,
+    transformer_prefix_savings,
+    transformer_prefix_workload,
+    transformer_serving_workload,
+)
 from repro.systolic.config import SystolicConfig
 from repro.systolic.gemm import execute_gemm
 from repro.systolic.mhp_dataflow import plan_mhp
@@ -136,6 +145,170 @@ class TestTimingProperties:
     def test_resources_nonnegative(self, pe_dim):
         res = total_resources(SystolicConfig(pe_rows=pe_dim, pe_cols=pe_dim))
         assert min(res.bram, res.lut, res.ff, res.dsp) >= 0
+
+
+class TestCausalPrefixProperties:
+    """The invariants KV-prefix reuse is built on.
+
+    The serving-level claims (bit-identity through the engine, exact
+    traced-cycle accounting on the array) live in
+    ``tests/test_prefix_cache.py``; here are the underlying model-level
+    properties, on the cheap untraced CPWL backend.
+    """
+
+    @staticmethod
+    def _model(seq_len, dim, heads, ff_dim, n_layers, seed):
+        return TinyBERT(
+            vocab=16, seq_len=seq_len, dim=dim, heads=heads, ff_dim=ff_dim,
+            n_layers=n_layers, causal=True, seed=seed,
+        )
+
+    @given(
+        seq_len=st.sampled_from([6, 8, 12]),
+        dims=st.sampled_from([(8, 2), (16, 4)]),
+        n_layers=st.integers(min_value=1, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_causal_prefix_activations_independent_of_suffix(
+        self, seq_len, dims, n_layers, seed
+    ):
+        """Per-layer K/V and final hidden rows of a prompt are identical
+        no matter what tokens follow it — the soundness condition for
+        caching them at all."""
+        dim, heads = dims
+        rng = np.random.default_rng(seed)
+        prefix_len = max(1, seq_len // 2)
+        model = self._model(seq_len, dim, heads, 2 * dim, n_layers, seed % 11)
+        backend = CPWLBackend(0.25)
+        prefix = rng.integers(0, 16, size=prefix_len)
+
+        taps = []
+        for _ in range(2):
+            suffix = rng.integers(0, 16, size=(2, seq_len - prefix_len))
+            tokens = np.concatenate(
+                [np.broadcast_to(prefix, (2, prefix_len)), suffix], axis=1
+            )
+            tap = KVTap(prefix_len)
+            model.infer(tokens, backend, kv_tap=tap)
+            taps.append(tap)
+        first, second = taps
+        for a, b in zip(first.layers, second.layers):
+            assert np.array_equal(a.k, b.k)
+            assert np.array_equal(a.v, b.v)
+        assert np.array_equal(first.final_hidden, second.final_hidden)
+
+    @given(
+        seq_len=st.sampled_from([6, 8, 10]),
+        dims=st.sampled_from([(8, 2), (16, 4)]),
+        batch=st.integers(min_value=1, max_value=3),
+        prefix_len=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_suffix_inference_bit_identical_to_cold(
+        self, seq_len, dims, batch, prefix_len, seed
+    ):
+        """Reusing a captured prefix reproduces cold outputs exactly."""
+        assume(prefix_len < seq_len)
+        dim, heads = dims
+        rng = np.random.default_rng(seed)
+        model = self._model(seq_len, dim, heads, 2 * dim, 1, seed % 7)
+        backend = CPWLBackend(0.25)
+        prefix = rng.integers(0, 16, size=prefix_len)
+        tokens = np.concatenate(
+            [
+                np.broadcast_to(prefix, (batch, prefix_len)),
+                rng.integers(0, 16, size=(batch, seq_len - prefix_len)),
+            ],
+            axis=1,
+        )
+        tap = KVTap(prefix_len)
+        cold = model.infer(tokens, backend, kv_tap=tap)
+        warm = model.infer_suffix(tokens, tap, backend)
+        assert np.array_equal(cold, warm)
+
+    @given(
+        batch=st.integers(min_value=1, max_value=8),
+        seq_len=st.integers(min_value=2, max_value=64),
+        dims=st.sampled_from([(8, 2), (32, 4), (64, 8)]),
+        n_layers=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_savings_positive_and_monotone(
+        self, batch, seq_len, dims, n_layers
+    ):
+        """The closed-form savings are positive and grow with the
+        prefix: caching more of the prompt never costs cycles."""
+        dim, heads = dims
+        config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=8)
+        previous = 0
+        for prefix_len in range(1, seq_len):
+            saved = transformer_prefix_savings(
+                batch, seq_len, prefix_len, dim, heads, 2 * dim, n_layers, config
+            )
+            assert saved > 0
+            assert saved >= previous
+            previous = saved
+
+    def test_prefix_savings_validates_bounds(self):
+        config = SystolicConfig(pe_rows=4, pe_cols=4)
+        with pytest.raises(ValueError):
+            transformer_prefix_savings(1, 8, 0, 8, 2, 16, 1, config)
+        with pytest.raises(ValueError):
+            transformer_prefix_savings(1, 8, 8, 8, 2, 16, 1, config)
+
+    @given(
+        batch=st.integers(min_value=1, max_value=6),
+        seq_len=st.integers(min_value=2, max_value=32),
+        prefix_len=st.integers(min_value=1, max_value=31),
+        dims=st.sampled_from([(8, 2), (32, 4)]),
+        n_layers=st.integers(min_value=1, max_value=3),
+        config=st.sampled_from(
+            [
+                SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=8),
+                SystolicConfig(pe_rows=8, pe_cols=8, macs_per_pe=16),
+            ]
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_workload_inventory_matches_savings(
+        self, batch, seq_len, prefix_len, dims, n_layers, config
+    ):
+        """The suffix (hit-path) op inventory and the savings closed
+        form describe the same execution: over the traced op subset
+        (GEMMs + the GELU MHP), full inventory minus suffix inventory
+        equals ``transformer_prefix_savings`` — which the cache tests
+        pin to the live trace, so the inventory cannot drift from the
+        real suffix path."""
+        assume(prefix_len < seq_len)
+        dim, heads = dims
+        ff_dim = 2 * dim
+        full = transformer_serving_workload(
+            batch, seq_len, dim, heads, ff_dim, n_layers
+        )
+        suffix = transformer_prefix_workload(
+            batch, seq_len, prefix_len, dim, heads, ff_dim, n_layers
+        )
+
+        def traced_cycles(workload):
+            total = 0
+            for op in workload.ops:
+                if isinstance(op, GemmOp):
+                    total += gemm_cycles(config, op.m, op.k, op.n).total * op.count
+                elif op.kind == "gelu":
+                    total += (
+                        nonlinear_cycles(config, op.m, op.n).total
+                        * op.mhp_passes
+                        * op.count
+                    )
+            return total
+
+        assert traced_cycles(full) - traced_cycles(suffix) == (
+            transformer_prefix_savings(
+                batch, seq_len, prefix_len, dim, heads, ff_dim, n_layers, config
+            )
+        )
 
 
 class TestParetoProperties:
