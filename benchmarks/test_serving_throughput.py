@@ -18,7 +18,7 @@ import numpy as np
 from repro.fixedpoint import INT16, dequantize
 from repro.nn.executor import CPWLBackend
 from repro.nn.models import SmallResNet, TinyBERT
-from repro.serving import InferenceEngine, ShardedDispatcher
+from repro.serving import InferenceEngine, ClusterDispatcher
 from repro.systolic import SystolicArray, SystolicConfig
 
 FMT = INT16
@@ -102,7 +102,7 @@ def test_batched_attention_vectorization_speedup(print_artifact):
 
 def _make_engine(max_batch_size):
     config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
-    pool = ShardedDispatcher.from_arrays(
+    pool = ClusterDispatcher.from_arrays(
         [SystolicArray(config), SystolicArray(config)], granularity=0.25
     )
     engine = InferenceEngine(pool, max_batch_size=max_batch_size, flush_timeout=1e-4)

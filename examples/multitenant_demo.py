@@ -14,7 +14,7 @@ and the same burst replayed under the strict-priority policy.
 import numpy as np
 
 from repro.nn.models import TinyBERT
-from repro.serving import InferenceEngine, ShardedDispatcher
+from repro.serving import InferenceEngine, ClusterDispatcher
 from repro.systolic import SystolicArray, SystolicConfig
 
 GRANULARITY = 0.25
@@ -22,7 +22,7 @@ GRANULARITY = 0.25
 
 def build_engine(policy: str) -> InferenceEngine:
     config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
-    pool = ShardedDispatcher.from_arrays([SystolicArray(config)], GRANULARITY)
+    pool = ClusterDispatcher.from_arrays([SystolicArray(config)], GRANULARITY)
     engine = InferenceEngine(
         pool, max_batch_size=2, flush_timeout=1e-4, policy=policy
     )

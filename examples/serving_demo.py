@@ -17,7 +17,7 @@ import numpy as np
 from repro.nn.executor import CPWLBackend
 from repro.nn.models import GCN, SmallResNet, TinyBERT
 from repro.nn.models.gcn import normalized_adjacency
-from repro.serving import InferenceEngine, ShardedDispatcher
+from repro.serving import InferenceEngine, ClusterDispatcher
 from repro.systolic import SystolicArray, SystolicConfig
 
 GRANULARITY = 0.25
@@ -37,7 +37,7 @@ def main() -> None:
 
     # -- the serving stack: 2 array shards, dynamic batching -------------
     config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
-    pool = ShardedDispatcher.from_arrays(
+    pool = ClusterDispatcher.from_arrays(
         [SystolicArray(config), SystolicArray(config)], GRANULARITY
     )
     engine = InferenceEngine(pool, max_batch_size=4, flush_timeout=1e-4)

@@ -20,24 +20,25 @@ quantization), which the ablation uses to split error sources.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.core.cpwl import CPWLApproximator
 from repro.fixedpoint import QFormat, dequantize, quantize, saturate
 from repro.fixedpoint.qformat import INT16
+from repro.store import get_store, register_namespace
 
-# LRU of built approximators keyed by (function, granularity, fmt,
-# domain).  Under serving traffic every distinct combination would
-# otherwise stay resident forever — a slow leak — so the cache is
-# bounded and evicts least-recently-used tables.  The default capacity
-# is generous enough that single-experiment runs (granularity sweeps,
-# the full test suite) never evict.
-_APPROXIMATOR_CACHE: "OrderedDict[Tuple, CPWLApproximator]" = OrderedDict()
+# Built approximators live in the process-global cache store, keyed by
+# (function, granularity, fmt, domain) under this namespace.  Under
+# serving traffic every distinct combination would otherwise stay
+# resident forever — a slow leak — so the namespace is bounded (LRU
+# eviction).  The default capacity is generous enough that
+# single-experiment runs (granularity sweeps, the full test suite)
+# never evict.
+APPROXIMATOR_NAMESPACE = "core.approximators"
 _DEFAULT_CACHE_CAPACITY = 256
-_cache_capacity = _DEFAULT_CACHE_CAPACITY
+register_namespace(APPROXIMATOR_NAMESPACE, max_entries=_DEFAULT_CACHE_CAPACITY)
 
 
 def get_approximator(
@@ -48,20 +49,17 @@ def get_approximator(
 ) -> CPWLApproximator:
     """Cached CPWL approximator (tables are preloaded once, like L3)."""
     key = (name, float(granularity), fmt, domain)
-    approx = _APPROXIMATOR_CACHE.get(key)
+    store = get_store()
+    approx = store.get(APPROXIMATOR_NAMESPACE, key)
     if approx is None:
         approx = CPWLApproximator(name, granularity, fmt=fmt, domain=domain)
-        _APPROXIMATOR_CACHE[key] = approx
-        while len(_APPROXIMATOR_CACHE) > _cache_capacity:
-            _APPROXIMATOR_CACHE.popitem(last=False)
-    else:
-        _APPROXIMATOR_CACHE.move_to_end(key)
+        store.put(APPROXIMATOR_NAMESPACE, key, approx)
     return approx
 
 
 def clear_approximator_cache() -> None:
     """Drop all cached tables (tests use this to control memory)."""
-    _APPROXIMATOR_CACHE.clear()
+    get_store().clear(APPROXIMATOR_NAMESPACE)
 
 
 def set_approximator_cache_capacity(capacity: int = _DEFAULT_CACHE_CAPACITY) -> None:
@@ -69,18 +67,18 @@ def set_approximator_cache_capacity(capacity: int = _DEFAULT_CACHE_CAPACITY) -> 
 
     Shrinking below the current occupancy evicts least-recently-used
     tables immediately.  Call with no argument to restore the default.
+    (Thin wrapper over the store namespace budget — see
+    :class:`repro.store.StoreConfig` for the one-object form.)
     """
     if capacity < 1:
         raise ValueError(f"cache capacity must be positive, got {capacity}")
-    global _cache_capacity
-    _cache_capacity = int(capacity)
-    while len(_APPROXIMATOR_CACHE) > _cache_capacity:
-        _APPROXIMATOR_CACHE.popitem(last=False)
+    get_store().set_limit(APPROXIMATOR_NAMESPACE, max_entries=int(capacity))
 
 
 def approximator_cache_info() -> "dict[str, int]":
     """Occupancy and capacity of the approximator LRU."""
-    return {"size": len(_APPROXIMATOR_CACHE), "capacity": _cache_capacity}
+    stats = get_store().stats(APPROXIMATOR_NAMESPACE)
+    return {"size": stats["entries"], "capacity": stats["max_entries"]}
 
 
 def _roundtrip(x: np.ndarray, fmt: Optional[QFormat]) -> np.ndarray:

@@ -18,9 +18,8 @@ different execution models:
 from __future__ import annotations
 
 import weakref
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -30,6 +29,7 @@ from repro.fixedpoint import QFormat, dequantize, fixed_matmul, quantize
 from repro.fixedpoint.qformat import INT16
 from repro.nn.autograd import data_version, version_base
 from repro.nn.functional import im2col
+from repro.store import CacheStore, InProcessLRU
 
 
 class ParamCache:
@@ -53,13 +53,26 @@ class ParamCache:
 
     Derived arrays are marked read-only so a consumer cannot mutate a
     cached value in place.
+
+    Storage routes through a :class:`~repro.store.CacheStore`
+    namespace — by default a private
+    :class:`~repro.store.InProcessLRU`, so each backend keeps its own
+    entry budget exactly as before.  The staleness *policy* (weakref
+    identity + dirty counter) stays here: it is meaningful only within
+    one process, which is also why the keys (``id``, data pointers)
+    make this cache in-process by construction — a shared file-backed
+    store would be validating another process's pointers.
     """
 
-    def __init__(self, maxsize: int = 256):
+    #: Store namespace parameter derivations live under.
+    NAMESPACE = "nn.params"
+
+    def __init__(self, maxsize: int = 256, store: Optional[CacheStore] = None):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._store = store if store is not None else InProcessLRU()
+        self._store.set_limit(self.NAMESPACE, max_entries=maxsize)
         self.hits = 0
         self.misses = 0
 
@@ -78,25 +91,35 @@ class ParamCache:
             array.shape,
             array.strides,
         )
-        entry = self._entries.get(key)
+        entry = self._store.get(self.NAMESPACE, key)
         version = data_version(array)
         if entry is not None:
             ref, cached_version, value = entry
             if ref() is base and cached_version == version:
-                self._entries.move_to_end(key)
                 self.hits += 1
                 return value
-            del self._entries[key]
+            self._store.delete(self.NAMESPACE, key)
         value = derive(array)
         value.setflags(write=False)
-        self._entries[key] = (weakref.ref(base), version, value)
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        self._store.put(
+            self.NAMESPACE, key, (weakref.ref(base), version, value)
+        )
         self.misses += 1
         return value
 
     def clear(self) -> None:
-        self._entries.clear()
+        self._store.clear(self.NAMESPACE)
+
+    def stats(self) -> Dict[str, object]:
+        """Uniform cache-stats view (dirty-aware hits, store occupancy)."""
+        store_stats = self._store.stats(self.NAMESPACE)
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": store_stats["entries"],
+            "evictions": store_stats["evictions"],
+            "max_entries": self.maxsize,
+        }
 
 
 @dataclass(frozen=True)

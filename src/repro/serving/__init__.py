@@ -42,6 +42,13 @@ multi-tenant serving system:
   to the shard already holding their prompt;
 * the engine tying admission, scheduler, placement and shards together
   (:mod:`repro.serving.engine`);
+* a multi-worker serving front (:mod:`repro.serving.multiproc`):
+  :func:`~repro.serving.multiproc.serve_multiproc` partitions the
+  declared cluster into contiguous shard blocks, runs one engine
+  process per block over a shared :class:`repro.store.FileStore`
+  cache fabric (plans, prompts and calibration cross the process
+  boundary through it), and merges the per-worker reports into one
+  fleet view with exact counter sums;
 * serving-level reporting — latency percentiles, throughput,
   cycles/request, per-shard utilization and the placement-decision
   log, per-tenant SLO attainment and shed accounting
@@ -54,6 +61,7 @@ See ``examples/serving_demo.py``, ``examples/multitenant_demo.py`` and
 
 from repro.serving.batcher import Batch, BatchAssembler, DynamicBatcher
 from repro.serving.cluster import (
+    CALIBRATION_NAMESPACE,
     BatchProfile,
     CalibratingCostModel,
     ClusterDispatcher,
@@ -68,12 +76,23 @@ from repro.serving.cluster import (
     ShardView,
     config_from_dict,
     config_to_dict,
+    load_calibration,
     make_placement_policy,
+    save_calibration,
     workload_cost_model,
 )
 from repro.serving.dispatcher import ShardedDispatcher
 from repro.serving.engine import InferenceEngine, ModelEndpoint
+from repro.serving.multiproc import (
+    ModelSpec,
+    MultiprocResult,
+    WorkerConfig,
+    merge_reports,
+    partition_cluster,
+    serve_multiproc,
+)
 from repro.serving.prefix_cache import (
+    PREFIX_FABRIC_NAMESPACE,
     PrefixCache,
     PrefixEntry,
     PrefixEvent,
@@ -109,6 +128,16 @@ __all__ = [
     "PrefixAffinePlacement",
     "config_to_dict",
     "config_from_dict",
+    "CALIBRATION_NAMESPACE",
+    "save_calibration",
+    "load_calibration",
+    "ModelSpec",
+    "MultiprocResult",
+    "WorkerConfig",
+    "merge_reports",
+    "partition_cluster",
+    "serve_multiproc",
+    "PREFIX_FABRIC_NAMESPACE",
     "PrefixCache",
     "PrefixEntry",
     "PrefixEvent",

@@ -580,6 +580,48 @@ class CalibratingCostModel:
         return model
 
 
+# ---------------------------------------------------------------------------
+# Calibration persistence via the cache store
+# ---------------------------------------------------------------------------
+#: Store namespace holding serialized calibration snapshots.
+CALIBRATION_NAMESPACE = "serving.calibration"
+
+
+def save_calibration(
+    calibrator: CalibratingCostModel,
+    store=None,
+    name: str = "default",
+) -> None:
+    """Persist ``calibrator`` state into a cache store namespace.
+
+    With a shared backend (a :class:`repro.store.FileStore` fabric) the
+    snapshot survives the process and is visible to every worker; the
+    default process-global store makes it an in-process checkpoint.
+    The payload is the JSON-safe :meth:`CalibratingCostModel.to_dict`
+    snapshot, so both store serializers can carry it.
+    """
+    if store is None:
+        from repro.store import get_store
+
+        store = get_store()
+    store.put(CALIBRATION_NAMESPACE, name, calibrator.to_dict())
+
+
+def load_calibration(
+    store=None,
+    name: str = "default",
+) -> Optional[CalibratingCostModel]:
+    """Restore a :func:`save_calibration` snapshot, or None if absent."""
+    if store is None:
+        from repro.store import get_store
+
+        store = get_store()
+    data = store.get(CALIBRATION_NAMESPACE, name)
+    if data is None:
+        return None
+    return CalibratingCostModel.from_dict(data)
+
+
 def workload_cost_model(
     builder: Callable[[int, Tuple[int, ...]], object],
 ) -> Callable[[BatchProfile, SystolicConfig], float]:

@@ -1,22 +1,37 @@
-"""Backward-compat shim over the cluster placement API.
+"""Deprecated backward-compat shim over the cluster placement API.
 
 The dispatch boundary moved to :mod:`repro.serving.cluster` when
 placement became policy-driven (``ClusterSpec`` + ``PlacementPolicy``);
 :class:`ShardedDispatcher` survives as a thin alias so PR 1-era code
 (``ShardedDispatcher.from_arrays(...)``, manual ``acquire()`` loops)
 keeps working unchanged — it *is* a :class:`ClusterDispatcher`, just
-under its historical name.
+under its historical name.  Instantiating it now emits a
+:class:`DeprecationWarning`; migrate to
+:class:`~repro.serving.cluster.ClusterDispatcher` (or declare pools
+via :class:`~repro.serving.cluster.ClusterSpec`).
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.serving.cluster import ClusterDispatcher
 
 
 class ShardedDispatcher(ClusterDispatcher):
-    """Historical name of :class:`~repro.serving.cluster.ClusterDispatcher`.
+    """Deprecated name of :class:`~repro.serving.cluster.ClusterDispatcher`.
 
-    Identical in every respect; new code should construct pools via
+    Identical in every respect; construct pools via
     :class:`~repro.serving.cluster.ClusterSpec` (heterogeneous design
     points, named shards) or :class:`ClusterDispatcher` directly.
     """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "ShardedDispatcher is deprecated; use "
+            "repro.serving.ClusterDispatcher (or build the pool from a "
+            "ClusterSpec) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

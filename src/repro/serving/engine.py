@@ -60,10 +60,10 @@ grows with the number of traced operations until
 
 Typical multi-tenant use::
 
-    from repro.serving import InferenceEngine, ShardedDispatcher, TenantConfig
+    from repro.serving import InferenceEngine, ClusterDispatcher, TenantConfig
     from repro.systolic import SystolicArray, ONE_SA_PAPER_CONFIG
 
-    pool = ShardedDispatcher.from_arrays(
+    pool = ClusterDispatcher.from_arrays(
         [SystolicArray(ONE_SA_PAPER_CONFIG) for _ in range(2)], 0.25
     )
     engine = InferenceEngine(pool, max_batch_size=8, flush_timeout=1e-4)
@@ -105,6 +105,7 @@ from repro.serving.report import ServingReport
 from repro.serving.request import CompletedRequest, InferenceRequest, ShedRecord
 from repro.serving.scheduler import SchedulingPolicy, TenantScheduler
 from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig, TenantRegistry
+from repro.store import get_store
 
 
 @dataclass(frozen=True)
@@ -580,7 +581,26 @@ class InferenceEngine:
             shard_busy=dict(self._shard_busy),
             placement_policy=self.placement.name,
             prefix_events=tuple(self._prefix_events),
+            cache_stats=self.cache_stats(),
         )
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Unified stats of every cache namespace this engine touches.
+
+        One :meth:`repro.store.CacheStore.stats` dict per namespace:
+        the process-global store's namespaces (approximator tables,
+        GEMM/MHP plan caches, calibration snapshots), the prefix
+        cache's per-shard stores, and each shard backend's parameter
+        cache (under ``nn.params.shard<N>``).
+        """
+        stats: Dict[str, Dict[str, int]] = dict(get_store().stats())
+        if self.prefix_cache is not None:
+            stats.update(self.prefix_cache.namespace_stats())
+        for shard, backend in enumerate(self.dispatcher.backends):
+            param_cache = getattr(backend, "param_cache", None)
+            if param_cache is not None:
+                stats[f"nn.params.shard{shard}"] = param_cache.stats()
+        return stats
 
     def step(self) -> List[CompletedRequest]:
         """Admit everything buffered, execute at most one ready batch.

@@ -1,0 +1,355 @@
+"""Multi-worker serving over one cluster and a shared cache fabric.
+
+One :class:`~repro.serving.engine.InferenceEngine` is single-process by
+design — the discrete-event loop, the batcher and the placement policy
+all mutate one pool's state.  This module scales the serving front
+*out* instead of up: the declared :class:`~repro.serving.cluster.ClusterSpec`
+is partitioned into contiguous shard blocks, one worker process runs a
+full engine over each block, and the workers share a cache **fabric** —
+a :class:`~repro.store.FileStore` every worker mounts as the second
+tier of a :class:`~repro.store.TieredStore`:
+
+* GEMM/MHP **plan caches** and the approximator table namespace write
+  through to the fabric, so a layer shape planned by one worker is a
+  fabric hit (not a rebuild) everywhere else;
+* the **prefix cache** writes computed prompts through and promotes
+  fabric hits onto the local shard, so one worker's cold pass serves
+  every other worker's first request for that prompt;
+* **calibration** snapshots persist under
+  :data:`~repro.serving.cluster.CALIBRATION_NAMESPACE`, so a worker
+  (or a later run) prices placements from observations the fleet has
+  already made.
+
+Everything a worker needs crosses the process boundary as one
+picklable :class:`WorkerConfig`; models cross as :class:`ModelSpec`
+(factory + kwargs, rebuilt inside the worker) because live model
+objects and engines do not pickle.  Workers return their
+:class:`~repro.serving.report.ServingReport`; :func:`merge_reports`
+re-maps worker-local shard indices onto the global cluster numbering
+and merges the logs so the fleet-level invariants hold exactly:
+merged ``tenant_cycles`` / ``shard_cycles`` / shed counts are the
+element-wise sums of the per-worker reports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.cluster import (
+    CALIBRATION_NAMESPACE,
+    ClusterSpec,
+    save_calibration,
+)
+from repro.serving.engine import InferenceEngine
+from repro.serving.prefix_cache import PrefixCache, TransformerPrefixAdapter
+from repro.serving.report import ServingReport
+from repro.serving.tenancy import TenantConfig
+from repro.store import (
+    FileStore,
+    InProcessLRU,
+    StoreConfig,
+    TieredStore,
+    get_store,
+    set_store,
+)
+
+
+# ---------------------------------------------------------------------------
+# Crossing the process boundary
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelSpec:
+    """A model endpoint described by construction, not by instance.
+
+    Workers rebuild the model as ``factory(**kwargs)`` — the factory
+    must be importable (a module-level class or function), and the
+    kwargs picklable.  Deterministic factories (seeded weight init)
+    give every worker bit-identical weights, which is what makes the
+    shared prefix fabric lossless across processes.
+
+    ``prefix_len`` opts the endpoint into KV-prefix reuse via a
+    :class:`~repro.serving.prefix_cache.TransformerPrefixAdapter`
+    built inside the worker.
+    """
+
+    name: str
+    factory: Callable[..., object]
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    prefix_len: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything one worker process needs, in one picklable record."""
+
+    index: int
+    cluster: ClusterSpec
+    models: Tuple[ModelSpec, ...]
+    requests: Tuple[dict, ...]
+    store_root: Optional[str] = None
+    store_config: Optional[StoreConfig] = None
+    shard_budget_bytes: int = 32 << 20
+    max_batch_size: int = 8
+    flush_timeout: float = 1e-3
+    policy: str = "weighted_round_robin"
+    placement: str = "round_robin"
+    tenants: Tuple[TenantConfig, ...] = ()
+    calibration_name: str = "default"
+
+
+@dataclass(frozen=True)
+class MultiprocResult:
+    """Outcome of one :func:`serve_multiproc` run."""
+
+    #: Per-worker reports, in worker order (shard indices worker-local).
+    reports: Tuple[ServingReport, ...]
+    #: The fleet view: shard indices re-mapped onto the cluster
+    #: numbering, logs concatenated, counters summed exactly.
+    merged: ServingReport
+    #: The contiguous shard block each worker served.
+    partitions: Tuple[ClusterSpec, ...]
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+def partition_cluster(cluster: ClusterSpec, n_workers: int) -> List[ClusterSpec]:
+    """Split a cluster into ``n_workers`` contiguous shard blocks.
+
+    Blocks are as even as possible (sizes differ by at most one, larger
+    blocks first) and preserve shard order, so global shard ``g`` of
+    the declared cluster is worker-local shard ``g - offset`` of
+    exactly one partition — the inverse of the re-mapping
+    :func:`merge_reports` applies.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers > cluster.n_shards:
+        raise ValueError(
+            f"cannot split {cluster.n_shards} shard(s) across "
+            f"{n_workers} workers; each worker needs at least one shard"
+        )
+    base, extra = divmod(cluster.n_shards, n_workers)
+    partitions: List[ClusterSpec] = []
+    start = 0
+    for worker in range(n_workers):
+        size = base + (1 if worker < extra else 0)
+        partitions.append(ClusterSpec(cluster.shards[start : start + size]))
+        start += size
+    return partitions
+
+
+# ---------------------------------------------------------------------------
+# The worker body
+# ---------------------------------------------------------------------------
+def _worker_main(config: WorkerConfig) -> ServingReport:
+    """Run one engine over one partition; the body of a worker process.
+
+    Also callable in-process (the single-worker path and the tests use
+    this): the process-global store is swapped for the worker's tiered
+    store for the duration and restored afterwards, so an in-process
+    call never leaks worker state into the caller's store.
+    """
+    previous = get_store()
+    fabric: Optional[FileStore] = None
+    try:
+        if config.store_root is not None:
+            fabric = FileStore(config.store_root)
+            set_store(TieredStore(InProcessLRU(), fabric))
+        else:
+            set_store(None)  # a fresh default InProcessLRU
+        if config.store_config is not None:
+            config.store_config.apply()
+
+        wants_prefix = any(spec.prefix_len is not None for spec in config.models)
+        prefix_cache = (
+            PrefixCache(config.shard_budget_bytes, fabric=fabric)
+            if wants_prefix
+            else None
+        )
+        engine = InferenceEngine(
+            config.cluster.build(),
+            max_batch_size=config.max_batch_size,
+            flush_timeout=config.flush_timeout,
+            policy=config.policy,
+            placement=config.placement,
+            tenants=config.tenants,
+            prefix_cache=prefix_cache,
+        )
+        for spec in config.models:
+            model = spec.factory(**dict(spec.kwargs))
+            adapter = (
+                TransformerPrefixAdapter(model, spec.prefix_len)
+                if spec.prefix_len is not None and prefix_cache is not None
+                else None
+            )
+            engine.register(spec.name, model, prefix_adapter=adapter)
+
+        if fabric is not None:
+            state = fabric.get(CALIBRATION_NAMESPACE, config.calibration_name)
+            if state is not None:
+                engine.calibrator.load_dict(state)
+
+        report = engine.run(request_source=list(config.requests))
+
+        if fabric is not None:
+            save_calibration(
+                engine.calibrator, fabric, name=config.calibration_name
+            )
+        return report
+    finally:
+        set_store(previous)
+
+
+# ---------------------------------------------------------------------------
+# The front
+# ---------------------------------------------------------------------------
+def serve_multiproc(
+    cluster: ClusterSpec,
+    models: Sequence[ModelSpec],
+    requests: Sequence[dict],
+    n_workers: int = 2,
+    store_root: Optional[str] = None,
+    store_config: Optional[StoreConfig] = None,
+    shard_budget_bytes: int = 32 << 20,
+    max_batch_size: int = 8,
+    flush_timeout: float = 1e-3,
+    policy: str = "weighted_round_robin",
+    placement: str = "round_robin",
+    tenants: Sequence[TenantConfig] = (),
+) -> MultiprocResult:
+    """Serve ``requests`` with ``n_workers`` engine processes.
+
+    The cluster splits into contiguous shard blocks
+    (:func:`partition_cluster`), requests round-robin over workers
+    (``requests[i::n_workers]``, preserving each worker's arrival
+    order), and — when ``store_root`` is given — every worker mounts
+    the same :class:`~repro.store.FileStore` fabric under its tiered
+    store, sharing plans, prompts and calibration across the fleet.
+
+    ``requests`` is an arrival-sorted sequence of request dicts
+    (:meth:`~repro.serving.engine.InferenceEngine.submit` keywords:
+    ``model``, ``inputs``, optionally ``arrival``/``tenant``/
+    ``priority``/``deadline``).  Worker processes fork on POSIX;
+    ``n_workers=1`` runs in-process (no fork), which is also the
+    fallback the tests exercise for coverage.
+
+    Returns per-worker reports plus the merged fleet report; merged
+    counters are exact sums of the per-worker ones (see
+    :func:`merge_reports`).
+    """
+    partitions = partition_cluster(cluster, n_workers)
+    model_specs = tuple(models)
+    configs = [
+        WorkerConfig(
+            index=worker,
+            cluster=partitions[worker],
+            models=model_specs,
+            requests=tuple(requests[worker::n_workers]),
+            store_root=store_root,
+            store_config=store_config,
+            shard_budget_bytes=shard_budget_bytes,
+            max_batch_size=max_batch_size,
+            flush_timeout=flush_timeout,
+            policy=policy,
+            placement=placement,
+            tenants=tuple(tenants),
+        )
+        for worker in range(n_workers)
+    ]
+    if n_workers == 1:
+        reports = [_worker_main(configs[0])]
+    else:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=n_workers) as pool:
+            reports = pool.map(_worker_main, configs)
+    merged = merge_reports(reports, partitions)
+    return MultiprocResult(
+        reports=tuple(reports), merged=merged, partitions=tuple(partitions)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Merging
+# ---------------------------------------------------------------------------
+def merge_reports(
+    reports: Sequence[ServingReport], partitions: Sequence[ClusterSpec]
+) -> ServingReport:
+    """One fleet report from per-worker reports.
+
+    Worker-local shard indices shift by the cumulative size of the
+    preceding partitions, recovering the declared cluster's numbering.
+    Counters merge without loss: ``tenant_cycles``, ``shard_cycles``
+    and shed counts sum exactly; placement, shed and prefix-event logs
+    concatenate in worker order; ``wall_seconds`` is the slowest
+    worker (the fleet ran concurrently).  Request ids stay worker-local
+    (each engine numbers from zero) — batch identity in the merged
+    view rests on the now-globally-unique ``(shard, batch_index)``
+    pairs, not on request ids.
+
+    Per-worker ``cache_stats`` namespaces are qualified as
+    ``worker<N>/<namespace>`` — each worker owns a private store (plus
+    its view of the fabric), so same-named namespaces are distinct
+    caches, not one cache to sum.
+    """
+    if len(reports) != len(partitions):
+        raise ValueError(
+            f"got {len(reports)} reports for {len(partitions)} partitions"
+        )
+    completed: List[object] = []
+    placements: List[object] = []
+    shed: List[object] = []
+    prefix_events: List[object] = []
+    shard_cycles: Dict[int, int] = {}
+    shard_busy: Dict[int, float] = {}
+    tenant_cycles: Dict[str, int] = {}
+    tenants: Dict[str, TenantConfig] = {}
+    cache_stats: Dict[str, Dict[str, int]] = {}
+    wall_seconds = 0.0
+    offset = 0
+    for worker, (report, partition) in enumerate(zip(reports, partitions)):
+        completed.extend(
+            replace(record, shard=record.shard + offset)
+            for record in report.completed
+        )
+        placements.extend(
+            replace(decision, shard=decision.shard + offset)
+            for decision in report.placements
+        )
+        prefix_events.extend(
+            replace(event, shard=event.shard + offset)
+            for event in report.prefix_events
+        )
+        shed.extend(report.shed)
+        for shard, cycles in report.shard_cycles.items():
+            shard_cycles[shard + offset] = (
+                shard_cycles.get(shard + offset, 0) + cycles
+            )
+        for shard, busy in report.shard_busy.items():
+            shard_busy[shard + offset] = shard_busy.get(shard + offset, 0.0) + busy
+        for tenant, cycles in report.tenant_cycles.items():
+            tenant_cycles[tenant] = tenant_cycles.get(tenant, 0) + cycles
+        tenants.update(report.tenants)
+        for namespace, stats in report.cache_stats.items():
+            cache_stats[f"worker{worker}/{namespace}"] = stats
+        wall_seconds = max(wall_seconds, report.wall_seconds)
+        offset += partition.n_shards
+    policy = reports[0].placement_policy if reports else "round_robin"
+    return ServingReport(
+        completed=tuple(completed),
+        shard_cycles=shard_cycles,
+        wall_seconds=wall_seconds,
+        tenant_cycles=tenant_cycles,
+        tenants=tenants,
+        placements=tuple(placements),
+        shed=tuple(shed),
+        shard_busy=shard_busy,
+        placement_policy=policy,
+        prefix_events=tuple(prefix_events),
+        cache_stats=cache_stats,
+    )

@@ -44,14 +44,17 @@ request in it reuses the prefix or none does.
 from __future__ import annotations
 
 import hashlib
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.nn.executor import KVTap
 from repro.nn.workload import transformer_prefix_savings
+from repro.store import CacheStore, InProcessLRU
+
+#: Shard-agnostic namespace prefix entries use on a shared fabric store.
+PREFIX_FABRIC_NAMESPACE = "serving.prefix"
 
 
 @dataclass(frozen=True)
@@ -117,26 +120,69 @@ class PrefixCache:
     Entries are keyed ``(tenant, prefix of one model's prompt)`` — a
     tenant never hits another tenant's cache, so prompt reuse cannot
     leak activations across tenants.
+
+    Storage routes through a :class:`~repro.store.CacheStore`: one
+    byte-budgeted namespace per shard (``serving.prefix.shard<N>``) on
+    a private :class:`~repro.store.InProcessLRU` by default, preserving
+    the historical per-shard LRU semantics bit for bit.  Passing
+    ``fabric`` (typically a shared
+    :class:`~repro.store.FileStore`) adds a second, shard-agnostic
+    tier under :data:`PREFIX_FABRIC_NAMESPACE`: local misses fall
+    through to the fabric (the payload is verified against the request
+    tokens and promoted onto the local shard), and local inserts write
+    through — so a prompt computed by one worker process serves every
+    other worker's first request for it.
     """
 
-    def __init__(self, shard_budget_bytes: int = 32 << 20):
+    def __init__(
+        self,
+        shard_budget_bytes: int = 32 << 20,
+        store: Optional[CacheStore] = None,
+        fabric: Optional[CacheStore] = None,
+    ):
         if shard_budget_bytes < 1:
             raise ValueError(
                 f"shard_budget_bytes must be >= 1, got {shard_budget_bytes}"
             )
         self.shard_budget_bytes = int(shard_budget_bytes)
-        self._shards: Dict[int, "OrderedDict[tuple, PrefixEntry]"] = {}
-        self._bytes: Dict[int, int] = {}
+        self._store = store if store is not None else InProcessLRU()
+        self._fabric = fabric
+        self._shards_seen: Set[int] = set()
         self.hits = 0
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
         self.rejections = 0
         self.collisions = 0
+        self.fabric_hits = 0
+        self.fabric_misses = 0
 
     @staticmethod
     def _key(tenant: str, model: str, prefix_key: str) -> tuple:
         return (tenant, model, prefix_key)
+
+    def _namespace(self, shard: int) -> str:
+        namespace = f"serving.prefix.shard{shard}"
+        if shard not in self._shards_seen:
+            self._store.set_limit(namespace, max_bytes=self.shard_budget_bytes)
+            self._shards_seen.add(shard)
+        return namespace
+
+    @staticmethod
+    def _refreeze(entry: "PrefixEntry") -> "PrefixEntry":
+        """Re-apply read-only flags after deserialization.
+
+        Serialization (fabric round trips) does not preserve numpy's
+        ``writeable=False`` flag; re-freezing keeps the shared-payload
+        immutability contract for promoted entries.
+        """
+        entry.prefix_tokens.setflags(write=False)
+        for layer in entry.payload.layers:
+            layer.k.setflags(write=False)
+            layer.v.setflags(write=False)
+        if entry.payload.final_hidden is not None:
+            entry.payload.final_hidden.setflags(write=False)
+        return entry
 
     # ------------------------------------------------------------------
     # Read side
@@ -154,19 +200,39 @@ class PrefixCache:
         A hit refreshes the entry's LRU position.  A digest match whose
         stored tokens differ from ``prefix_tokens`` (a collision) is
         treated as a miss — reuse is only ever granted against verified
-        token equality.
+        token equality (the lookup *peeks* first, so a collision never
+        refreshes the colliding entry's recency).  When a fabric tier
+        is attached, a local miss consults it; a verified fabric hit
+        is promoted onto this shard and served as a hit.
         """
-        store = self._shards.get(shard)
-        entry = store.get(self._key(tenant, model, prefix_key)) if store else None
-        if entry is not None and not entry.matches(np.asarray(prefix_tokens)):
+        key = self._key(tenant, model, prefix_key)
+        namespace = self._namespace(shard)
+        tokens = np.asarray(prefix_tokens)
+        entry = self._store.get(namespace, key, touch=False)
+        if entry is not None and not entry.matches(tokens):
             self.collisions += 1
             entry = None
-        if entry is None:
-            self.misses += 1
-            return None
-        store.move_to_end(self._key(tenant, model, prefix_key))
-        self.hits += 1
-        return entry
+        if entry is not None:
+            self._store.touch(namespace, key)
+            self.hits += 1
+            return entry
+        if self._fabric is not None:
+            fabric_entry = self._fabric.get(PREFIX_FABRIC_NAMESPACE, key)
+            if fabric_entry is not None and fabric_entry.matches(tokens):
+                fabric_entry = self._refreeze(fabric_entry)
+                evictions_before = self._store.stats(namespace)["evictions"]
+                self._store.put(
+                    namespace, key, fabric_entry, nbytes=fabric_entry.nbytes
+                )
+                self.evictions += (
+                    self._store.stats(namespace)["evictions"] - evictions_before
+                )
+                self.fabric_hits += 1
+                self.hits += 1
+                return fabric_entry
+            self.fabric_misses += 1
+        self.misses += 1
+        return None
 
     def resident_shards(
         self, tenant: str, model: str, prefix_key: str
@@ -174,19 +240,27 @@ class PrefixCache:
         """Shards currently holding this prompt (placement affinity).
 
         A pure read: LRU order and hit/miss counters are untouched.
+        Fabric-only residency does not count — affinity is about which
+        shard's memory holds the payload.
         """
         key = self._key(tenant, model, prefix_key)
         return tuple(
-            shard for shard, store in sorted(self._shards.items()) if key in store
+            shard
+            for shard in sorted(self._shards_seen)
+            if self._store.contains(self._namespace(shard), key)
         )
 
     def resident_bytes(self, shard: int) -> int:
         """Bytes of cached prompts resident on ``shard`` (<= budget)."""
-        return self._bytes.get(shard, 0)
+        if shard not in self._shards_seen:
+            return 0
+        return self._store.stats(self._namespace(shard))["bytes"]
 
     def entries(self, shard: int) -> List[PrefixEntry]:
         """Entries on ``shard`` in LRU → MRU order."""
-        return list(self._shards.get(shard, {}).values())
+        if shard not in self._shards_seen:
+            return []
+        return list(self._store.values(self._namespace(shard)))
 
     # ------------------------------------------------------------------
     # Write side
@@ -203,28 +277,35 @@ class PrefixCache:
         if size > self.shard_budget_bytes:
             self.rejections += 1
             return False
-        store = self._shards.setdefault(shard, OrderedDict())
+        namespace = self._namespace(shard)
         key = self._key(entry.tenant, entry.model, entry.prefix_key)
-        old = store.pop(key, None)
-        if old is not None:
-            self._bytes[shard] -= old.nbytes
-        while store and self._bytes.get(shard, 0) + size > self.shard_budget_bytes:
-            _, evicted = store.popitem(last=False)
-            self._bytes[shard] -= evicted.nbytes
-            self.evictions += 1
-        store[key] = entry
-        self._bytes[shard] = self._bytes.get(shard, 0) + size
+        evictions_before = self._store.stats(namespace)["evictions"]
+        self._store.put(namespace, key, entry, nbytes=size)
+        self.evictions += self._store.stats(namespace)["evictions"] - evictions_before
         self.insertions += 1
+        if self._fabric is not None:
+            self._fabric.put(PREFIX_FABRIC_NAMESPACE, key, entry, nbytes=size)
         return True
 
     def clear(self) -> None:
-        """Drop every entry on every shard (counters are kept)."""
-        self._shards.clear()
-        self._bytes.clear()
+        """Drop every entry on every shard (counters are kept).
+
+        The fabric tier, when attached, is deliberately left alone: it
+        is shared state owned by the worker pool, not this cache.
+        """
+        for shard in self._shards_seen:
+            self._store.clear(self._namespace(shard))
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def namespace_stats(self) -> Dict[str, Dict[str, int]]:
+        """Store-schema stats of every shard namespace (for reports)."""
+        return {
+            self._namespace(shard): self._store.stats(self._namespace(shard))
+            for shard in sorted(self._shards_seen)
+        }
+
     def stats(self) -> Dict[str, object]:
         """Counter snapshot plus per-shard residency."""
         return {
@@ -234,13 +315,16 @@ class PrefixCache:
             "evictions": self.evictions,
             "rejections": self.rejections,
             "collisions": self.collisions,
+            "fabric_hits": self.fabric_hits,
+            "fabric_misses": self.fabric_misses,
             "shard_budget_bytes": self.shard_budget_bytes,
             "resident_bytes": {
                 shard: self.resident_bytes(shard)
-                for shard in sorted(self._shards)
+                for shard in sorted(self._shards_seen)
             },
             "resident_entries": {
-                shard: len(store) for shard, store in sorted(self._shards.items())
+                shard: self._store.stats(self._namespace(shard))["entries"]
+                for shard in sorted(self._shards_seen)
             },
         }
 

@@ -63,6 +63,12 @@ class ServingReport:
         prefix-keyed batch, in execution order — the basis of the
         hit/miss counters, cycles-saved totals and per-tenant reuse
         views.
+    cache_stats:
+        Snapshot of every cache namespace touched during the run, one
+        :meth:`repro.store.CacheStore.stats` dict per namespace (plan
+        caches, approximator tables, prefix shards, param caches) —
+        the unified replacement for the per-module ``*_cache_info``
+        helpers this report used to leave scattered.
     """
 
     completed: Tuple[CompletedRequest, ...]
@@ -75,6 +81,7 @@ class ServingReport:
     shard_busy: Dict[int, float] = field(default_factory=dict)
     placement_policy: str = "round_robin"
     prefix_events: Tuple[PrefixEvent, ...] = ()
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     # -- request-level views --------------------------------------------
     @property
@@ -279,6 +286,31 @@ class ServingReport:
             )
         return "\n".join(lines)
 
+    def cache_section(self) -> str:
+        """Cache-fabric block of the summary: one line per namespace.
+
+        Every cache in the run — plan caches, approximator tables,
+        per-shard prefix stores, parameter caches — reports through the
+        same store-stats schema, so the section is a uniform table
+        instead of per-subsystem formats.
+        """
+        if not self.cache_stats:
+            return "cache fabric         : (no cache activity recorded)"
+        lines = ["cache fabric         :"]
+        for namespace in sorted(self.cache_stats):
+            stats = self.cache_stats[namespace]
+            hits = stats.get("hits", 0)
+            misses = stats.get("misses", 0)
+            total = hits + misses
+            rate = f" ({hits / total:.0%} hit rate)" if total else ""
+            lines.append(
+                f"  {namespace:<24s}: {stats.get('entries', 0)} entries, "
+                f"{stats.get('bytes', 0):,} bytes, "
+                f"{hits} hit / {misses} miss{rate}, "
+                f"{stats.get('evictions', 0)} evicted"
+            )
+        return "\n".join(lines)
+
     # -- per-tenant views -----------------------------------------------
     @cached_property
     def _completed_by_tenant(self) -> Dict[str, List[CompletedRequest]]:
@@ -406,6 +438,8 @@ class ServingReport:
             lines.append(self.placement_section())
         if self.prefix_events:
             lines.append(self.prefix_section())
+        if self.cache_stats:
+            lines.append(self.cache_section())
         tenant_ids = self.tenant_ids
         # Per-tenant block for any named tenant, or whenever deadlines
         # were in play (even on the implicit default tenant).

@@ -1,0 +1,130 @@
+"""Two-level store: a fast local tier over a shared fabric tier.
+
+Multi-worker serving wants both properties at once: plan/approximator
+lookups must stay in-memory dict hits (the serving hot path), yet a
+plan built by one worker should be visible to every other.
+:class:`TieredStore` composes them: reads check the local tier first
+and fall through to the shared tier (promoting hits into the local
+tier, charged at their declared byte size); writes go through to both
+tiers.  The local tier is typically an
+:class:`~repro.store.lru.InProcessLRU` and the shared tier a
+:class:`~repro.store.filestore.FileStore` all workers point at.
+
+Budgets set through :meth:`set_limit` apply to the *local* tier (each
+process bounds its own memory); the shared tier keeps whatever limits
+it was configured with — one fabric-wide policy, not N copies of a
+per-process one.  Stats report the tiered view: a hit in either tier
+is a hit, occupancy is the local tier's, and the per-tier breakdowns
+stay available on the underlying stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.store.base import MISSING, CacheStore, NamespaceLimit, NamespaceStats
+
+
+class TieredStore(CacheStore):
+    """Read-through / write-through composition of two stores."""
+
+    def __init__(self, local: CacheStore, shared: CacheStore) -> None:
+        self.local = local
+        self.shared = shared
+        self._stats: Dict[str, NamespaceStats] = {}
+
+    def _pstats(self, namespace: str) -> NamespaceStats:
+        stats = self._stats.get(namespace)
+        if stats is None:
+            stats = self._stats[namespace] = NamespaceStats()
+        return stats
+
+    # -- core ------------------------------------------------------------
+    def get(self, namespace: str, key, default=None, touch: bool = True):
+        stats = self._pstats(namespace)
+        value = self.local.get(namespace, key, MISSING, touch=touch)
+        if value is not MISSING:
+            stats.hits += 1
+            return value
+        value = self.shared.get(namespace, key, MISSING, touch=touch)
+        if value is not MISSING:
+            # Promote: later reads are local dict hits.  The shared
+            # tier knows the entry's declared byte charge.
+            self.local.put(
+                namespace, key, value, nbytes=self.shared.nbytes_of(namespace, key)
+            )
+            stats.hits += 1
+            return value
+        stats.misses += 1
+        return default
+
+    def put(self, namespace: str, key, value, nbytes: int = 0) -> bool:
+        stats = self._pstats(namespace)
+        accepted = self.local.put(namespace, key, value, nbytes=nbytes)
+        self.shared.put(namespace, key, value, nbytes=nbytes)
+        if accepted:
+            stats.insertions += 1
+        else:
+            stats.rejections += 1
+        return accepted
+
+    def contains(self, namespace: str, key) -> bool:
+        return self.local.contains(namespace, key) or self.shared.contains(
+            namespace, key
+        )
+
+    def touch(self, namespace: str, key) -> None:
+        self.local.touch(namespace, key)
+        self.shared.touch(namespace, key)
+
+    def delete(self, namespace: str, key) -> bool:
+        local = self.local.delete(namespace, key)
+        shared = self.shared.delete(namespace, key)
+        return local or shared
+
+    def clear(self, namespace: Optional[str] = None) -> None:
+        self.local.clear(namespace)
+        self.shared.clear(namespace)
+
+    # -- enumeration -----------------------------------------------------
+    def keys(self, namespace: str) -> List[object]:
+        return self.local.keys(namespace)
+
+    def values(self, namespace: str) -> List[object]:
+        return self.local.values(namespace)
+
+    def nbytes_of(self, namespace: str, key) -> int:
+        local = self.local.nbytes_of(namespace, key)
+        return local if local else self.shared.nbytes_of(namespace, key)
+
+    # -- budgets and stats ----------------------------------------------
+    def set_limit(
+        self,
+        namespace: str,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.local.set_limit(namespace, max_entries=max_entries, max_bytes=max_bytes)
+
+    def limit(self, namespace: str) -> NamespaceLimit:
+        return self.local.limit(namespace)
+
+    def stats(self, namespace: Optional[str] = None) -> Dict[str, object]:
+        if namespace is None:
+            names = set(self._stats)
+            names.update(self.local.stats())
+            return {name: self.stats(name) for name in sorted(names)}
+        merged = dict(self.local.stats(namespace))
+        own = self._pstats(namespace)
+        merged["hits"] = own.hits
+        merged["misses"] = own.misses
+        merged["insertions"] = own.insertions
+        merged["rejections"] = own.rejections
+        return merged
+
+    def reset_stats(self, namespace: Optional[str] = None) -> None:
+        targets = [namespace] if namespace is not None else list(self._stats)
+        for name in targets:
+            self._pstats(name).reset_counters()
+        self.local.reset_stats(namespace)
+        self.shared.reset_stats(namespace)

@@ -36,13 +36,13 @@ reference the test suite pins the refactor against).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator
 
 import numpy as np
 
 from repro.fixedpoint import fixed_matmul
+from repro.store import get_store, register_namespace
 from repro.systolic.config import SystolicConfig
 from repro.systolic.timing import CycleBreakdown, gemm_cycles
 
@@ -175,14 +175,15 @@ class GemmSchedule:
 
 # ---------------------------------------------------------------------------
 # Plan cache: serving traffic repeats a handful of layer shapes, so the
-# steady state is a dict hit.  Bounded LRU so a shape-churning workload
-# (design-space sweeps) cannot grow it without limit.
+# steady state is a dict hit.  Schedules live in the process-global
+# cache store under a bounded namespace (LRU eviction) so a
+# shape-churning workload (design-space sweeps) cannot grow it without
+# limit — and a shared store backend makes one worker's plans visible
+# to the whole pool.
 # ---------------------------------------------------------------------------
-_PLAN_CACHE: "OrderedDict[Tuple, GemmSchedule]" = OrderedDict()
+GEMM_PLAN_NAMESPACE = "systolic.gemm_plans"
 _DEFAULT_PLAN_CACHE_CAPACITY = 512
-_plan_cache_capacity = _DEFAULT_PLAN_CACHE_CAPACITY
-_plan_cache_hits = 0
-_plan_cache_misses = 0
+register_namespace(GEMM_PLAN_NAMESPACE, max_entries=_DEFAULT_PLAN_CACHE_CAPACITY)
 
 
 def plan_gemm(
@@ -200,15 +201,12 @@ def plan_gemm(
     ``use_cache=False`` to force a fresh build (the equivalence tests
     and seed-faithful benchmarks use this).
     """
-    global _plan_cache_hits, _plan_cache_misses
     if use_cache:
         key = (config, m_dim, k_dim, n_dim)
-        schedule = _PLAN_CACHE.get(key)
+        store = get_store()
+        schedule = store.get(GEMM_PLAN_NAMESPACE, key)
         if schedule is not None:
-            _PLAN_CACHE.move_to_end(key)
-            _plan_cache_hits += 1
             return schedule
-        _plan_cache_misses += 1
     schedule = GemmSchedule(
         config=config,
         m_dim=m_dim,
@@ -217,37 +215,32 @@ def plan_gemm(
         breakdown=gemm_cycles(config, m_dim, k_dim, n_dim),
     )
     if use_cache:
-        _PLAN_CACHE[key] = schedule
-        while len(_PLAN_CACHE) > _plan_cache_capacity:
-            _PLAN_CACHE.popitem(last=False)
+        store.put(GEMM_PLAN_NAMESPACE, key, schedule)
     return schedule
 
 
 def clear_plan_cache() -> None:
     """Drop all cached schedules and reset the hit counters."""
-    global _plan_cache_hits, _plan_cache_misses
-    _PLAN_CACHE.clear()
-    _plan_cache_hits = 0
-    _plan_cache_misses = 0
+    store = get_store()
+    store.clear(GEMM_PLAN_NAMESPACE)
+    store.reset_stats(GEMM_PLAN_NAMESPACE)
 
 
 def set_plan_cache_capacity(capacity: int = _DEFAULT_PLAN_CACHE_CAPACITY) -> None:
     """Bound the plan LRU at ``capacity`` entries (evicts LRU overflow)."""
     if capacity < 1:
         raise ValueError(f"cache capacity must be positive, got {capacity}")
-    global _plan_cache_capacity
-    _plan_cache_capacity = int(capacity)
-    while len(_PLAN_CACHE) > _plan_cache_capacity:
-        _PLAN_CACHE.popitem(last=False)
+    get_store().set_limit(GEMM_PLAN_NAMESPACE, max_entries=int(capacity))
 
 
 def plan_cache_info() -> Dict[str, int]:
     """Occupancy, capacity and hit/miss counters of the plan LRU."""
+    stats = get_store().stats(GEMM_PLAN_NAMESPACE)
     return {
-        "size": len(_PLAN_CACHE),
-        "capacity": _plan_cache_capacity,
-        "hits": _plan_cache_hits,
-        "misses": _plan_cache_misses,
+        "size": stats["entries"],
+        "capacity": stats["max_entries"],
+        "hits": stats["hits"],
+        "misses": stats["misses"],
     }
 
 

@@ -25,13 +25,13 @@ reference).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 
 from repro.fixedpoint import fixed_hadamard_mac
+from repro.store import get_store, register_namespace
 from repro.systolic.config import SystolicConfig
 from repro.systolic.pe import PEMode
 from repro.systolic.timing import CycleBreakdown, nonlinear_cycles
@@ -83,11 +83,12 @@ class MHPSchedule:
 
 
 # ---------------------------------------------------------------------------
-# Plan cache (same bounded-LRU policy as repro.systolic.gemm).
+# Plan cache (same bounded-LRU policy as repro.systolic.gemm, served by
+# the same process-global cache store under its own namespace).
 # ---------------------------------------------------------------------------
-_PLAN_CACHE: "OrderedDict[Tuple, MHPSchedule]" = OrderedDict()
+MHP_PLAN_NAMESPACE = "systolic.mhp_plans"
 _DEFAULT_PLAN_CACHE_CAPACITY = 512
-_plan_cache_capacity = _DEFAULT_PLAN_CACHE_CAPACITY
+register_namespace(MHP_PLAN_NAMESPACE, max_entries=_DEFAULT_PLAN_CACHE_CAPACITY)
 
 
 def plan_mhp(
@@ -100,9 +101,9 @@ def plan_mhp(
     """Build (or fetch) the MHP schedule for an ``M x N`` element matrix."""
     if use_cache:
         key = (config, m_dim, n_dim, fused_ipf)
-        schedule = _PLAN_CACHE.get(key)
+        store = get_store()
+        schedule = store.get(MHP_PLAN_NAMESPACE, key)
         if schedule is not None:
-            _PLAN_CACHE.move_to_end(key)
             return schedule
     schedule = MHPSchedule(
         config=config,
@@ -111,30 +112,39 @@ def plan_mhp(
         breakdown=nonlinear_cycles(config, m_dim, n_dim, fused_ipf=fused_ipf),
     )
     if use_cache:
-        _PLAN_CACHE[key] = schedule
-        while len(_PLAN_CACHE) > _plan_cache_capacity:
-            _PLAN_CACHE.popitem(last=False)
+        store.put(MHP_PLAN_NAMESPACE, key, schedule)
     return schedule
 
 
 def clear_mhp_plan_cache() -> None:
-    """Drop all cached MHP schedules."""
-    _PLAN_CACHE.clear()
+    """Drop all cached MHP schedules and reset the hit counters."""
+    store = get_store()
+    store.clear(MHP_PLAN_NAMESPACE)
+    store.reset_stats(MHP_PLAN_NAMESPACE)
 
 
 def set_mhp_plan_cache_capacity(capacity: int = _DEFAULT_PLAN_CACHE_CAPACITY) -> None:
     """Bound the MHP plan LRU at ``capacity`` entries."""
     if capacity < 1:
         raise ValueError(f"cache capacity must be positive, got {capacity}")
-    global _plan_cache_capacity
-    _plan_cache_capacity = int(capacity)
-    while len(_PLAN_CACHE) > _plan_cache_capacity:
-        _PLAN_CACHE.popitem(last=False)
+    get_store().set_limit(MHP_PLAN_NAMESPACE, max_entries=int(capacity))
 
 
 def mhp_plan_cache_info() -> Dict[str, int]:
-    """Occupancy and capacity of the MHP plan LRU."""
-    return {"size": len(_PLAN_CACHE), "capacity": _plan_cache_capacity}
+    """Occupancy, capacity and hit/miss counters of the MHP plan LRU.
+
+    Hit/miss counters arrived with the unified store stats — the GEMM
+    planner's twin helper and this one now read the same
+    :meth:`~repro.store.CacheStore.stats` schema instead of keeping
+    duplicated module-level counters.
+    """
+    stats = get_store().stats(MHP_PLAN_NAMESPACE)
+    return {
+        "size": stats["entries"],
+        "capacity": stats["max_entries"],
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+    }
 
 
 def _validate_mhp_operands(

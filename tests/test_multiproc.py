@@ -1,0 +1,233 @@
+"""Multi-worker serving: partitioning, merged-report invariants, the
+shared cache fabric, and bit-identity against single-engine serving.
+
+The merge invariants are exact, not approximate: summed tenant cycles,
+shard cycles and shed counts of the per-worker reports equal the
+merged report's, and worker-local shard indices map injectively onto
+the declared cluster's numbering.  The fabric tests run workers
+*sequentially in-process* (two `_worker_main` calls over one store
+root) so cross-process reuse is observable deterministically: the
+second worker's first prompt lookup must be a fabric hit, and its
+calibrator must start from the first worker's observations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import TinyBERT
+from repro.serving import (
+    CALIBRATION_NAMESPACE,
+    ClusterSpec,
+    InferenceEngine,
+    ModelSpec,
+    PrefixCache,
+    TransformerPrefixAdapter,
+    merge_reports,
+    partition_cluster,
+    serve_multiproc,
+)
+from repro.serving.multiproc import WorkerConfig, _worker_main
+from repro.store import FileStore, get_store
+from repro.systolic import SystolicConfig
+
+CONFIG = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=8)
+MODEL_KWARGS = dict(
+    vocab=16, seq_len=8, dim=8, heads=2, ff_dim=16, n_layers=1,
+    causal=True, seed=0,
+)
+PREFIX_LEN = 5
+
+
+def _model_spec():
+    return ModelSpec(
+        name="bert", factory=TinyBERT, kwargs=MODEL_KWARGS, prefix_len=PREFIX_LEN
+    )
+
+
+def _requests(n, seed=0, shared_prefix=True):
+    """Arrival-sorted request dicts with (optionally) one shared prompt."""
+    rng = np.random.default_rng(seed)
+    prefix = rng.integers(0, 16, size=PREFIX_LEN)
+    requests = []
+    for i in range(n):
+        if shared_prefix:
+            tokens = np.concatenate(
+                [prefix, rng.integers(0, 16, size=8 - PREFIX_LEN)]
+            )
+        else:
+            tokens = rng.integers(0, 16, size=8)
+        requests.append(
+            {"model": "bert", "inputs": tokens, "arrival": i * 1e-5}
+        )
+    return requests
+
+
+class TestPartitioning:
+    def test_even_split(self):
+        cluster = ClusterSpec.homogeneous(CONFIG, 4)
+        parts = partition_cluster(cluster, 2)
+        assert [p.n_shards for p in parts] == [2, 2]
+
+    def test_uneven_split_larger_blocks_first(self):
+        cluster = ClusterSpec.homogeneous(CONFIG, 5)
+        parts = partition_cluster(cluster, 3)
+        assert [p.n_shards for p in parts] == [2, 2, 1]
+
+    def test_partitions_preserve_shard_order(self):
+        small = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        cluster = ClusterSpec.heterogeneous([CONFIG, small, CONFIG, small])
+        parts = partition_cluster(cluster, 2)
+        assert parts[0].shards == cluster.shards[:2]
+        assert parts[1].shards == cluster.shards[2:]
+
+    def test_too_many_workers_rejected(self):
+        cluster = ClusterSpec.homogeneous(CONFIG, 2)
+        with pytest.raises(ValueError, match="at least one shard"):
+            partition_cluster(cluster, 3)
+        with pytest.raises(ValueError, match="n_workers"):
+            partition_cluster(cluster, 0)
+
+
+class TestWorkerMain:
+    def test_in_process_worker_restores_global_store(self, tmp_path):
+        before = get_store()
+        config = WorkerConfig(
+            index=0,
+            cluster=ClusterSpec.homogeneous(CONFIG, 1),
+            models=(_model_spec(),),
+            requests=tuple(_requests(4)),
+            store_root=str(tmp_path / "fabric"),
+        )
+        report = _worker_main(config)
+        assert get_store() is before  # no worker state leaked
+        assert report.n_requests == 4
+
+    def test_sequential_workers_share_prefix_fabric(self, tmp_path):
+        root = str(tmp_path / "fabric")
+        requests = _requests(4)
+        base = WorkerConfig(
+            index=0,
+            cluster=ClusterSpec.homogeneous(CONFIG, 1),
+            models=(_model_spec(),),
+            requests=tuple(requests),
+            store_root=root,
+        )
+        first = _worker_main(base)
+        assert first.prefix_misses >= 1  # cold: computed and written through
+
+        second = _worker_main(base)
+        # The second worker's store is fresh, so a local hit is
+        # impossible — its prompt must come off the shared fabric.
+        assert second.prefix_misses == 0
+        assert second.prefix_hits >= 1
+
+    def test_sequential_workers_share_calibration(self, tmp_path):
+        root = str(tmp_path / "fabric")
+        config = WorkerConfig(
+            index=0,
+            cluster=ClusterSpec.homogeneous(CONFIG, 1),
+            models=(_model_spec(),),
+            requests=tuple(_requests(4)),
+            store_root=root,
+        )
+        _worker_main(config)
+        fabric = FileStore(root)
+        state = fabric.get(CALIBRATION_NAMESPACE, "default")
+        assert state is not None
+        assert state["observations"]  # the run's traced batches persisted
+
+    def test_worker_without_fabric_runs_isolated(self):
+        config = WorkerConfig(
+            index=0,
+            cluster=ClusterSpec.homogeneous(CONFIG, 1),
+            models=(_model_spec(),),
+            requests=tuple(_requests(3)),
+        )
+        report = _worker_main(config)
+        assert report.n_requests == 3
+        assert report.prefix_hits + report.prefix_misses >= 1
+
+
+class TestServeMultiproc:
+    def test_single_worker_path_runs_in_process(self, tmp_path):
+        cluster = ClusterSpec.homogeneous(CONFIG, 2)
+        result = serve_multiproc(
+            cluster,
+            [_model_spec()],
+            _requests(6),
+            n_workers=1,
+            store_root=str(tmp_path / "fabric"),
+        )
+        assert len(result.reports) == 1
+        assert result.merged.n_requests == 6
+
+    def test_two_workers_merge_invariants_exact(self, tmp_path):
+        cluster = ClusterSpec.homogeneous(CONFIG, 2)
+        requests = _requests(8)
+        result = serve_multiproc(
+            cluster,
+            [_model_spec()],
+            requests,
+            n_workers=2,
+            store_root=str(tmp_path / "fabric"),
+        )
+        merged, reports = result.merged, result.reports
+        assert merged.n_requests == sum(r.n_requests for r in reports) == 8
+
+        # tenant_cycles sum exactly.
+        expected = {}
+        for report in reports:
+            for tenant, cycles in report.tenant_cycles.items():
+                expected[tenant] = expected.get(tenant, 0) + cycles
+        assert merged.tenant_cycles == expected
+        assert merged.total_cycles == sum(r.total_cycles for r in reports)
+
+        # Shard indices remap injectively onto the cluster numbering.
+        assert set(merged.shard_cycles) <= set(range(cluster.n_shards))
+        assert merged.shed_count == sum(r.shed_count for r in reports)
+        assert len(merged.prefix_events) == sum(
+            len(r.prefix_events) for r in reports
+        )
+        assert merged.wall_seconds == max(r.wall_seconds for r in reports)
+        # Per-worker cache namespaces stay distinguishable.
+        assert any(name.startswith("worker0/") for name in merged.cache_stats)
+        assert any(name.startswith("worker1/") for name in merged.cache_stats)
+
+    def test_multiproc_outputs_bit_identical_to_single_engine(self, tmp_path):
+        cluster = ClusterSpec.homogeneous(CONFIG, 2)
+        requests = _requests(8, shared_prefix=True)
+        result = serve_multiproc(
+            cluster,
+            [_model_spec()],
+            requests,
+            n_workers=2,
+            store_root=str(tmp_path / "fabric"),
+        )
+
+        model = TinyBERT(**MODEL_KWARGS)
+        engine = InferenceEngine(
+            ClusterSpec.homogeneous(CONFIG, 2).build(),
+            prefix_cache=PrefixCache(),
+        )
+        engine.register(
+            "bert", model, prefix_adapter=TransformerPrefixAdapter(model, PREFIX_LEN)
+        )
+        reference = engine.run(request_source=list(requests))
+
+        def outputs_by_input(report):
+            return {
+                record.request.inputs.tobytes(): record.outputs
+                for record in report.completed
+            }
+
+        expected = outputs_by_input(reference)
+        actual = outputs_by_input(result.merged)
+        assert set(actual) == set(expected)
+        for key, outputs in actual.items():
+            np.testing.assert_array_equal(outputs, expected[key])
+
+    def test_merge_reports_length_mismatch_rejected(self):
+        cluster = ClusterSpec.homogeneous(CONFIG, 2)
+        parts = partition_cluster(cluster, 2)
+        with pytest.raises(ValueError, match="reports"):
+            merge_reports([], parts)

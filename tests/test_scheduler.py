@@ -21,7 +21,7 @@ from repro.serving import (
     DynamicBatcher,
     InferenceEngine,
     InferenceRequest,
-    ShardedDispatcher,
+    ClusterDispatcher,
     StrictPriority,
     TenantConfig,
     TenantRegistry,
@@ -53,7 +53,7 @@ def tiny_bert():
 
 def array_pool(n=1):
     cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
-    return ShardedDispatcher.from_arrays([SystolicArray(cfg) for _ in range(n)], 0.25)
+    return ClusterDispatcher.from_arrays([SystolicArray(cfg) for _ in range(n)], 0.25)
 
 
 class TestTenantConfig:
@@ -646,7 +646,7 @@ class TestEngineMultiTenant:
 
     def test_functional_backend_tenants_have_zero_cycles(self):
         engine = InferenceEngine(
-            ShardedDispatcher([FloatBackend()]), max_batch_size=2, flush_timeout=1e-4
+            ClusterDispatcher([FloatBackend()]), max_batch_size=2, flush_timeout=1e-4
         )
         engine.register("bert", tiny_bert())
         engine.submit("bert", RNG.integers(0, 16, size=8), tenant="t1")

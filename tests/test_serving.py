@@ -20,7 +20,7 @@ from repro.serving import (
     DynamicBatcher,
     InferenceEngine,
     InferenceRequest,
-    ShardedDispatcher,
+    ClusterDispatcher,
 )
 from repro.systolic import SystolicArray, SystolicConfig
 
@@ -88,19 +88,19 @@ class TestDynamicBatcher:
             DynamicBatcher(flush_timeout=-1.0)
 
 
-class TestShardedDispatcher:
+class TestClusterDispatcher:
     def test_round_robin_order(self):
-        d = ShardedDispatcher(["b0", "b1", "b2"])
+        d = ClusterDispatcher(["b0", "b1", "b2"])
         shards = [d.acquire()[0] for _ in range(6)]
         assert shards == [0, 1, 2, 0, 1, 2]
 
     def test_empty_pool_rejected(self):
         with pytest.raises(ValueError):
-            ShardedDispatcher([])
+            ClusterDispatcher([])
 
     def test_from_arrays_builds_array_backends(self):
         cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
-        d = ShardedDispatcher.from_arrays(
+        d = ClusterDispatcher.from_arrays(
             [SystolicArray(cfg), SystolicArray(cfg)], 0.25
         )
         assert d.n_shards == 2
@@ -109,7 +109,7 @@ class TestShardedDispatcher:
         assert d.shard_cycles() == {0: 0, 1: 0}
 
     def test_functional_backends_have_no_cycles(self):
-        d = ShardedDispatcher([FloatBackend()])
+        d = ClusterDispatcher([FloatBackend()])
         assert d.array_of(0) is None
         assert d.shard_cycles() == {}
 
@@ -127,7 +127,7 @@ class TestEngineEquivalence:
         few ULPs between stacked and single GEMM calls."""
         model = tiny_bert()
         engine = InferenceEngine(
-            ShardedDispatcher(backend_pool), max_batch_size=4, flush_timeout=1e-4
+            ClusterDispatcher(backend_pool), max_batch_size=4, flush_timeout=1e-4
         )
         engine.register("bert", model)
         tokens = RNG.integers(0, 16, size=(10, 8))
@@ -170,7 +170,7 @@ class TestEngineEquivalence:
         model.eval()
         backend = CPWLBackend(0.25)
         engine = InferenceEngine(
-            ShardedDispatcher([backend]), max_batch_size=4, flush_timeout=1e-4
+            ClusterDispatcher([backend]), max_batch_size=4, flush_timeout=1e-4
         )
         engine.register("resnet", model)
         images = RNG.normal(size=(4, 1, 8, 8))
@@ -187,7 +187,7 @@ class TestEngineEquivalence:
         model = GCN(in_features=5, hidden=4, n_classes=3, seed=0)
         backend = CPWLBackend(0.25)
         engine = InferenceEngine(
-            ShardedDispatcher([backend]), max_batch_size=4, flush_timeout=1e-4
+            ClusterDispatcher([backend]), max_batch_size=4, flush_timeout=1e-4
         )
         engine.register(
             "gcn", infer_fn=lambda feats, be: model.infer(feats, a_hat, be)
@@ -202,12 +202,12 @@ class TestEngineEquivalence:
 
 class TestEngineMechanics:
     def test_unknown_model_rejected(self):
-        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        engine = InferenceEngine(ClusterDispatcher([FloatBackend()]))
         with pytest.raises(KeyError):
             engine.submit("nope", np.zeros(3))
 
     def test_register_needs_exactly_one_target(self):
-        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        engine = InferenceEngine(ClusterDispatcher([FloatBackend()]))
         with pytest.raises(ValueError):
             engine.register("m")
         with pytest.raises(ValueError):
@@ -215,7 +215,7 @@ class TestEngineMechanics:
 
     def test_batches_round_robin_across_shards(self):
         cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
-        pool = ShardedDispatcher.from_arrays(
+        pool = ClusterDispatcher.from_arrays(
             [SystolicArray(cfg), SystolicArray(cfg)], 0.25
         )
         engine = InferenceEngine(pool, max_batch_size=2, flush_timeout=1e-4)
@@ -229,7 +229,7 @@ class TestEngineMechanics:
 
     def test_report_metrics_consistent(self):
         cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
-        pool = ShardedDispatcher.from_arrays([SystolicArray(cfg)], 0.25)
+        pool = ClusterDispatcher.from_arrays([SystolicArray(cfg)], 0.25)
         engine = InferenceEngine(pool, max_batch_size=4, flush_timeout=1e-4)
         engine.register("bert", tiny_bert())
         for row in RNG.integers(0, 16, size=(6, 8)):
@@ -245,7 +245,7 @@ class TestEngineMechanics:
 
     def test_staggered_arrivals_respect_flush_timeout(self):
         engine = InferenceEngine(
-            ShardedDispatcher([FloatBackend()]),
+            ClusterDispatcher([FloatBackend()]),
             max_batch_size=8,
             flush_timeout=0.5,
         )
@@ -260,7 +260,7 @@ class TestEngineMechanics:
         assert sizes == [1, 2, 2]
 
     def test_pending_and_reset(self):
-        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        engine = InferenceEngine(ClusterDispatcher([FloatBackend()]))
         engine.register("bert", tiny_bert())
         engine.submit("bert", RNG.integers(0, 16, size=8))
         assert engine.pending == 1
@@ -268,7 +268,7 @@ class TestEngineMechanics:
         assert engine.pending == 0
 
     def test_two_runs_accumulate_results(self):
-        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        engine = InferenceEngine(ClusterDispatcher([FloatBackend()]))
         engine.register("bert", tiny_bert())
         first = engine.submit("bert", RNG.integers(0, 16, size=8))
         engine.run()
@@ -280,7 +280,7 @@ class TestEngineMechanics:
     def test_result_releases_output_by_default(self):
         # A long-lived engine must not pin every response it ever
         # produced: result() hands the output over once.
-        engine = InferenceEngine(ShardedDispatcher([FloatBackend()]))
+        engine = InferenceEngine(ClusterDispatcher([FloatBackend()]))
         engine.register("bert", tiny_bert())
         request_id = engine.submit("bert", RNG.integers(0, 16, size=8))
         engine.run()
@@ -295,7 +295,7 @@ class TestServingTraceMemoryContract:
 
     def _engine(self, **kw):
         cfg = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
-        pool = ShardedDispatcher.from_arrays(
+        pool = ClusterDispatcher.from_arrays(
             [SystolicArray(cfg), SystolicArray(cfg)], 0.25
         )
         engine = InferenceEngine(pool, max_batch_size=4, flush_timeout=1e-4, **kw)

@@ -1,0 +1,517 @@
+"""Cache-store contract suite: every backend, one behaviour.
+
+The five refactored cache sites (approximator tables, GEMM/MHP plans,
+parameter derivations, KV-prefix payloads, calibration snapshots) rely
+on the exact semantics pinned here:
+
+* LRU order and recency: hits refresh, peeks (``touch=False``) don't,
+  eviction takes the least-recently-used entry first;
+* budgets: entry-count and byte budgets evict until both hold, an
+  entry alone exceeding the byte budget is rejected, replacing a key
+  releases its old bytes first;
+* namespace isolation: keys, budgets, eviction and stats of one
+  namespace never leak into another;
+* FileStore durability: values round-trip bit-exactly through both
+  serializers, concurrent writer processes never corrupt the index,
+  and a filename collision degrades to a verified miss;
+* the property suite replays random operation sequences against a
+  reference OrderedDict model — the historical cache implementation —
+  so the InProcessLRU default stays bit-identical to the pre-store
+  caches.
+"""
+
+import multiprocessing
+import pickle
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    MISSING,
+    CacheStore,
+    FileStore,
+    InProcessLRU,
+    NamespaceLimit,
+    StoreConfig,
+    TieredStore,
+    get_store,
+    namespace_default,
+    register_namespace,
+    set_store,
+)
+
+NS = "test.namespace"
+OTHER = "test.other"
+
+
+@pytest.fixture(params=["lru", "file"])
+def store(request, tmp_path):
+    """Each contract test runs against every single-tier backend.
+
+    TieredStore deliberately departs from single-tier budget contracts
+    (its ``set_limit`` bounds the local tier only, and ``contains``
+    consults both tiers), so it gets its own suite below.
+    """
+    if request.param == "lru":
+        return InProcessLRU()
+    return FileStore(str(tmp_path / "store"))
+
+
+class TestContract:
+    def test_get_put_roundtrip(self, store):
+        assert store.get(NS, "k") is None
+        assert store.get(NS, "k", default=42) == 42
+        assert store.put(NS, "k", {"v": 1})
+        assert store.get(NS, "k") == {"v": 1}
+        assert store.contains(NS, "k")
+        assert not store.contains(NS, "absent")
+
+    def test_cached_none_distinguishable_via_sentinel(self, store):
+        store.put(NS, "k", None)
+        assert store.get(NS, "k", default=MISSING) is None
+        assert store.get(NS, "absent", default=MISSING) is MISSING
+
+    def test_lru_order_and_hit_refresh(self, store):
+        for key in ("a", "b", "c"):
+            store.put(NS, key, key.upper())
+        assert store.values(NS) == ["A", "B", "C"]  # LRU -> MRU
+        store.get(NS, "a")  # hit refreshes recency
+        assert store.values(NS) == ["B", "C", "A"]
+
+    def test_peek_does_not_refresh(self, store):
+        for key in ("a", "b"):
+            store.put(NS, key, key)
+        store.get(NS, "a", touch=False)
+        assert store.values(NS) == ["a", "b"]
+        store.touch(NS, "a")  # explicit touch does
+        assert store.values(NS) == ["b", "a"]
+
+    def test_entry_budget_evicts_lru_first(self, store):
+        store.set_limit(NS, max_entries=2)
+        store.put(NS, "a", 1)
+        store.put(NS, "b", 2)
+        store.put(NS, "c", 3)
+        assert not store.contains(NS, "a")
+        assert store.values(NS) == [2, 3]
+
+    def test_byte_budget_evicts_until_fit(self, store):
+        store.set_limit(NS, max_bytes=100)
+        store.put(NS, "a", "a", nbytes=40)
+        store.put(NS, "b", "b", nbytes=40)
+        store.put(NS, "c", "c", nbytes=40)  # evicts "a"
+        assert not store.contains(NS, "a")
+        stats = store.stats(NS)
+        assert stats["bytes"] == 80
+        assert stats["evictions"] == 1
+
+    def test_oversized_entry_rejected(self, store):
+        store.set_limit(NS, max_bytes=100)
+        store.put(NS, "small", 1, nbytes=60)
+        assert not store.put(NS, "huge", 2, nbytes=101)
+        assert not store.contains(NS, "huge")
+        assert store.contains(NS, "small")  # nothing was evicted for it
+        assert store.stats(NS)["rejections"] == 1
+
+    def test_replace_releases_old_bytes(self, store):
+        store.set_limit(NS, max_bytes=100)
+        store.put(NS, "a", 1, nbytes=80)
+        store.put(NS, "a", 2, nbytes=90)  # would not fit alongside itself
+        assert store.get(NS, "a") == 2
+        stats = store.stats(NS)
+        assert stats["bytes"] == 90
+        assert stats["evictions"] == 0
+
+    def test_set_limit_shrink_evicts_immediately(self, store):
+        for i in range(4):
+            store.put(NS, i, i)
+        store.set_limit(NS, max_entries=2)
+        assert store.stats(NS)["entries"] == 2
+        assert store.values(NS) == [2, 3]
+
+    def test_namespace_isolation(self, store):
+        store.set_limit(NS, max_entries=1)
+        store.put(NS, "k", "ns")
+        store.put(OTHER, "k", "other")
+        store.put(NS, "k2", "ns2")  # evicts within NS only
+        assert store.get(OTHER, "k") == "other"
+        assert store.stats(OTHER)["entries"] == 1
+        assert store.stats(NS)["entries"] == 1
+
+    def test_delete_and_clear(self, store):
+        store.put(NS, "a", 1, nbytes=10)
+        store.put(NS, "b", 2, nbytes=10)
+        assert store.delete(NS, "a")
+        assert not store.delete(NS, "a")
+        store.get(NS, "b")
+        store.clear(NS)
+        stats = store.stats(NS)
+        assert stats["entries"] == 0
+        assert stats["bytes"] == 0
+        assert stats["hits"] == 1  # counters survive clear
+        assert store.nbytes_of(NS, "b") == 0
+
+    def test_nbytes_of(self, store):
+        store.put(NS, "a", 1, nbytes=17)
+        assert store.nbytes_of(NS, "a") == 17
+        assert store.nbytes_of(NS, "absent") == 0
+
+    def test_stats_counters(self, store):
+        store.put(NS, "a", 1)
+        store.get(NS, "a")
+        store.get(NS, "absent")
+        stats = store.stats(NS)
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["insertions"] == 1
+        store.reset_stats(NS)
+        stats = store.stats(NS)
+        assert stats["hits"] == stats["misses"] == stats["insertions"] == 0
+        assert stats["entries"] == 1  # occupancy survives the reset
+
+    def test_stats_all_namespaces(self, store):
+        store.put(NS, "a", 1)
+        store.put(OTHER, "b", 2)
+        all_stats = store.stats()
+        assert NS in all_stats and OTHER in all_stats
+        assert all_stats[NS]["entries"] == 1
+
+    def test_limit_validation(self, store):
+        with pytest.raises(ValueError):
+            store.set_limit(NS, max_entries=0)
+        with pytest.raises(ValueError):
+            store.set_limit(NS, max_bytes=-1)
+
+
+class TestRegisteredDefaults:
+    def test_registered_default_applies_to_fresh_store(self):
+        register_namespace("test.registered", max_entries=2)
+        try:
+            store = InProcessLRU()
+            assert store.limit("test.registered") == NamespaceLimit(max_entries=2)
+            for i in range(3):
+                store.put("test.registered", i, i)
+            assert store.stats("test.registered")["entries"] == 2
+        finally:
+            register_namespace("test.registered")  # back to unbounded
+
+    def test_unregistered_namespace_unbounded(self):
+        assert namespace_default("test.never.registered") == NamespaceLimit()
+
+
+class TestGlobalStore:
+    def test_set_store_swaps_and_none_restores_default(self):
+        previous = get_store()
+        try:
+            mine = InProcessLRU()
+            assert set_store(mine) is mine
+            assert get_store() is mine
+            fresh = set_store(None)
+            assert isinstance(fresh, InProcessLRU) and fresh is not mine
+        finally:
+            set_store(previous)
+
+    def test_store_config_applies_capacities(self):
+        previous = get_store()
+        try:
+            from repro.core.nonlinear_ops import APPROXIMATOR_NAMESPACE
+            from repro.systolic.gemm import GEMM_PLAN_NAMESPACE
+
+            store = set_store(None)
+            config = StoreConfig(approximator_capacity=7, gemm_plan_capacity=9)
+            assert config.apply() is store
+            assert store.limit(APPROXIMATOR_NAMESPACE).max_entries == 7
+            assert store.limit(GEMM_PLAN_NAMESPACE).max_entries == 9
+        finally:
+            set_store(previous)
+
+    def test_store_config_validates(self):
+        with pytest.raises(ValueError):
+            StoreConfig(approximator_capacity=0)
+        with pytest.raises(ValueError):
+            StoreConfig(prefix_shard_budget_bytes=-5)
+
+
+# ---------------------------------------------------------------------------
+# FileStore specifics
+# ---------------------------------------------------------------------------
+def _hammer_filestore(args):
+    """One writer process: insert a disjoint key range, read some back."""
+    root, worker = args
+    store = FileStore(root)
+    for i in range(20):
+        key = ("w", worker, i)
+        store.put("shared.ns", key, {"worker": worker, "i": i}, nbytes=8)
+    hits = sum(
+        1
+        for i in range(20)
+        if store.get("shared.ns", ("w", worker, i)) is not None
+    )
+    return hits
+
+
+class TestFileStore:
+    def test_pickle_roundtrip_numpy(self, tmp_path):
+        store = FileStore(str(tmp_path / "s"))
+        value = {"arr": np.arange(12, dtype=np.int16).reshape(3, 4)}
+        store.put(NS, ("k", 1), value)
+        out = store.get(NS, ("k", 1))
+        np.testing.assert_array_equal(out["arr"], value["arr"])
+        assert out["arr"].dtype == np.int16
+
+    def test_json_serializer_roundtrip(self, tmp_path):
+        store = FileStore(str(tmp_path / "s"), serializer="json")
+        store.put(NS, "snapshot", {"version": 1, "observations": [1, 2, 3]})
+        assert store.get(NS, "snapshot") == {"version": 1, "observations": [1, 2, 3]}
+
+    def test_bad_serializer_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileStore(str(tmp_path / "s"), serializer="yaml")
+
+    def test_persistence_across_instances(self, tmp_path):
+        root = str(tmp_path / "s")
+        FileStore(root).put(NS, "k", [1, 2, 3], nbytes=24)
+        reopened = FileStore(root)
+        assert reopened.get(NS, "k") == [1, 2, 3]
+        assert reopened.nbytes_of(NS, "k") == 24
+
+    def test_filename_collision_is_verified_miss(self, tmp_path, monkeypatch):
+        import repro.store.filestore as filestore_module
+
+        store = FileStore(str(tmp_path / "s"))
+        monkeypatch.setattr(
+            filestore_module, "_key_filename", lambda key, suffix: f"same.{suffix}"
+        )
+        store.put(NS, "first", "value-one")
+        # "second" maps to the same file but stores its own key; a get
+        # for "first" now finds a mismatched stored key -> miss, never
+        # the wrong value.
+        store.put(NS, "second", "value-two")
+        assert store.get(NS, "first") is None
+        assert store.get(NS, "second") == "value-two"
+
+    def test_concurrent_writers_keep_index_consistent(self, tmp_path):
+        root = str(tmp_path / "shared")
+        FileStore(root)  # create the root
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            pytest.skip("fork start method unavailable")
+        with ctx.Pool(4) as pool:
+            hits = pool.map(_hammer_filestore, [(root, w) for w in range(4)])
+        assert hits == [20, 20, 20, 20]
+        store = FileStore(root)
+        stats = store.stats("shared.ns")
+        assert stats["entries"] == 80
+        assert stats["bytes"] == 80 * 8
+        # Every entry wrote atomically: all values load and verify.
+        assert len(store.values("shared.ns")) == 80
+
+    def test_eviction_removes_data_files(self, tmp_path):
+        store = FileStore(str(tmp_path / "s"))
+        store.set_limit(NS, max_entries=2)
+        for i in range(5):
+            store.put(NS, i, i)
+        assert store.values(NS) == [3, 4]
+        ns_dir = tmp_path / "s" / NS
+        data_files = [p for p in ns_dir.iterdir() if p.suffix == ".pkl"]
+        assert len(data_files) == 2
+
+
+# ---------------------------------------------------------------------------
+# TieredStore specifics
+# ---------------------------------------------------------------------------
+class TestTieredStore:
+    def _tiered(self, tmp_path):
+        shared = FileStore(str(tmp_path / "shared"))
+        return TieredStore(InProcessLRU(), shared), shared
+
+    def test_read_through_promotes(self, tmp_path):
+        tiered, shared = self._tiered(tmp_path)
+        shared.put(NS, "k", "fabric-value", nbytes=11)
+        assert tiered.get(NS, "k") == "fabric-value"
+        # Promoted: now a local hit with the declared byte charge.
+        assert tiered.local.get(NS, "k") == "fabric-value"
+        assert tiered.local.nbytes_of(NS, "k") == 11
+
+    def test_write_through_reaches_both_tiers(self, tmp_path):
+        tiered, shared = self._tiered(tmp_path)
+        tiered.put(NS, "k", [1, 2])
+        assert tiered.local.contains(NS, "k")
+        assert shared.get(NS, "k") == [1, 2]
+
+    def test_local_budget_does_not_shrink_fabric(self, tmp_path):
+        tiered, shared = self._tiered(tmp_path)
+        tiered.set_limit(NS, max_entries=1)
+        tiered.put(NS, "a", 1)
+        tiered.put(NS, "b", 2)  # evicts "a" locally only
+        assert not tiered.local.contains(NS, "a")
+        assert shared.contains(NS, "a")
+        assert tiered.get(NS, "a") == 1  # read-through recovers it
+
+    def test_hit_in_either_tier_counts_as_hit(self, tmp_path):
+        tiered, shared = self._tiered(tmp_path)
+        shared.put(NS, "k", 1)
+        tiered.get(NS, "k")  # shared hit
+        tiered.get(NS, "k")  # local hit after promotion
+        tiered.get(NS, "absent")
+        stats = tiered.stats(NS)
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Property test: the default backend is bit-identical to the historical
+# OrderedDict caches.
+# ---------------------------------------------------------------------------
+class _ReferenceLRU:
+    """The pre-store cache policy, verbatim: bounded OrderedDict."""
+
+    def __init__(self, max_entries=None, max_bytes=None):
+        self.entries = OrderedDict()  # key -> (value, nbytes)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.bytes = 0
+
+    def get(self, key):
+        if key not in self.entries:
+            return None
+        self.entries.move_to_end(key)
+        return self.entries[key][0]
+
+    def put(self, key, value, nbytes):
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            return False
+        old = self.entries.pop(key, None)
+        if old is not None:
+            self.bytes -= old[1]
+        while self.entries and (
+            (self.max_entries is not None and len(self.entries) + 1 > self.max_entries)
+            or (self.max_bytes is not None and self.bytes + nbytes > self.max_bytes)
+        ):
+            _, (_, evicted) = self.entries.popitem(last=False)
+            self.bytes -= evicted
+        self.entries[key] = (value, nbytes)
+        self.bytes += nbytes
+        return True
+
+    def delete(self, key):
+        old = self.entries.pop(key, None)
+        if old is not None:
+            self.bytes -= old[1]
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=30),
+        ),
+        st.tuples(st.just("get"), st.integers(min_value=0, max_value=7)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=7)),
+    ),
+    max_size=60,
+)
+
+
+class TestLRUMatchesHistoricalCaches:
+    @given(
+        ops=_ops,
+        max_entries=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+        max_bytes=st.one_of(st.none(), st.integers(min_value=10, max_value=60)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_random_op_sequences_bit_identical(self, ops, max_entries, max_bytes):
+        store = InProcessLRU()
+        store.set_limit(NS, max_entries=max_entries, max_bytes=max_bytes)
+        reference = _ReferenceLRU(max_entries=max_entries, max_bytes=max_bytes)
+        for op in ops:
+            if op[0] == "put":
+                _, key, nbytes = op
+                assert store.put(NS, key, key * 10, nbytes=nbytes) == (
+                    reference.put(key, key * 10, nbytes)
+                )
+            elif op[0] == "get":
+                _, key = op
+                assert store.get(NS, op[1]) == reference.get(key)
+            else:
+                reference.delete(op[1])
+                store.delete(NS, op[1])
+            assert store.keys(NS) == list(reference.entries)
+            assert store.stats(NS)["bytes"] == reference.bytes
+
+
+# ---------------------------------------------------------------------------
+# The refactored cache sites on the default backend
+# ---------------------------------------------------------------------------
+class TestRefactoredSites:
+    def test_plan_cache_identity_preserved(self):
+        from repro.systolic import SystolicConfig
+        from repro.systolic.gemm import clear_plan_cache, plan_cache_info, plan_gemm
+
+        clear_plan_cache()
+        config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        first = plan_gemm(config, 16, 16, 16)
+        second = plan_gemm(config, 16, 16, 16)
+        assert first is second  # zero-copy, by reference
+        info = plan_cache_info()
+        assert info["hits"] >= 1 and info["size"] >= 1
+        clear_plan_cache()
+        info = plan_cache_info()
+        assert info["size"] == 0 and info["hits"] == 0
+
+    def test_approximator_cache_identity_preserved(self):
+        from repro.core.nonlinear_ops import (
+            approximator_cache_info,
+            clear_approximator_cache,
+            get_approximator,
+        )
+
+        clear_approximator_cache()
+        first = get_approximator("gelu", 0.25)
+        assert get_approximator("gelu", 0.25) is first
+        assert approximator_cache_info()["size"] == 1
+
+    def test_param_cache_private_store(self):
+        from repro.nn.executor import ParamCache
+
+        cache = ParamCache(maxsize=2)
+        stats = cache.stats()
+        assert stats["max_entries"] == 2
+        assert stats["entries"] == 0
+
+    def test_calibration_roundtrip_through_filestore(self, tmp_path):
+        from repro.serving import (
+            CalibratingCostModel,
+            load_calibration,
+            save_calibration,
+        )
+        from repro.systolic import SystolicConfig
+
+        config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4)
+        calibrator = CalibratingCostModel()
+        calibrator.observe("bert", 4, (8,), config, 1234)
+        fabric = FileStore(str(tmp_path / "fabric"), serializer="json")
+        save_calibration(calibrator, fabric)
+        restored = load_calibration(fabric)
+        from repro.serving.cluster import BatchProfile
+
+        profile = BatchProfile(
+            model="bert",
+            batch_size=4,
+            sample_shape=(8,),
+            tenant="default",
+            ready_time=0.0,
+        )
+        assert restored.estimate(profile, config) == calibrator.estimate(
+            profile, config
+        )
+
+    def test_load_calibration_absent_returns_none(self, tmp_path):
+        from repro.serving import load_calibration
+
+        fabric = FileStore(str(tmp_path / "fabric"))
+        assert load_calibration(fabric) is None
