@@ -41,14 +41,23 @@ multi-tenant serving system:
   :class:`~repro.serving.cluster.PrefixAffinePlacement` steers batches
   to the shard already holding their prompt;
 * the engine tying admission, scheduler, placement and shards together
-  (:mod:`repro.serving.engine`);
+  (:mod:`repro.serving.engine`), now fault-tolerant: per-shard
+  circuit breakers (:class:`~repro.serving.cluster.ShardHealth`),
+  deadline-aware batch retry with capped exponential backoff in
+  simulated time, and re-placement of failed batches onto healthy
+  shards — driven by a seeded, reproducible fault plan
+  (:mod:`repro.serving.faults`);
 * a multi-worker serving front (:mod:`repro.serving.multiproc`):
   :func:`~repro.serving.multiproc.serve_multiproc` partitions the
   declared cluster into contiguous shard blocks, runs one engine
   process per block over a shared :class:`repro.store.FileStore`
   cache fabric (plans, prompts and calibration cross the process
   boundary through it), and merges the per-worker reports into one
-  fleet view with exact counter sums;
+  fleet view with exact counter sums — with worker supervision:
+  dead workers are detected by exit code and either restarted or
+  their requests redistributed onto surviving shard blocks
+  (:class:`~repro.serving.multiproc.WorkerFailedError` when
+  supervision is off);
 * serving-level reporting — latency percentiles, throughput,
   cycles/request, per-shard utilization and the placement-decision
   log, per-tenant SLO attainment and shed accounting
@@ -63,6 +72,8 @@ from repro.serving.batcher import Batch, BatchAssembler, DynamicBatcher
 from repro.serving.cluster import (
     CALIBRATION_NAMESPACE,
     BatchProfile,
+    BreakerConfig,
+    BreakerTransition,
     CalibratingCostModel,
     ClusterDispatcher,
     ClusterSpec,
@@ -72,6 +83,7 @@ from repro.serving.cluster import (
     PlacementPolicy,
     PrefixAffinePlacement,
     RoundRobinPlacement,
+    ShardHealth,
     ShardSpec,
     ShardView,
     config_from_dict,
@@ -83,10 +95,21 @@ from repro.serving.cluster import (
 )
 from repro.serving.dispatcher import ShardedDispatcher
 from repro.serving.engine import InferenceEngine, ModelEndpoint
+from repro.serving.faults import (
+    FabricFault,
+    FaultPlan,
+    FaultRecord,
+    RetryPolicy,
+    ShardCrash,
+    ShardSlowdown,
+    WorkerDeath,
+    corrupt_fabric_entries,
+)
 from repro.serving.multiproc import (
     ModelSpec,
     MultiprocResult,
     WorkerConfig,
+    WorkerFailedError,
     merge_reports,
     partition_cluster,
     serve_multiproc,
@@ -99,7 +122,12 @@ from repro.serving.prefix_cache import (
     TransformerPrefixAdapter,
 )
 from repro.serving.report import ServingReport
-from repro.serving.request import CompletedRequest, InferenceRequest, ShedRecord
+from repro.serving.request import (
+    CompletedRequest,
+    FailureRecord,
+    InferenceRequest,
+    ShedRecord,
+)
 from repro.serving.scheduler import (
     SchedulingPolicy,
     StrictPriority,
@@ -131,9 +159,21 @@ __all__ = [
     "CALIBRATION_NAMESPACE",
     "save_calibration",
     "load_calibration",
+    "BreakerConfig",
+    "BreakerTransition",
+    "ShardHealth",
+    "FabricFault",
+    "FaultPlan",
+    "FaultRecord",
+    "RetryPolicy",
+    "ShardCrash",
+    "ShardSlowdown",
+    "WorkerDeath",
+    "corrupt_fabric_entries",
     "ModelSpec",
     "MultiprocResult",
     "WorkerConfig",
+    "WorkerFailedError",
     "merge_reports",
     "partition_cluster",
     "serve_multiproc",
@@ -147,6 +187,7 @@ __all__ = [
     "ModelEndpoint",
     "ServingReport",
     "CompletedRequest",
+    "FailureRecord",
     "InferenceRequest",
     "ShedRecord",
     "SchedulingPolicy",

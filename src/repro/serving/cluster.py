@@ -214,11 +214,154 @@ class PlacementDecision:
     start: float
     finish: float
     batch_cycles: int = 0
+    #: 0-based execution attempt (0 = first placement; > 0 = a retry
+    #: after earlier attempts failed on faulted shards).
+    attempt: int = 0
+    #: Shard of the immediately preceding failed attempt, when this
+    #: decision is a retry re-placement (None on first attempts).
+    recovered_from: Optional[int] = None
 
     @property
     def queue_delay(self) -> float:
         """Time the ready batch waited for its chosen shard."""
         return self.start - self.ready_time
+
+
+# ---------------------------------------------------------------------------
+# Shard health: the closed -> open -> half-open circuit breaker
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Knobs of one shard's circuit breaker.
+
+    ``failure_threshold`` consecutive failures open the breaker for
+    ``quarantine`` simulated seconds; after the quarantine the shard is
+    *half-open* — one probe batch is admitted, and a probe failure
+    re-opens with the quarantine multiplied by ``quarantine_factor``
+    (capped at ``quarantine_cap``), while a success closes the breaker
+    and resets the quarantine.
+    """
+
+    failure_threshold: int = 1
+    quarantine: float = 1e-3
+    quarantine_factor: float = 2.0
+    quarantine_cap: float = 1e-1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.quarantine <= 0 or self.quarantine_cap <= 0:
+            raise ValueError("quarantine durations must be positive")
+        if self.quarantine_factor < 1.0:
+            raise ValueError(
+                f"quarantine_factor must be >= 1, got {self.quarantine_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One breaker state change, for the report's fault section."""
+
+    shard: int
+    at: float
+    from_state: str
+    to_state: str
+
+
+class ShardHealth:
+    """Per-shard failure tracking with a circuit breaker.
+
+    States (:attr:`state`): ``"closed"`` (healthy, admits batches),
+    ``"open"`` (quarantined until :attr:`open_until`; placement filters
+    the shard out), ``"half_open"`` (quarantine elapsed; the next batch
+    is the re-admission probe).  Transitions are driven by the engine
+    calling :meth:`record_failure` / :meth:`record_success` and by
+    :meth:`available` observing simulated time pass :attr:`open_until`
+    — all in simulated time, so health trajectories are deterministic.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        shard: int,
+        config: Optional[BreakerConfig] = None,
+        on_transition: Optional[Callable[[BreakerTransition], None]] = None,
+    ) -> None:
+        self.shard = shard
+        self.config = config if config is not None else BreakerConfig()
+        self.state = self.CLOSED
+        self.open_until = 0.0
+        self.consecutive_failures = 0
+        self.failures = 0
+        self.successes = 0
+        self._quarantine = self.config.quarantine
+        self._on_transition = on_transition
+
+    def _transition(self, to_state: str, at: float) -> None:
+        if to_state == self.state:
+            return
+        if self._on_transition is not None:
+            self._on_transition(
+                BreakerTransition(
+                    shard=self.shard, at=at, from_state=self.state, to_state=to_state
+                )
+            )
+        self.state = to_state
+
+    def available(self, now: float) -> bool:
+        """Can a batch be placed here at ``now``?
+
+        Lazily performs the open -> half-open transition when the
+        quarantine has elapsed, so the first placement query past
+        :attr:`open_until` admits the probe batch.
+        """
+        if self.state == self.OPEN and now >= self.open_until:
+            self._transition(self.HALF_OPEN, self.open_until)
+        return self.state != self.OPEN
+
+    def record_failure(self, now: float) -> None:
+        """One failed attempt on this shard at simulated ``now``."""
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            # Failed probe: back to quarantine, doubled (capped).
+            self._quarantine = min(
+                self._quarantine * self.config.quarantine_factor,
+                self.config.quarantine_cap,
+            )
+            self.open_until = now + self._quarantine
+            self._transition(self.OPEN, now)
+        elif (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.config.failure_threshold
+        ):
+            self.open_until = now + self._quarantine
+            self._transition(self.OPEN, now)
+        elif self.state == self.OPEN and now + self._quarantine > self.open_until:
+            # A straggler failure while already quarantined (a batch
+            # placed before the breaker opened): extend, don't shorten.
+            self.open_until = now + self._quarantine
+
+    def record_success(self, now: float) -> None:
+        """One completed batch on this shard at simulated ``now``."""
+        self.successes += 1
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self._quarantine = self.config.quarantine
+            self._transition(self.CLOSED, now)
+
+    def reset(self) -> None:
+        self.state = self.CLOSED
+        self.open_until = 0.0
+        self.consecutive_failures = 0
+        self.failures = 0
+        self.successes = 0
+        self._quarantine = self.config.quarantine
 
 
 # ---------------------------------------------------------------------------
@@ -257,9 +400,14 @@ class RoundRobinPlacement(PlacementPolicy):
         self._next = 0
 
     def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
-        shard = self._next % len(shards)
-        self._next = (shard + 1) % len(shards)
-        return shard
+        # Index into the *views* rather than returning the counter
+        # directly: over the full pool the two are identical (view i
+        # has index i, preserving the pinned i % n mapping), but when
+        # the engine health-filters the candidate list the counter must
+        # cycle over the shards actually offered.
+        pos = self._next % len(shards)
+        self._next = (pos + 1) % len(shards)
+        return shards[pos].index
 
     def reset(self) -> None:
         self._next = 0

@@ -83,26 +83,36 @@ degenerates to plain ready-time (FIFO) order.
 
 from __future__ import annotations
 
+import heapq
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.serving.batcher import Batch
 from repro.serving.cluster import (
     BatchProfile,
+    BreakerConfig,
+    BreakerTransition,
     CalibratingCostModel,
     ClusterDispatcher,
     PlacementDecision,
     PlacementPolicy,
     PrefixAffinePlacement,
+    ShardHealth,
     make_placement_policy,
 )
+from repro.serving.faults import FaultPlan, FaultRecord, RetryPolicy, ShardCrash
 from repro.serving.prefix_cache import PrefixCache, PrefixEntry, PrefixEvent
 from repro.serving.report import ServingReport
-from repro.serving.request import CompletedRequest, InferenceRequest, ShedRecord
+from repro.serving.request import (
+    CompletedRequest,
+    FailureRecord,
+    InferenceRequest,
+    ShedRecord,
+)
 from repro.serving.scheduler import SchedulingPolicy, TenantScheduler
 from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig, TenantRegistry
 from repro.store import get_store
@@ -207,6 +217,21 @@ class InferenceEngine:
         :class:`~repro.serving.cluster.PrefixAffinePlacement`, so
         batches whose prompt is already resident prefer the holding
         shard; prefix-less traffic is placed exactly as before.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultPlan` injecting
+        shard crashes and slowdowns into the discrete-event clock.
+        Without one the fault path is fully dormant: no failures, no
+        retries, and the run is bit-identical to pre-fault engines.
+    retry_policy:
+        Backoff/budget for re-executing batches whose shard faulted
+        (see :class:`~repro.serving.faults.RetryPolicy`; a default
+        policy applies when faults are enabled without one).
+    breaker:
+        Per-shard circuit-breaker knobs
+        (:class:`~repro.serving.cluster.BreakerConfig`); every shard
+        gets an independent :class:`~repro.serving.cluster.ShardHealth`
+        driven by batch outcomes, and placement only sees shards whose
+        breaker currently admits work.
     """
 
     def __init__(
@@ -219,6 +244,9 @@ class InferenceEngine:
         placement: Union[str, PlacementPolicy] = "round_robin",
         tenants: Optional[Iterable[TenantConfig]] = None,
         prefix_cache: Optional[PrefixCache] = None,
+        faults: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
     ):
         self.dispatcher = dispatcher
         for shard in range(dispatcher.n_shards):
@@ -248,6 +276,24 @@ class InferenceEngine:
         self._shed: List[ShedRecord] = []
         self._shard_busy: Dict[int, float] = {}
         self._prefix_events: List[PrefixEvent] = []
+        # Fault tolerance: the plan (None = dormant), the retry budget,
+        # one breaker per shard, the simulated-time retry queue, and
+        # the per-run failure/fault/transition logs.
+        self.faults = faults
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._breaker_log: List[BreakerTransition] = []
+        self._health: Dict[int, ShardHealth] = {
+            shard: ShardHealth(shard, breaker, on_transition=self._breaker_log.append)
+            for shard in range(dispatcher.n_shards)
+        }
+        # Heap of (wake_time, seq, attempt, excluded_shard, batch);
+        # seq breaks wake-time ties deterministically (batches don't
+        # compare) in requeue order.
+        self._retry_queue: List[Tuple[float, int, int, Optional[int], Batch]] = []
+        self._retry_seq = 0
+        self._work_consumed = 0
+        self._failed: List[FailureRecord] = []
+        self._fault_log: List[FaultRecord] = []
 
     # ------------------------------------------------------------------
     # Registration and submission
@@ -497,6 +543,9 @@ class InferenceEngine:
         self._placements.clear()
         self._shed.clear()
         self._prefix_events.clear()
+        self._failed.clear()
+        self._fault_log.clear()
+        self._breaker_log.clear()
         self._shard_busy = {shard: 0.0 for shard in range(self.dispatcher.n_shards)}
         source = _RequestSource(request_source, self) if request_source is not None else None
 
@@ -520,7 +569,7 @@ class InferenceEngine:
                     head = 0
                     self._run_buffered = len(buffer)
 
-                ready_at = self.scheduler.earliest_ready()
+                ready_at = self._earliest_work()
                 feed_arrival = buffer[head].arrival if head < len(buffer) else None
                 source_arrival = None if source is None else source.peek_arrival()
 
@@ -545,10 +594,14 @@ class InferenceEngine:
                     continue
                 if ready_at is None:
                     break
-                executed = self._drain_one()
-                if not executed:  # pragma: no cover — ready_at implies a batch
-                    break
-                completed.extend(executed)
+                # A drain may legitimately complete nothing — a failed
+                # attempt re-queues its batch for a later wake — so
+                # progress is measured in batches *consumed*, not
+                # requests completed.
+                consumed_before = self._work_consumed
+                completed.extend(self._drain_one())
+                if self._work_consumed == consumed_before:  # pragma: no cover
+                    break  # defensive: ready_at implies a batch
         finally:
             self._run_buffered = 0
 
@@ -582,6 +635,9 @@ class InferenceEngine:
             placement_policy=self.placement.name,
             prefix_events=tuple(self._prefix_events),
             cache_stats=self.cache_stats(),
+            failed=tuple(self._failed),
+            fault_events=tuple(self._fault_log),
+            breaker_transitions=tuple(self._breaker_log),
         )
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
@@ -714,6 +770,26 @@ class InferenceEngine:
         return tuple(self._prefix_events)
 
     @property
+    def failed_log(self) -> "tuple[FailureRecord, ...]":
+        """Admitted requests lost to faults since the last :meth:`run` start."""
+        return tuple(self._failed)
+
+    @property
+    def fault_log(self) -> "tuple[FaultRecord, ...]":
+        """Failed/parked batch attempts since the last :meth:`run` start."""
+        return tuple(self._fault_log)
+
+    @property
+    def breaker_log(self) -> "tuple[BreakerTransition, ...]":
+        """Breaker state changes since the last :meth:`run` start."""
+        return tuple(self._breaker_log)
+
+    @property
+    def shard_health(self) -> Dict[int, ShardHealth]:
+        """The per-shard breakers (live objects; read-only use intended)."""
+        return dict(self._health)
+
+    @property
     def calibrator(self) -> CalibratingCostModel:
         """The engine's calibrating cost model.
 
@@ -723,15 +799,45 @@ class InferenceEngine:
         """
         return self._calibrator
 
+    def _next_retry_at(self) -> Optional[float]:
+        """Wake time of the earliest queued retry, if any."""
+        return self._retry_queue[0][0] if self._retry_queue else None
+
+    def _earliest_work(self) -> Optional[float]:
+        """Earliest instant anything is runnable: a ready batch from
+        the scheduler or a retry whose backoff has a wake time."""
+        ready = self.scheduler.earliest_ready()
+        retry = self._next_retry_at()
+        if ready is None:
+            return retry
+        if retry is None:
+            return ready
+        return min(ready, retry)
+
     def _drain_one(self) -> List[CompletedRequest]:
-        """Pop the policy-selected ready batch, execute, store results."""
-        ready_at = self.scheduler.earliest_ready()
-        if ready_at is None:
-            return []
-        batch = self.scheduler.pop_ready(ready_at)
-        if batch is None:  # pragma: no cover — ready_at implies a batch
-            return []
-        completed = self._execute_batch(batch)
+        """Pop the earliest work unit, execute, store results.
+
+        Retries tied with fresh batches run first (they are strictly
+        older work).  Returns the completions of the attempt — empty
+        when the attempt failed and the batch was re-queued, parked, or
+        abandoned (its requests then appear on :attr:`failed_log`).
+        """
+        ready = self.scheduler.earliest_ready()
+        retry = self._next_retry_at()
+        if retry is not None and (ready is None or retry <= ready):
+            wake, _seq, attempt, exclude, batch = heapq.heappop(self._retry_queue)
+            self._work_consumed += 1
+            completed = self._execute_batch(
+                batch, attempt=attempt, exclude_shard=exclude
+            )
+        else:
+            if ready is None:
+                return []
+            batch = self.scheduler.pop_ready(ready)
+            if batch is None:  # pragma: no cover — ready_at implies a batch
+                return []
+            self._work_consumed += 1
+            completed = self._execute_batch(batch)
         for record in completed:
             self._results[record.request.request_id] = record.outputs
         return completed
@@ -762,6 +868,13 @@ class InferenceEngine:
         self._shed.clear()
         self._prefix_events.clear()
         self._shard_busy.clear()
+        self._retry_queue.clear()
+        self._retry_seq = 0
+        self._failed.clear()
+        self._fault_log.clear()
+        self._breaker_log.clear()
+        for health in self._health.values():
+            health.reset()
         self._last_arrival = 0.0
         if self.prefix_cache is not None:
             self.prefix_cache.clear()
@@ -785,7 +898,12 @@ class InferenceEngine:
             )
         return outputs
 
-    def _execute_batch(self, batch: Batch) -> List[CompletedRequest]:
+    def _execute_batch(
+        self,
+        batch: Batch,
+        attempt: int = 0,
+        exclude_shard: Optional[int] = None,
+    ) -> List[CompletedRequest]:
         endpoint = self._endpoints[batch.model]
         use_prefix = (
             batch.prefix_key is not None
@@ -804,7 +922,36 @@ class InferenceEngine:
             ready_time=batch.ready_time,
             prefix_key=batch.prefix_key if use_prefix else None,
         )
-        shard = self.placement.place(profile, self.dispatcher.shard_views())
+        # The policy only sees shards whose breaker admits work at the
+        # batch's ready time; a retry additionally avoids the shard of
+        # its failed attempt whenever an alternative exists.  With every
+        # breaker open the batch parks (no retry consumed) until the
+        # earliest quarantine expiry re-admits a probe.
+        views = self.dispatcher.shard_views()
+        healthy = [
+            view for view in views if self._health[view.index].available(batch.ready_time)
+        ]
+        if not healthy:
+            wake = min(health.open_until for health in self._health.values())
+            self._fault_log.append(
+                FaultRecord(
+                    kind="all_shards_down",
+                    shard=None,
+                    batch_index=batch.index,
+                    at=batch.ready_time,
+                    attempt=attempt,
+                    action="park",
+                    requests=batch.size,
+                )
+            )
+            self._requeue(batch, wake, attempt, exclude_shard)
+            return []
+        candidates = healthy
+        if exclude_shard is not None and len(healthy) > 1:
+            without = [view for view in healthy if view.index != exclude_shard]
+            if without:
+                candidates = without
+        shard = self.placement.place(profile, candidates)
         if not 0 <= shard < self.dispatcher.n_shards:
             raise ValueError(
                 f"placement policy {self.placement.name!r} returned shard "
@@ -812,6 +959,18 @@ class InferenceEngine:
             )
         backend = self.dispatcher.backends[shard]
         array = self.dispatcher.array_of(shard)
+
+        start = max(batch.ready_time, self.dispatcher.busy_until.get(shard, 0.0))
+        if self.faults is not None:
+            doa = self.faults.crash_covering(shard, start)
+            if doa is not None:
+                # Dead on arrival: the shard is down when the batch
+                # would start, so nothing executes — no cycles, no
+                # cache effects — and the shard stays occupied through
+                # its outage window.
+                self._shard_down(shard, doa)
+                self._attempt_failed(batch, attempt, shard, at=start)
+                return []
         cycles_before = array.total_cycles if array is not None else 0
 
         # Attribute everything the batch records to its tenant's trace
@@ -870,10 +1029,26 @@ class InferenceEngine:
             batch_cycles = 0
             duration = elapsed_wall
 
-        start = max(batch.ready_time, self.dispatcher.busy_until.get(shard, 0.0))
+        if self.faults is not None:
+            # A slowdown stretches the timeline (results unchanged); a
+            # crash striking inside the stretched window kills the
+            # attempt: outputs are discarded, the partial occupancy is
+            # charged as wasted work (the traced cycles already stand),
+            # and the shard is held busy through its outage.
+            duration *= self.faults.slowdown_factor(shard, start)
+            crash = self.faults.crash_within(shard, start, start + duration)
+            if crash is not None:
+                self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + (
+                    crash.at - start
+                )
+                self._shard_down(shard, crash)
+                self._attempt_failed(batch, attempt, shard, at=crash.at)
+                return []
+
         finish = start + duration
         self.dispatcher.busy_until[shard] = finish
         self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + duration
+        self._health[shard].record_success(finish)
         if array is not None and batch_cycles > 0 and not prefix_hit:
             # Feed the calibrating cost model: the next placement of
             # this (model, shape) estimates from traced ground truth.
@@ -914,6 +1089,8 @@ class InferenceEngine:
                 start=start,
                 finish=finish,
                 batch_cycles=batch_cycles,
+                attempt=attempt,
+                recovered_from=exclude_shard if attempt > 0 else None,
             )
         )
         return [
@@ -926,6 +1103,129 @@ class InferenceEngine:
                 start=start,
                 finish=finish,
                 batch_cycles=batch_cycles,
+                attempts=attempt + 1,
             )
             for req, out in zip(batch.requests, per_request)
         ]
+
+    # ------------------------------------------------------------------
+    # Fault handling: failure accounting, retry queue, deadlines
+    # ------------------------------------------------------------------
+    def _shard_down(self, shard: int, crash: ShardCrash) -> None:
+        """Hold a crashed shard's horizon through its outage window, so
+        every subsequent placement sees it occupied until recovery."""
+        self.dispatcher.busy_until[shard] = max(
+            self.dispatcher.busy_until.get(shard, 0.0), crash.until
+        )
+
+    def _attempt_failed(
+        self, batch: Batch, attempt: int, shard: int, at: float
+    ) -> None:
+        """One batch attempt died on ``shard`` at simulated ``at``.
+
+        Feeds the shard's breaker, then decides per batch: abandon when
+        the retry budget is spent, shed the requests whose effective
+        deadline precedes the backoff wake time (a doomed retry is
+        dropped, not looped), and re-queue the survivors as a new
+        attempt that will re-place on the remaining healthy shards.
+        Failed attempts record *nothing* in the placement, prefix or
+        calibration logs — those are written exactly once, by the
+        attempt that completes — so retried traffic is never
+        double-attributed.
+        """
+        self._health[shard].record_failure(at)
+        failed_attempts = attempt + 1
+        if attempt >= self.retry_policy.max_retries:
+            self._fault_log.append(
+                FaultRecord(
+                    kind="crash",
+                    shard=shard,
+                    batch_index=batch.index,
+                    at=at,
+                    attempt=attempt,
+                    action="abandon",
+                    requests=batch.size,
+                )
+            )
+            self._fail_requests(
+                batch.requests, "max_retries", at, shard, failed_attempts
+            )
+            return
+        wake = at + self.retry_policy.backoff(attempt)
+        survivors: List[InferenceRequest] = []
+        for request in batch.requests:
+            due = self._effective_deadline(request)
+            if due is not None and wake > due:
+                self._fail_requests(
+                    (request,), "retry_deadline", at, shard, failed_attempts
+                )
+            else:
+                survivors.append(request)
+        if not survivors:
+            self._fault_log.append(
+                FaultRecord(
+                    kind="crash",
+                    shard=shard,
+                    batch_index=batch.index,
+                    at=at,
+                    attempt=attempt,
+                    action="abandon",
+                    requests=batch.size,
+                )
+            )
+            return
+        self._fault_log.append(
+            FaultRecord(
+                kind="crash",
+                shard=shard,
+                batch_index=batch.index,
+                at=at,
+                attempt=attempt,
+                action="retry",
+                requests=len(survivors),
+            )
+        )
+        self._requeue(
+            replace(batch, requests=tuple(survivors)), wake, attempt + 1, shard
+        )
+
+    def _requeue(
+        self, batch: Batch, wake: float, attempt: int, exclude_shard: Optional[int]
+    ) -> None:
+        """Queue ``batch`` to re-execute at simulated time ``wake``."""
+        if batch.ready_time != wake:
+            batch = replace(batch, ready_time=wake)
+        heapq.heappush(
+            self._retry_queue,
+            (wake, self._retry_seq, attempt, exclude_shard, batch),
+        )
+        self._retry_seq += 1
+
+    def _fail_requests(
+        self,
+        requests: "Iterable[InferenceRequest]",
+        reason: str,
+        at: float,
+        shard: Optional[int],
+        attempts: int,
+    ) -> None:
+        for request in requests:
+            self._failed.append(
+                FailureRecord(
+                    request=request,
+                    reason=reason,
+                    at=at,
+                    shard=shard,
+                    attempts=attempts,
+                )
+            )
+
+    def _effective_deadline(self, request: InferenceRequest) -> Optional[float]:
+        """Explicit deadline, else arrival + tenant SLO, else None —
+        the same resolution the report's SLO accounting applies."""
+        if request.deadline is not None:
+            return request.deadline
+        config = self.tenants.get(request.tenant)
+        if config.slo_latency is not None:
+            return request.arrival + config.slo_latency
+        return None

@@ -29,11 +29,31 @@ re-maps worker-local shard indices onto the global cluster numbering
 and merges the logs so the fleet-level invariants hold exactly:
 merged ``tenant_cycles`` / ``shard_cycles`` / shed counts are the
 element-wise sums of the per-worker reports.
+
+**Failure domains.**  Worker processes are spawned individually (one
+``Process`` + result pipe each, not a pool) so a worker that dies —
+via an injected :class:`~repro.serving.faults.WorkerDeath` or a real
+crash — is *detected by exit code* instead of hanging the front.
+Unsupervised (``supervise=False``), a dead worker raises
+:class:`WorkerFailedError` naming the worker, its shard block and the
+exit code — never a silently partial merge.  Supervised, the front
+restarts the worker (with the death event stripped from its fault
+plan) up to ``max_restarts`` times; past that its requests are
+*redistributed*: re-run in-process on a surviving worker's shard
+block, arrival-shifted past that donor's last completion so the serial
+reuse of the donor shards is honestly priced into the merged
+timeline.  Either way every admitted request ends up completed exactly
+once or failed with a reason — the in-memory state of a dead worker
+(and any partial results it computed) is lost with the process, and
+the re-run starts from the request list, not from salvage.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import sys
+import traceback
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -43,9 +63,11 @@ from repro.serving.cluster import (
     save_calibration,
 )
 from repro.serving.engine import InferenceEngine
+from repro.serving.faults import FaultPlan
 from repro.serving.prefix_cache import PrefixCache, TransformerPrefixAdapter
 from repro.serving.report import ServingReport
-from repro.serving.tenancy import TenantConfig
+from repro.serving.request import FailureRecord, InferenceRequest
+from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig
 from repro.store import (
     FileStore,
     InProcessLRU,
@@ -82,7 +104,15 @@ class ModelSpec:
 
 @dataclass(frozen=True)
 class WorkerConfig:
-    """Everything one worker process needs, in one picklable record."""
+    """Everything one worker process needs, in one picklable record.
+
+    ``fault_plan`` is the worker's *view* of the run's fault plan —
+    shard events already re-mapped into worker-local indices via
+    :meth:`~repro.serving.faults.FaultPlan.for_shard_block`, worker and
+    fabric events kept global.  ``shard_offset`` records where the
+    worker's block starts in the declared cluster, for error messages
+    and merge bookkeeping.
+    """
 
     index: int
     cluster: ClusterSpec
@@ -97,6 +127,44 @@ class WorkerConfig:
     placement: str = "round_robin"
     tenants: Tuple[TenantConfig, ...] = ()
     calibration_name: str = "default"
+    fault_plan: Optional[FaultPlan] = None
+    shard_offset: int = 0
+
+
+class WorkerFailedError(RuntimeError):
+    """A worker process died before delivering its report.
+
+    Raised by :func:`serve_multiproc` when supervision is off
+    (``supervise=False``) and a worker exits nonzero — the run refuses
+    to hand back a silently partial merge.  Carries the failure
+    coordinates as attributes:
+
+    Attributes
+    ----------
+    worker:
+        Index of the dead worker.
+    shard_block:
+        Global shard indices of the block the worker was serving.
+    exit_code:
+        The process exit code (negative = killed by that signal).
+    """
+
+    def __init__(
+        self, worker: int, shard_block: Tuple[int, ...], exit_code: int
+    ) -> None:
+        self.worker = worker
+        self.shard_block = tuple(shard_block)
+        self.exit_code = exit_code
+        block = (
+            f"shards {self.shard_block[0]}..{self.shard_block[-1]}"
+            if self.shard_block
+            else "no shards"
+        )
+        super().__init__(
+            f"worker {worker} ({block}) exited with code {exit_code} before "
+            f"delivering its report; pass supervise=True to restart it or "
+            f"redistribute its requests onto surviving workers"
+        )
 
 
 @dataclass(frozen=True)
@@ -177,6 +245,7 @@ def _worker_main(config: WorkerConfig) -> ServingReport:
             placement=config.placement,
             tenants=config.tenants,
             prefix_cache=prefix_cache,
+            faults=config.fault_plan,
         )
         for spec in config.models:
             model = spec.factory(**dict(spec.kwargs))
@@ -203,6 +272,133 @@ def _worker_main(config: WorkerConfig) -> ServingReport:
         set_store(previous)
 
 
+def _worker_entry(config: WorkerConfig, conn) -> None:
+    """Process body of one worker: run, send the report, exit.
+
+    Honors an injected :class:`~repro.serving.faults.WorkerDeath`: the
+    worker serves only the requests that arrived before the death
+    time, then dies via ``os._exit`` with the injected exit code —
+    *without* sending a report, so the partial work is genuinely lost
+    with the process (the front recovers from the request list, never
+    from salvage).  Unexpected exceptions print a traceback to the
+    worker's stderr and exit nonzero, so the front sees a clean
+    dead-worker signal instead of a hung pipe.
+    """
+    death = (
+        config.fault_plan.worker_death(config.index)
+        if config.fault_plan is not None
+        else None
+    )
+    try:
+        run_config = config
+        if death is not None:
+            served = tuple(
+                request
+                for request in config.requests
+                if float(request.get("arrival", 0.0)) < death.at
+            )
+            run_config = replace(config, requests=served)
+        report = _worker_main(run_config)
+        if death is None:
+            conn.send(report)
+    except BaseException:  # pragma: no cover — exercised via subprocess
+        traceback.print_exc(file=sys.stderr)
+        conn.close()
+        os._exit(1)
+    conn.close()
+    if death is not None:
+        os._exit(death.exit_code)
+
+
+def _spawn(ctx, config: WorkerConfig):
+    """Start one worker process with a one-shot result pipe."""
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_worker_entry, args=(config, child_conn))
+    proc.start()
+    child_conn.close()
+    return proc, parent_conn
+
+
+def _collect(proc, conn) -> Optional[ServingReport]:
+    """Reap one worker: its report, or None if it died before sending.
+
+    Polls the pipe *before* joining — a report can be larger than the
+    pipe buffer, so the child may block in ``send`` until the parent
+    reads; joining first would deadlock.  A dead child closes the pipe,
+    which surfaces here as EOF rather than a hang.
+    """
+    report: Optional[ServingReport] = None
+    try:
+        while report is None:
+            if conn.poll(0.05):
+                report = conn.recv()
+                break
+            if not proc.is_alive():
+                if conn.poll(0):  # pragma: no cover — send/exit race
+                    report = conn.recv()
+                break
+    except (EOFError, OSError):  # pragma: no cover — pipe torn down
+        report = None
+    finally:
+        conn.close()
+    proc.join()
+    return report
+
+
+def _shift_requests(requests: Sequence[dict], shift: float) -> Tuple[dict, ...]:
+    """Shift arrivals (and absolute deadlines) by ``shift`` seconds.
+
+    Used when a dead worker's requests are re-run on a surviving
+    worker's shard block: the donor shards are busy until their own
+    run's last completion, so the re-run is scheduled *after* it —
+    serial reuse honestly priced into the merged timeline.  Deadlines
+    shift by the same amount, preserving each request's slack.
+    """
+    shifted = []
+    for request in requests:
+        moved = dict(request)
+        moved["arrival"] = float(request.get("arrival", 0.0)) + shift
+        if moved.get("deadline") is not None:
+            moved["deadline"] = float(moved["deadline"]) + shift
+        shifted.append(moved)
+    return tuple(shifted)
+
+
+def _lost_report(config: WorkerConfig, at: float) -> ServingReport:
+    """A report declaring every request of a dead worker failed.
+
+    The terminal fallback when a worker cannot be restarted and no
+    surviving worker exists to take its requests: the exactly-once
+    invariant still holds because every admitted request is accounted
+    for — as a :class:`~repro.serving.request.FailureRecord` with
+    reason ``"worker_lost"``.
+    """
+    failed = tuple(
+        FailureRecord(
+            request=InferenceRequest(
+                request_id=index,
+                model=str(request["model"]),
+                inputs=request["inputs"],
+                arrival=float(request.get("arrival", 0.0)),
+                tenant=str(request.get("tenant", DEFAULT_TENANT)),
+                priority=request.get("priority"),
+                deadline=request.get("deadline"),
+            ),
+            reason="worker_lost",
+            at=at,
+            attempts=0,
+        )
+        for index, request in enumerate(config.requests)
+    )
+    return ServingReport(
+        completed=(),
+        shard_cycles={},
+        wall_seconds=0.0,
+        placement_policy=config.placement,
+        failed=failed,
+    )
+
+
 # ---------------------------------------------------------------------------
 # The front
 # ---------------------------------------------------------------------------
@@ -219,6 +415,9 @@ def serve_multiproc(
     policy: str = "weighted_round_robin",
     placement: str = "round_robin",
     tenants: Sequence[TenantConfig] = (),
+    fault_plan: Optional[FaultPlan] = None,
+    supervise: bool = False,
+    max_restarts: int = 1,
 ) -> MultiprocResult:
     """Serve ``requests`` with ``n_workers`` engine processes.
 
@@ -234,13 +433,35 @@ def serve_multiproc(
     ``model``, ``inputs``, optionally ``arrival``/``tenant``/
     ``priority``/``deadline``).  Worker processes fork on POSIX;
     ``n_workers=1`` runs in-process (no fork), which is also the
-    fallback the tests exercise for coverage.
+    fallback the tests exercise for coverage.  In-process runs honor
+    shard-level fault events but not :class:`WorkerDeath` (there is no
+    process to kill).
+
+    ``fault_plan`` injects faults: shard events are sliced per worker
+    block (:meth:`~repro.serving.faults.FaultPlan.for_shard_block`),
+    worker-death events are honored by the worker processes.  When a
+    worker dies:
+
+    * ``supervise=False`` — raise :class:`WorkerFailedError`;
+    * ``supervise=True`` — restart it (death event stripped from its
+      plan) up to ``max_restarts`` times, then *redistribute*: re-run
+      its requests in-process on the first surviving worker's shard
+      block, arrival-shifted past everything that block has already
+      completed.  If no worker survives, the dead worker's requests
+      are reported failed with reason ``"worker_lost"``.  Supervision
+      actions land in the merged report's ``worker_restarts`` /
+      ``worker_redistributions`` counters.
 
     Returns per-worker reports plus the merged fleet report; merged
     counters are exact sums of the per-worker ones (see
     :func:`merge_reports`).
     """
     partitions = partition_cluster(cluster, n_workers)
+    offsets: List[int] = []
+    running = 0
+    for partition in partitions:
+        offsets.append(running)
+        running += partition.n_shards
     model_specs = tuple(models)
     configs = [
         WorkerConfig(
@@ -256,19 +477,111 @@ def serve_multiproc(
             policy=policy,
             placement=placement,
             tenants=tuple(tenants),
+            fault_plan=(
+                fault_plan.for_shard_block(
+                    offsets[worker], partitions[worker].n_shards
+                )
+                if fault_plan is not None
+                else None
+            ),
+            shard_offset=offsets[worker],
         )
         for worker in range(n_workers)
     ]
+    restarts = 0
+    redistributions = 0
+    merge_offsets = list(offsets)
     if n_workers == 1:
-        reports = [_worker_main(configs[0])]
+        reports: List[Optional[ServingReport]] = [_worker_main(configs[0])]
     else:
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover — non-POSIX fallback
             ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=n_workers) as pool:
-            reports = pool.map(_worker_main, configs)
-    merged = merge_reports(reports, partitions)
+        procs = [_spawn(ctx, config) for config in configs]
+        reports = []
+        exit_codes = []
+        for proc, conn in procs:
+            reports.append(_collect(proc, conn))
+            exit_codes.append(proc.exitcode if proc.exitcode is not None else 0)
+        for worker in range(n_workers):
+            if reports[worker] is not None:
+                continue
+            config = configs[worker]
+            if not supervise:
+                shard_block = tuple(
+                    range(
+                        offsets[worker],
+                        offsets[worker] + partitions[worker].n_shards,
+                    )
+                )
+                raise WorkerFailedError(worker, shard_block, exit_codes[worker])
+            # Restart-or-redistribute.  Restarts re-fork the worker on
+            # its own block with the death event stripped; past the
+            # budget, its requests re-run on a surviving block.
+            attempts = 0
+            while reports[worker] is None and attempts < max_restarts:
+                attempts += 1
+                restarts += 1
+                stripped = (
+                    config.fault_plan.without_worker_death(worker)
+                    if config.fault_plan is not None
+                    else None
+                )
+                proc, conn = _spawn(ctx, replace(config, fault_plan=stripped))
+                reports[worker] = _collect(proc, conn)
+            if reports[worker] is not None:
+                continue
+            donor = next(
+                (
+                    other
+                    for other in range(n_workers)
+                    if other != worker and reports[other] is not None
+                ),
+                None,
+            )
+            if donor is None:
+                death = (
+                    config.fault_plan.worker_death(worker)
+                    if config.fault_plan is not None
+                    else None
+                )
+                reports[worker] = _lost_report(
+                    config, at=death.at if death is not None else 0.0
+                )
+                continue
+            # The donor block is occupied until its own run's last
+            # completion (including earlier redistributions onto it) —
+            # schedule the re-run strictly after.
+            handoff = max(
+                (
+                    record.finish
+                    for other, other_report in enumerate(reports)
+                    if other_report is not None
+                    and merge_offsets[other] == offsets[donor]
+                    for record in other_report.completed
+                ),
+                default=0.0,
+            )
+            reports[worker] = _worker_main(
+                replace(
+                    config,
+                    cluster=partitions[donor],
+                    fault_plan=None,
+                    requests=_shift_requests(config.requests, handoff),
+                    shard_offset=offsets[donor],
+                )
+            )
+            merge_offsets[worker] = offsets[donor]
+            redistributions += 1
+    merged = merge_reports(reports, partitions, offsets=merge_offsets)
+    if restarts or redistributions:
+        merged = replace(
+            merged,
+            worker_restarts=merged.worker_restarts + restarts,
+            worker_redistributions=merged.worker_redistributions
+            + redistributions,
+        )
     return MultiprocResult(
         reports=tuple(reports), merged=merged, partitions=tuple(partitions)
     )
@@ -278,7 +591,9 @@ def serve_multiproc(
 # Merging
 # ---------------------------------------------------------------------------
 def merge_reports(
-    reports: Sequence[ServingReport], partitions: Sequence[ClusterSpec]
+    reports: Sequence[ServingReport],
+    partitions: Sequence[ClusterSpec],
+    offsets: Optional[Sequence[int]] = None,
 ) -> ServingReport:
     """One fleet report from per-worker reports.
 
@@ -292,6 +607,19 @@ def merge_reports(
     view rests on the now-globally-unique ``(shard, batch_index)``
     pairs, not on request ids.
 
+    ``offsets`` overrides the per-report shard shift (one global base
+    index per report).  The supervised front needs this for
+    redistribution: a re-run of a dead worker's requests executes on a
+    *donor's* partition, so its shard indices must map onto the donor's
+    block — cumulative offsets would misattribute them.  When two
+    reports share an offset (donor + redistribution), their per-shard
+    cycle and busy counters sum on the shared shard ids.
+
+    Fault-tolerance state merges the same way: ``failed`` /
+    ``fault_events`` / ``breaker_transitions`` concatenate in worker
+    order with shard ids re-mapped (records with ``shard=None`` pass
+    through), and supervision counters sum.
+
     Per-worker ``cache_stats`` namespaces are qualified as
     ``worker<N>/<namespace>`` — each worker owns a private store (plus
     its view of the fabric), so same-named namespaces are distinct
@@ -301,18 +629,34 @@ def merge_reports(
         raise ValueError(
             f"got {len(reports)} reports for {len(partitions)} partitions"
         )
+    if offsets is None:
+        resolved_offsets: List[int] = []
+        running = 0
+        for partition in partitions:
+            resolved_offsets.append(running)
+            running += partition.n_shards
+    else:
+        if len(offsets) != len(reports):
+            raise ValueError(
+                f"got {len(offsets)} offsets for {len(reports)} reports"
+            )
+        resolved_offsets = list(offsets)
     completed: List[object] = []
     placements: List[object] = []
     shed: List[object] = []
     prefix_events: List[object] = []
+    failed: List[object] = []
+    fault_events: List[object] = []
+    breaker_transitions: List[object] = []
     shard_cycles: Dict[int, int] = {}
     shard_busy: Dict[int, float] = {}
     tenant_cycles: Dict[str, int] = {}
     tenants: Dict[str, TenantConfig] = {}
     cache_stats: Dict[str, Dict[str, int]] = {}
     wall_seconds = 0.0
-    offset = 0
-    for worker, (report, partition) in enumerate(zip(reports, partitions)):
+    worker_restarts = 0
+    worker_redistributions = 0
+    for worker, (report, offset) in enumerate(zip(reports, resolved_offsets)):
         completed.extend(
             replace(record, shard=record.shard + offset)
             for record in report.completed
@@ -326,6 +670,22 @@ def merge_reports(
             for event in report.prefix_events
         )
         shed.extend(report.shed)
+        failed.extend(
+            replace(record, shard=record.shard + offset)
+            if record.shard is not None
+            else record
+            for record in report.failed
+        )
+        fault_events.extend(
+            replace(event, shard=event.shard + offset)
+            if event.shard is not None
+            else event
+            for event in report.fault_events
+        )
+        breaker_transitions.extend(
+            replace(transition, shard=transition.shard + offset)
+            for transition in report.breaker_transitions
+        )
         for shard, cycles in report.shard_cycles.items():
             shard_cycles[shard + offset] = (
                 shard_cycles.get(shard + offset, 0) + cycles
@@ -338,7 +698,8 @@ def merge_reports(
         for namespace, stats in report.cache_stats.items():
             cache_stats[f"worker{worker}/{namespace}"] = stats
         wall_seconds = max(wall_seconds, report.wall_seconds)
-        offset += partition.n_shards
+        worker_restarts += report.worker_restarts
+        worker_redistributions += report.worker_redistributions
     policy = reports[0].placement_policy if reports else "round_robin"
     return ServingReport(
         completed=tuple(completed),
@@ -352,4 +713,9 @@ def merge_reports(
         placement_policy=policy,
         prefix_events=tuple(prefix_events),
         cache_stats=cache_stats,
+        failed=tuple(failed),
+        fault_events=tuple(fault_events),
+        breaker_transitions=tuple(breaker_transitions),
+        worker_restarts=worker_restarts,
+        worker_redistributions=worker_redistributions,
     )

@@ -20,9 +20,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.serving.cluster import PlacementDecision
+from repro.serving.cluster import BreakerTransition, PlacementDecision
+from repro.serving.faults import FaultRecord
 from repro.serving.prefix_cache import PrefixEvent
-from repro.serving.request import CompletedRequest, ShedRecord
+from repro.serving.request import CompletedRequest, FailureRecord, ShedRecord
 from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig
 
 
@@ -69,6 +70,21 @@ class ServingReport:
         caches, approximator tables, prefix shards, param caches) —
         the unified replacement for the per-module ``*_cache_info``
         helpers this report used to leave scattered.
+    failed:
+        Admitted requests lost to faults (retry budget exhausted,
+        deadline-doomed retries, lost workers) — together with
+        :attr:`completed` they partition the admitted, non-shed
+        requests exactly (the fault-tolerance invariant).
+    fault_events:
+        The engine's failed/parked-attempt log, one
+        :class:`~repro.serving.faults.FaultRecord` per event.
+    breaker_transitions:
+        Per-shard circuit-breaker state changes, in simulated-time
+        order.
+    worker_restarts, worker_redistributions:
+        Supervision actions of a multi-worker run (always 0 for a
+        single-engine report): dead workers restarted, and dead
+        workers whose requests were re-run on a surviving partition.
     """
 
     completed: Tuple[CompletedRequest, ...]
@@ -82,6 +98,11 @@ class ServingReport:
     placement_policy: str = "round_robin"
     prefix_events: Tuple[PrefixEvent, ...] = ()
     cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    failed: Tuple[FailureRecord, ...] = ()
+    fault_events: Tuple[FaultRecord, ...] = ()
+    breaker_transitions: Tuple[BreakerTransition, ...] = ()
+    worker_restarts: int = 0
+    worker_redistributions: int = 0
 
     # -- request-level views --------------------------------------------
     @property
@@ -311,6 +332,100 @@ class ServingReport:
             )
         return "\n".join(lines)
 
+    # -- fault-tolerance views --------------------------------------------
+    @property
+    def failed_count(self) -> int:
+        """Admitted requests lost to faults during this run."""
+        return len(self.failed)
+
+    def failed_by_reason(self) -> Dict[str, int]:
+        """Failure counts grouped by reason."""
+        counts: Dict[str, int] = {}
+        for record in self.failed:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return counts
+
+    @property
+    def retries(self) -> int:
+        """Batch executions past the first attempt (successful or not):
+        completed re-placements plus repeat crashes."""
+        return sum(1 for p in self.placements if p.attempt > 0) + sum(
+            1 for e in self.fault_events if e.kind == "crash" and e.attempt > 0
+        )
+
+    @property
+    def replacements(self) -> int:
+        """Retried batches that completed on a *different* shard than
+        the one their previous attempt failed on."""
+        return sum(
+            1
+            for p in self.placements
+            if p.recovered_from is not None and p.shard != p.recovered_from
+        )
+
+    @property
+    def recovered_requests(self) -> int:
+        """Requests that completed after at least one failed attempt."""
+        return sum(1 for c in self.completed if c.attempts > 1)
+
+    @property
+    def has_fault_activity(self) -> bool:
+        return bool(
+            self.fault_events
+            or self.failed
+            or self.breaker_transitions
+            or self.worker_restarts
+            or self.worker_redistributions
+        )
+
+    def fault_section(self) -> str:
+        """Fault-tolerance block of the summary.
+
+        Counts faulted attempts by kind and action, retry/re-placement
+        and recovery totals, failed requests by reason, breaker
+        transitions per shard, and worker supervision actions.
+        """
+        crashes = [e for e in self.fault_events if e.kind == "crash"]
+        parks = [e for e in self.fault_events if e.action == "park"]
+        lines = [
+            f"faults               : {len(crashes)} failed attempts, "
+            f"{len(parks)} parked (all shards down)"
+        ]
+        lines.append(
+            f"  retries            : {self.retries} "
+            f"({self.replacements} re-placed on another shard)"
+        )
+        lines.append(
+            f"  recovered requests : {self.recovered_requests} "
+            f"(completed after a failed attempt)"
+        )
+        if self.failed:
+            reasons = ", ".join(
+                f"{reason} {count}"
+                for reason, count in sorted(self.failed_by_reason().items())
+            )
+            lines.append(f"  failed requests    : {self.failed_count} ({reasons})")
+        if self.breaker_transitions:
+            per_shard: Dict[int, int] = {}
+            opened = 0
+            for transition in self.breaker_transitions:
+                per_shard[transition.shard] = per_shard.get(transition.shard, 0) + 1
+                if transition.to_state == "open":
+                    opened += 1
+            shards = ", ".join(
+                f"shard {shard} x{count}" for shard, count in sorted(per_shard.items())
+            )
+            lines.append(
+                f"  breaker            : {len(self.breaker_transitions)} "
+                f"transitions ({opened} opens; {shards})"
+            )
+        if self.worker_restarts or self.worker_redistributions:
+            lines.append(
+                f"  supervision        : {self.worker_restarts} worker "
+                f"restart(s), {self.worker_redistributions} redistribution(s)"
+            )
+        return "\n".join(lines)
+
     # -- per-tenant views -----------------------------------------------
     @cached_property
     def _completed_by_tenant(self) -> Dict[str, List[CompletedRequest]]:
@@ -440,6 +555,8 @@ class ServingReport:
             lines.append(self.prefix_section())
         if self.cache_stats:
             lines.append(self.cache_section())
+        if self.has_fault_activity:
+            lines.append(self.fault_section())
         tenant_ids = self.tenant_ids
         # Per-tenant block for any named tenant, or whenever deadlines
         # were in play (even on the implicit default tenant).

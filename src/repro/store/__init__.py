@@ -9,7 +9,10 @@ implementations:
 * :class:`~repro.store.filestore.FileStore` — on-disk, lock-guarded,
   shareable between worker processes (pickle or JSON serialization);
 * :class:`~repro.store.tiered.TieredStore` — a local tier over a
-  shared fabric tier (read-through with promotion, write-through).
+  shared fabric tier (read-through with promotion, write-through),
+  degrading to local-only operation when the shared tier's lock times
+  out (:class:`~repro.store.base.StoreLockTimeout`) so one wedged
+  fabric lock never stalls a serving worker.
 
 The process-global default store (:func:`~repro.store.base.get_store`
 / :func:`~repro.store.base.set_store`) backs the module-level cache
@@ -25,6 +28,7 @@ from repro.store.base import (
     CacheStore,
     NamespaceLimit,
     StoreConfig,
+    StoreLockTimeout,
     get_store,
     namespace_default,
     register_namespace,
@@ -39,6 +43,7 @@ __all__ = [
     "CacheStore",
     "NamespaceLimit",
     "StoreConfig",
+    "StoreLockTimeout",
     "get_store",
     "set_store",
     "register_namespace",

@@ -42,6 +42,17 @@ from typing import Dict, List, Optional
 MISSING = object()
 
 
+class StoreLockTimeout(TimeoutError):
+    """A bounded lock acquisition on a shared store gave up.
+
+    Raised by :class:`~repro.store.filestore.FileStore` when another
+    process holds a namespace lock past the store's ``lock_timeout``.
+    :class:`~repro.store.tiered.TieredStore` catches it and degrades to
+    local-only operation instead of letting one wedged fabric lock
+    stall a serving worker indefinitely.
+    """
+
+
 def _validate_limit(name: str, value: Optional[int]) -> Optional[int]:
     if value is None:
         return None
@@ -82,6 +93,7 @@ class NamespaceStats:
         "insertions",
         "evictions",
         "rejections",
+        "corruptions",
     )
 
     def __init__(self) -> None:
@@ -92,6 +104,7 @@ class NamespaceStats:
         self.insertions = 0
         self.evictions = 0
         self.rejections = 0
+        self.corruptions = 0
 
     def reset_counters(self) -> None:
         """Zero the event counters; occupancy (entries/bytes) is kept."""
@@ -100,6 +113,7 @@ class NamespaceStats:
         self.insertions = 0
         self.evictions = 0
         self.rejections = 0
+        self.corruptions = 0
 
     def as_dict(self, limit: NamespaceLimit) -> Dict[str, object]:
         return {
@@ -110,6 +124,7 @@ class NamespaceStats:
             "insertions": self.insertions,
             "evictions": self.evictions,
             "rejections": self.rejections,
+            "corruptions": self.corruptions,
             "max_entries": limit.max_entries,
             "max_bytes": limit.max_bytes,
         }

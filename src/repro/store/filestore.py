@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +39,7 @@ from repro.store.base import (
     CacheStore,
     NamespaceLimit,
     NamespaceStats,
+    StoreLockTimeout,
     namespace_default,
 )
 
@@ -66,15 +68,39 @@ class FileStore(CacheStore):
     serializer:
         ``"pickle"`` (default, arbitrary Python values) or ``"json"``
         (JSON-safe values only — the ``to_dict`` idiom).
+    lock_timeout:
+        Seconds a namespace-lock acquisition may wait before raising
+        :class:`~repro.store.base.StoreLockTimeout` (``None`` blocks
+        indefinitely — the historical behavior).  Bounded by default so
+        a worker wedged while holding a fabric lock degrades the fleet
+        to local caching instead of freezing it.
+
+    **Corruption containment**: a data file that no longer
+    deserializes (torn write survived a crash, external truncation,
+    bit rot) is *quarantined* on read — removed from disk and from the
+    index, counted under the namespace's ``corruptions`` stat — and
+    the read degrades to a miss.  A corrupt entry can therefore cost
+    at most one failed read fleet-wide; it can never wedge a namespace
+    or serve garbage.
     """
 
-    def __init__(self, root: str, serializer: str = "pickle") -> None:
+    def __init__(
+        self,
+        root: str,
+        serializer: str = "pickle",
+        lock_timeout: Optional[float] = 10.0,
+    ) -> None:
         if serializer not in ("pickle", "json"):
             raise ValueError(
                 f"serializer must be 'pickle' or 'json', got {serializer!r}"
             )
+        if lock_timeout is not None and lock_timeout <= 0:
+            raise ValueError(
+                f"lock_timeout must be positive or None, got {lock_timeout}"
+            )
         self.root = os.path.abspath(str(root))
         self.serializer = serializer
+        self.lock_timeout = lock_timeout
         self._suffix = "pkl" if serializer == "pickle" else "json"
         os.makedirs(self.root, exist_ok=True)
         self._limits: Dict[str, NamespaceLimit] = {}
@@ -87,6 +113,36 @@ class FileStore(CacheStore):
             os.makedirs(path, exist_ok=True)
         return path
 
+    def _acquire(self, handle, namespace: str) -> None:
+        """Take the namespace lock, bounded by ``lock_timeout``.
+
+        Uses non-blocking attempts in a poll loop rather than a
+        blocking ``flock`` so a holder that never releases cannot
+        stall this process forever; ``InterruptedError`` (EINTR from a
+        signal) retries immediately — a signal is not a timeout.
+        """
+        if self.lock_timeout is None:
+            while True:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                    return
+                except InterruptedError:  # pragma: no cover — signal race
+                    continue
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except InterruptedError:  # pragma: no cover — signal race
+                continue
+            except (BlockingIOError, PermissionError):
+                if time.monotonic() >= deadline:
+                    raise StoreLockTimeout(
+                        f"namespace {namespace!r} under {self.root} still "
+                        f"locked after {self.lock_timeout:.3f}s"
+                    ) from None
+                time.sleep(min(0.005, self.lock_timeout))
+
     @contextmanager
     def _locked(self, namespace: str):
         """Exclusive per-namespace lock spanning one whole operation."""
@@ -95,10 +151,12 @@ class FileStore(CacheStore):
         handle = open(lock_path, "a+")
         try:
             if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                self._acquire(handle, namespace)
             yield ns_dir
         finally:
             if fcntl is not None:
+                # Unlocking an un-held handle is a harmless no-op, so
+                # the timeout path needs no special casing here.
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
             handle.close()
 
@@ -135,8 +193,13 @@ class FileStore(CacheStore):
                 json.dump({"key": repr(key), "value": value}, handle)
         os.replace(tmp, path)
 
-    def _load(self, path: str, key) -> Tuple[bool, object]:
-        """(found, value); found is False on a missing/mismatched file."""
+    def _load(self, path: str, key) -> Tuple[str, object]:
+        """(status, value): ``"hit"``, ``"miss"`` or ``"corrupt"``.
+
+        A file that is absent or stores a *different* key (digest
+        collision) is a verified miss; a file that exists but no
+        longer deserializes is corrupt — the caller quarantines it.
+        """
         try:
             if self.serializer == "pickle":
                 with open(path, "rb") as handle:
@@ -145,13 +208,16 @@ class FileStore(CacheStore):
                 with open(path, "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
                 stored_key, value = payload["key"], payload["value"]
-        except (FileNotFoundError, pickle.UnpicklingError, json.JSONDecodeError,
-                EOFError, KeyError, ValueError):
-            return False, None
+        except FileNotFoundError:
+            return "miss", None
+        except (pickle.UnpicklingError, json.JSONDecodeError, EOFError,
+                KeyError, ValueError, TypeError, AttributeError,
+                ModuleNotFoundError):
+            return "corrupt", None
         if stored_key != repr(key):
             # Digest collision: verified miss, never a wrong value.
-            return False, None
-        return True, value
+            return "miss", None
+        return "hit", value
 
     # -- eviction ---------------------------------------------------------
     def _limit(self, namespace: str) -> NamespaceLimit:
@@ -201,8 +267,20 @@ class FileStore(CacheStore):
             if meta is None:
                 stats.misses += 1
                 return default
-            found, value = self._load(os.path.join(ns_dir, fname), key)
-            if not found:
+            status, value = self._load(os.path.join(ns_dir, fname), key)
+            if status == "corrupt":
+                # Quarantine: drop the unreadable file and its index
+                # entry so it costs at most this one failed read.
+                index["entries"].pop(fname, None)
+                try:
+                    os.remove(os.path.join(ns_dir, fname))
+                except FileNotFoundError:  # pragma: no cover - racing cleaner
+                    pass
+                self._write_index(ns_dir, index)
+                stats.corruptions += 1
+                stats.misses += 1
+                return default
+            if status != "hit":
                 stats.misses += 1
                 return default
             if touch:

@@ -16,13 +16,31 @@ it was configured with — one fabric-wide policy, not N copies of a
 per-process one.  Stats report the tiered view: a hit in either tier
 is a hit, occupancy is the local tier's, and the per-tier breakdowns
 stay available on the underlying stores.
+
+**Degraded mode.**  The shared tier is an availability liability the
+local tier is not: another process can wedge a fabric lock (die while
+holding it, stall on a slow filesystem) and a blocking store call
+would freeze the worker.  When any shared-tier operation raises
+:class:`~repro.store.base.StoreLockTimeout`, the tiered store *drops
+to local-only*: the failing operation completes against the local
+tier, ``degraded`` latches True, and every subsequent shared-tier
+touch is skipped (counted in ``degraded_ops``) until
+:meth:`recover` is called.  Correctness is preserved — the fabric is
+a cache of deterministically recomputable artifacts, so losing it
+costs recomputation, never wrong answers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.store.base import MISSING, CacheStore, NamespaceLimit, NamespaceStats
+from repro.store.base import (
+    MISSING,
+    CacheStore,
+    NamespaceLimit,
+    NamespaceStats,
+    StoreLockTimeout,
+)
 
 
 class TieredStore(CacheStore):
@@ -32,12 +50,45 @@ class TieredStore(CacheStore):
         self.local = local
         self.shared = shared
         self._stats: Dict[str, NamespaceStats] = {}
+        #: Latched True after a shared-tier lock timeout; the store
+        #: then serves from the local tier only until :meth:`recover`.
+        self.degraded = False
+        #: Shared-tier operations skipped (or failed-over) while degraded.
+        self.degraded_ops = 0
 
     def _pstats(self, namespace: str) -> NamespaceStats:
         stats = self._stats.get(namespace)
         if stats is None:
             stats = self._stats[namespace] = NamespaceStats()
         return stats
+
+    def _shared(self, op: Callable[[], object], fallback):
+        """Run one shared-tier operation with lock-timeout failover.
+
+        Degraded short-circuits to ``fallback``; a fresh
+        :class:`StoreLockTimeout` enters degraded mode and returns
+        ``fallback`` for the failing call — the caller's local-tier
+        work has already happened or still will, so the worker keeps
+        serving.
+        """
+        if self.degraded:
+            self.degraded_ops += 1
+            return fallback
+        try:
+            return op()
+        except StoreLockTimeout:
+            self.degraded = True
+            self.degraded_ops += 1
+            return fallback
+
+    def recover(self) -> bool:
+        """Re-arm the shared tier after degraded mode; True if it was
+        degraded.  Entries written while degraded live only in the
+        local tier — the fabric re-fills through normal write-through
+        traffic, it is not back-filled retroactively."""
+        was_degraded = self.degraded
+        self.degraded = False
+        return was_degraded
 
     # -- core ------------------------------------------------------------
     def get(self, namespace: str, key, default=None, touch: bool = True):
@@ -46,13 +97,17 @@ class TieredStore(CacheStore):
         if value is not MISSING:
             stats.hits += 1
             return value
-        value = self.shared.get(namespace, key, MISSING, touch=touch)
+        value = self._shared(
+            lambda: self.shared.get(namespace, key, MISSING, touch=touch),
+            MISSING,
+        )
         if value is not MISSING:
             # Promote: later reads are local dict hits.  The shared
             # tier knows the entry's declared byte charge.
-            self.local.put(
-                namespace, key, value, nbytes=self.shared.nbytes_of(namespace, key)
+            nbytes = self._shared(
+                lambda: self.shared.nbytes_of(namespace, key), 0
             )
+            self.local.put(namespace, key, value, nbytes=nbytes)
             stats.hits += 1
             return value
         stats.misses += 1
@@ -61,7 +116,9 @@ class TieredStore(CacheStore):
     def put(self, namespace: str, key, value, nbytes: int = 0) -> bool:
         stats = self._pstats(namespace)
         accepted = self.local.put(namespace, key, value, nbytes=nbytes)
-        self.shared.put(namespace, key, value, nbytes=nbytes)
+        self._shared(
+            lambda: self.shared.put(namespace, key, value, nbytes=nbytes), False
+        )
         if accepted:
             stats.insertions += 1
         else:
@@ -69,22 +126,24 @@ class TieredStore(CacheStore):
         return accepted
 
     def contains(self, namespace: str, key) -> bool:
-        return self.local.contains(namespace, key) or self.shared.contains(
-            namespace, key
+        return self.local.contains(namespace, key) or bool(
+            self._shared(lambda: self.shared.contains(namespace, key), False)
         )
 
     def touch(self, namespace: str, key) -> None:
         self.local.touch(namespace, key)
-        self.shared.touch(namespace, key)
+        self._shared(lambda: self.shared.touch(namespace, key), None)
 
     def delete(self, namespace: str, key) -> bool:
         local = self.local.delete(namespace, key)
-        shared = self.shared.delete(namespace, key)
+        shared = bool(
+            self._shared(lambda: self.shared.delete(namespace, key), False)
+        )
         return local or shared
 
     def clear(self, namespace: Optional[str] = None) -> None:
         self.local.clear(namespace)
-        self.shared.clear(namespace)
+        self._shared(lambda: self.shared.clear(namespace), None)
 
     # -- enumeration -----------------------------------------------------
     def keys(self, namespace: str) -> List[object]:
@@ -95,7 +154,9 @@ class TieredStore(CacheStore):
 
     def nbytes_of(self, namespace: str, key) -> int:
         local = self.local.nbytes_of(namespace, key)
-        return local if local else self.shared.nbytes_of(namespace, key)
+        if local:
+            return local
+        return int(self._shared(lambda: self.shared.nbytes_of(namespace, key), 0))
 
     # -- budgets and stats ----------------------------------------------
     def set_limit(
@@ -127,4 +188,4 @@ class TieredStore(CacheStore):
         for name in targets:
             self._pstats(name).reset_counters()
         self.local.reset_stats(namespace)
-        self.shared.reset_stats(namespace)
+        self._shared(lambda: self.shared.reset_stats(namespace), None)

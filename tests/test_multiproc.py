@@ -21,6 +21,7 @@ from repro.serving import (
     InferenceEngine,
     ModelSpec,
     PrefixCache,
+    ServingReport,
     TransformerPrefixAdapter,
     merge_reports,
     partition_cluster,
@@ -231,3 +232,73 @@ class TestServeMultiproc:
         parts = partition_cluster(cluster, 2)
         with pytest.raises(ValueError, match="reports"):
             merge_reports([], parts)
+        with pytest.raises(ValueError, match="offsets"):
+            merge_reports(
+                [ServingReport(completed=(), shard_cycles={}, wall_seconds=0.0)]
+                * 2,
+                parts,
+                offsets=[0],
+            )
+
+
+class TestMergeEdgeCases:
+    def _run_worker(self, requests, n_shards=1):
+        config = WorkerConfig(
+            index=0,
+            cluster=ClusterSpec.homogeneous(CONFIG, n_shards),
+            models=(_model_spec(),),
+            requests=tuple(requests),
+        )
+        return _worker_main(config)
+
+    def test_worker_with_zero_completed_requests(self):
+        # An idle worker (no requests routed to it) must merge as a
+        # clean zero, not poison counters or throughput.
+        busy = self._run_worker(_requests(4))
+        idle = self._run_worker(())
+        assert idle.n_requests == 0
+        cluster = ClusterSpec.homogeneous(CONFIG, 2)
+        parts = partition_cluster(cluster, 2)
+        merged = merge_reports([busy, idle], parts)
+        assert merged.n_requests == busy.n_requests
+        assert merged.total_cycles == busy.total_cycles
+        assert merged.throughput_rps == busy.throughput_rps
+        # The idle worker's shard appears only through its (zero) busy
+        # account, never with phantom cycles.
+        assert 1 not in merged.shard_cycles or merged.shard_cycles[1] == 0
+
+    def test_disjoint_cache_namespaces_stay_disjoint(self):
+        # Workers touching non-overlapping cache namespaces must not
+        # have stats invented for each other under the worker prefix.
+        first = self._run_worker(_requests(2))
+        second = self._run_worker(_requests(2, shared_prefix=False))
+        cluster = ClusterSpec.homogeneous(CONFIG, 2)
+        parts = partition_cluster(cluster, 2)
+        merged = merge_reports([first, second], parts)
+        for worker, report in enumerate((first, second)):
+            qualified = {
+                name
+                for name in merged.cache_stats
+                if name.startswith(f"worker{worker}/")
+            }
+            assert qualified == {
+                f"worker{worker}/{name}" for name in report.cache_stats
+            }
+
+    def test_explicit_offsets_map_onto_donor_block(self):
+        # The redistribution path of the supervisor: two reports over
+        # the *same* physical block merge onto shared shard ids, with
+        # per-shard counters summed — not onto phantom shards.
+        first = self._run_worker(_requests(4))
+        second = self._run_worker(_requests(4, seed=1))
+        cluster = ClusterSpec.homogeneous(CONFIG, 2)
+        parts = partition_cluster(cluster, 2)
+        merged = merge_reports([first, second], parts, offsets=[0, 0])
+        assert set(merged.shard_cycles) == {0}
+        assert merged.shard_cycles[0] == (
+            first.shard_cycles[0] + second.shard_cycles[0]
+        )
+        assert merged.shard_busy[0] == pytest.approx(
+            first.shard_busy[0] + second.shard_busy[0]
+        )
+        assert all(c.shard == 0 for c in merged.completed)

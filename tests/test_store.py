@@ -36,6 +36,7 @@ from repro.store import (
     InProcessLRU,
     NamespaceLimit,
     StoreConfig,
+    StoreLockTimeout,
     TieredStore,
     get_store,
     namespace_default,
@@ -319,6 +320,56 @@ class TestFileStore:
         data_files = [p for p in ns_dir.iterdir() if p.suffix == ".pkl"]
         assert len(data_files) == 2
 
+    def test_lock_timeout_must_be_positive_or_none(self, tmp_path):
+        with pytest.raises(ValueError, match="lock_timeout"):
+            FileStore(str(tmp_path / "s"), lock_timeout=0)
+        with pytest.raises(ValueError, match="lock_timeout"):
+            FileStore(str(tmp_path / "s"), lock_timeout=-1.0)
+        assert FileStore(str(tmp_path / "s"), lock_timeout=None).lock_timeout is None
+
+    def test_held_namespace_lock_raises_store_lock_timeout(self, tmp_path):
+        import fcntl
+        import os
+
+        root = str(tmp_path / "s")
+        store = FileStore(root, lock_timeout=0.05)
+        store.put(NS, "k", 1)
+        holder = open(os.path.join(root, NS, ".lock"), "a+")
+        fcntl.flock(holder.fileno(), fcntl.LOCK_EX)
+        try:
+            with pytest.raises(StoreLockTimeout, match=NS):
+                store.get(NS, "k")
+        finally:
+            fcntl.flock(holder.fileno(), fcntl.LOCK_UN)
+            holder.close()
+        # StoreLockTimeout is a TimeoutError so generic handlers apply,
+        # and release unwedges the store without reopening it.
+        assert issubclass(StoreLockTimeout, TimeoutError)
+        assert store.get(NS, "k") == 1
+
+    def test_corrupt_entry_quarantined_as_miss(self, tmp_path):
+        store = FileStore(str(tmp_path / "s"))
+        ns_dir = tmp_path / "s" / NS
+        store.put(NS, "good", [1, 2])
+        before = {p for p in ns_dir.iterdir() if p.suffix == ".pkl"}
+        store.put(NS, "bad", [3, 4])
+        (bad_file,) = {
+            p for p in ns_dir.iterdir() if p.suffix == ".pkl"
+        } - before
+        bad_file.write_bytes(b"\x00not a pickle\x00")
+        # Corrupt bytes load as a miss, and the entry is quarantined:
+        # counter bumped, file and index entry removed.
+        assert store.get(NS, "bad", default="fallback") == "fallback"
+        stats = store.stats(NS)
+        assert stats["corruptions"] == 1
+        assert stats["entries"] == 1
+        assert not bad_file.exists()
+        assert store.get(NS, "good") == [1, 2]  # neighbours untouched
+        # The slot is reusable after quarantine.
+        store.put(NS, "bad", [5, 6])
+        assert store.get(NS, "bad") == [5, 6]
+        assert store.stats(NS)["corruptions"] == 1
+
 
 # ---------------------------------------------------------------------------
 # TieredStore specifics
@@ -360,6 +411,37 @@ class TestTieredStore:
         stats = tiered.stats(NS)
         assert stats["hits"] == 2
         assert stats["misses"] == 1
+
+    def test_recover_on_healthy_store_is_noop(self, tmp_path):
+        tiered, shared = self._tiered(tmp_path)
+        tiered.put(NS, "k", 1)
+        assert not tiered.degraded
+        assert tiered.recover() is False  # nothing to recover from
+        assert tiered.get(NS, "k") == 1
+        assert shared.get(NS, "k") == 1  # write-through unaffected
+
+    def test_degraded_mode_counts_every_skipped_shared_op(self, tmp_path):
+        class _Wedged(InProcessLRU):
+            """Shared tier whose every lock acquisition times out."""
+
+            def get(self, *a, **kw):
+                raise StoreLockTimeout("wedged")
+
+            def put(self, *a, **kw):
+                raise StoreLockTimeout("wedged")
+
+        tiered = TieredStore(InProcessLRU(), _Wedged())
+        # First shared-tier touch latches degraded; the call still
+        # completes against the local tier.
+        assert tiered.put(NS, "k", 1)
+        assert tiered.degraded
+        assert tiered.degraded_ops == 1
+        # Subsequent ops never touch the shared tier again.
+        assert tiered.get(NS, "k") == 1  # local hit, no shared call
+        tiered.put(NS, "k2", 2)
+        assert tiered.degraded_ops == 2
+        assert tiered.get(NS, "absent", default="d") == "d"
+        assert tiered.degraded_ops == 3
 
 
 # ---------------------------------------------------------------------------
