@@ -1,0 +1,94 @@
+"""Generation example: continuous-batching decode with radix reuse.
+
+Serves a burst of greedy-decode generation requests through the
+:class:`~repro.serving.InferenceEngine`'s iteration-level decode pool:
+each request prefills its prompt once (emitting its first token and
+per-layer K/V state), then joins a decode batch that is *re-formed at
+every step* from the live sequences — new arrivals merge in
+mid-flight, finished sequences retire without anyone waiting.  A
+:class:`~repro.serving.RadixKVCache` indexes retired transcripts by
+token sequence, so a conversational follow-up request prefills warm
+from the longest cached prefix.  Every token is bit-identical to
+lockstep ``model.generate`` and every iteration's traced cycles are
+the closed forms in :mod:`repro.nn.workload`.
+
+    python examples/generation_demo.py
+"""
+
+import numpy as np
+
+from repro.nn.models import TinyBERT
+from repro.serving import (
+    ClusterDispatcher,
+    GenerationAdapter,
+    InferenceEngine,
+    RadixKVCache,
+)
+from repro.systolic import SystolicArray, SystolicConfig
+
+GRANULARITY = 0.25
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # -- a causal encoder with a 16-entry position table -----------------
+    model = TinyBERT(
+        vocab=16, seq_len=16, dim=8, heads=2, ff_dim=16, n_layers=2,
+        causal=True, seed=0,
+    )
+
+    # -- the serving stack: 2 traced shards + a radix transcript cache ---
+    config = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=8)
+    pool = ClusterDispatcher.from_arrays(
+        [SystolicArray(config), SystolicArray(config)], GRANULARITY
+    )
+    engine = InferenceEngine(
+        pool, max_batch_size=8, flush_timeout=1e-4,
+        radix_cache=RadixKVCache(shard_budget_bytes=1 << 20),
+    )
+    engine.register("gen", generation_adapter=GenerationAdapter(model))
+    engine.register_tenant("gold", weight=3.0)
+    engine.register_tenant("free", weight=1.0)
+
+    # -- a mixed-arrival burst of generation requests --------------------
+    ids = []
+    for i in range(8):
+        prompt = rng.integers(0, 16, size=4, dtype=np.int64)
+        tenant = "gold" if i % 2 == 0 else "free"
+        ids.append(
+            engine.submit_generation(
+                "gen", prompt, max_new_tokens=6,
+                arrival=i * 2e-6, tenant=tenant,
+            )
+        )
+    report = engine.run()
+    outputs = {i: engine.result(i, keep=True) for i in ids}
+
+    print("generated sequences (first 4):")
+    for i in ids[:4]:
+        print(f"  request {i}: {outputs[i].tolist()}")
+    print()
+    print(report.generation_section())
+
+    # -- a conversational follow-up: transcript replay prefills warm -----
+    first = report.generation_completed[0]
+    transcript = np.concatenate(
+        [np.asarray(first.request.inputs), outputs[first.request.request_id]]
+    ).astype(np.int64)
+    follow = np.concatenate([transcript, [7, 2]]).astype(np.int64)
+    fid = engine.submit_generation(
+        "gen", follow, max_new_tokens=3,
+        arrival=1.0, tenant=first.request.tenant,
+    )
+    follow_report = engine.run()
+    print()
+    print(f"follow-up prompt ({len(follow)} tokens, "
+          f"{len(transcript) - 1} cached): {engine.result(fid).tolist()}")
+    hits = [e for e in follow_report.prefix_events if e.hit]
+    print(f"radix hits: {len(hits)}, "
+          f"cycles saved: {sum(e.cycles_saved for e in hits)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -191,6 +191,127 @@ class KVTap:
         return total
 
 
+class DecodeKV:
+    """Growing per-sequence K/V cache for autoregressive decode.
+
+    Where :class:`KVTap` freezes a *shared* prompt prefix (sequence 0
+    of a uniform batch), ``DecodeKV`` holds every sequence's own rows —
+    generated suffixes diverge, so each layer stores full ``(N, T, D)``
+    key/value arrays that grow by one row per decode step.
+
+    The object speaks the ``kv_tap`` capture protocol, so a cold
+    prefill can pass it straight into ``layer.infer(..., kv_tap=state)``
+    and collect the merged activations with zero extra compute.  For a
+    warm prefill, :meth:`seed` broadcasts a cached :class:`KVTap`
+    payload across the batch before the suffix rows are appended.
+    """
+
+    def __init__(self, n_layers: int):
+        if n_layers < 1:
+            raise ValueError(f"n_layers must be >= 1, got {n_layers}")
+        self.n_layers = int(n_layers)
+        self.k: List[Optional[np.ndarray]] = [None] * self.n_layers
+        self.v: List[Optional[np.ndarray]] = [None] * self.n_layers
+        self._captured = 0
+
+    @property
+    def pos(self) -> int:
+        """Sequence positions cached so far (0 before any prefill)."""
+        return 0 if self.k[0] is None else int(self.k[0].shape[1])
+
+    @property
+    def batch(self) -> int:
+        """Number of sequences the state covers."""
+        return 0 if self.k[0] is None else int(self.k[0].shape[0])
+
+    # -- kv_tap protocol (cold prefill) ---------------------------------
+    def capture(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Record one layer's merged ``(N, T, D)`` K/V in layer order."""
+        i = self._captured
+        if i >= self.n_layers:
+            raise ValueError(
+                f"capture called {i + 1} times on a {self.n_layers}-layer state"
+            )
+        self.k[i] = np.array(k, copy=True)
+        self.v[i] = np.array(v, copy=True)
+        self._captured += 1
+
+    def capture_final(self, hidden: np.ndarray) -> None:
+        """Final-hidden capture is a prefix-cache concern; ignore it."""
+
+    # -- warm prefill / incremental append ------------------------------
+    def seed(self, cached: KVTap, batch: int) -> None:
+        """Broadcast a shared cached prefix across ``batch`` sequences.
+
+        Stores read-only broadcast views — the first :meth:`extend`
+        copies them into owning arrays, so the cache entry is never
+        aliased writably.
+        """
+        if len(cached.layers) != self.n_layers:
+            raise ValueError(
+                f"cached payload has {len(cached.layers)} layers, "
+                f"state expects {self.n_layers}"
+            )
+        for i, layer in enumerate(cached.layers):
+            c, d = layer.k.shape
+            self.k[i] = np.broadcast_to(layer.k, (batch, c, d))
+            self.v[i] = np.broadcast_to(layer.v, (batch, c, d))
+        self._captured = self.n_layers
+
+    def extend(self, layer: int, k_rows: np.ndarray, v_rows: np.ndarray) -> None:
+        """Append ``(N, S, D)`` suffix rows onto one layer's cache."""
+        if self.k[layer] is None:
+            self.k[layer] = np.array(k_rows, copy=True)
+            self.v[layer] = np.array(v_rows, copy=True)
+            self._captured = max(self._captured, layer + 1)
+        else:
+            self.k[layer] = np.concatenate([self.k[layer], k_rows], axis=1)
+            self.v[layer] = np.concatenate([self.v[layer], v_rows], axis=1)
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for arr in (*self.k, *self.v):
+            if arr is not None:
+                total += arr.nbytes
+        return total
+
+    # -- batch composition (continuous batching) ------------------------
+    @classmethod
+    def stack(cls, states: "List[DecodeKV]") -> "DecodeKV":
+        """A batched copy of per-sequence states (same layer count/pos).
+
+        The result owns fresh arrays, so running a decode step on it
+        never mutates the member states — a failed attempt can be
+        discarded without rollback.
+        """
+        if not states:
+            raise ValueError("stack needs at least one state")
+        n_layers = states[0].n_layers
+        pos = states[0].pos
+        for s in states[1:]:
+            if s.n_layers != n_layers or s.pos != pos:
+                raise ValueError("stacked states must agree on layers and pos")
+        out = cls(n_layers)
+        for i in range(n_layers):
+            out.k[i] = np.concatenate([s.k[i] for s in states], axis=0)
+            out.v[i] = np.concatenate([s.v[i] for s in states], axis=0)
+        out._captured = n_layers
+        return out
+
+    def split(self) -> "List[DecodeKV]":
+        """Per-sequence copies of a batched state (inverse of stack)."""
+        parts = []
+        for j in range(self.batch):
+            part = DecodeKV(self.n_layers)
+            for i in range(self.n_layers):
+                part.k[i] = np.array(self.k[i][j : j + 1], copy=True)
+                part.v[i] = np.array(self.v[i][j : j + 1], copy=True)
+            part._captured = self.n_layers
+            parts.append(part)
+        return parts
+
+
 class FloatBackend:
     """Exact float64 reference backend."""
 

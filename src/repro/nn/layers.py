@@ -394,6 +394,24 @@ class MultiHeadSelfAttention(Module):
         bit-identical to its cold counterpart while the prefix rows'
         GEMM work is skipped entirely.
         """
+        out, _, _ = self.infer_suffix_kv(x_suffix, k_prefix, v_prefix, backend)
+        return out
+
+    def infer_suffix_kv(
+        self,
+        x_suffix: np.ndarray,
+        k_prefix: np.ndarray,
+        v_prefix: np.ndarray,
+        backend,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """:meth:`infer_suffix` that also returns the suffix K/V rows.
+
+        ``(out, k_s, v_s)`` with ``k_s``/``v_s`` shaped ``(N, S, D)`` —
+        exactly the rows a decode cache appends to stay losslessly
+        aligned with a cold full-sequence pass.  ``k_prefix``/``v_prefix``
+        may be shared ``(P, D)`` rows (prompt reuse) or per-sequence
+        ``(N, P, D)`` caches (autoregressive decode).
+        """
         if not self.causal:
             raise ValueError("prefix reuse requires a causal attention layer")
         n, _, _ = x_suffix.shape
@@ -403,7 +421,21 @@ class MultiHeadSelfAttention(Module):
         v_s = self.v_proj.infer(x_suffix, backend)
         k = np.concatenate([np.broadcast_to(k_prefix, (n, p, self.dim)), k_s], axis=1)
         v = np.concatenate([np.broadcast_to(v_prefix, (n, p, self.dim)), v_s], axis=1)
-        return self._attend(q, k, v, backend, row_offset=p)
+        return self._attend(q, k, v, backend, row_offset=p), k_s, v_s
+
+    def decode_step(
+        self,
+        x_step: np.ndarray,
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+        backend,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """One-token :meth:`infer_suffix_kv` (suffix length exactly 1)."""
+        if x_step.shape[1] != 1:
+            raise ValueError(
+                f"decode_step takes one row per sequence, got {x_step.shape[1]}"
+            )
+        return self.infer_suffix_kv(x_step, k_cache, v_cache, backend)
 
     def _attend(
         self,
@@ -489,10 +521,38 @@ class TransformerEncoderLayer(Module):
         backend,
     ) -> np.ndarray:
         """The block's suffix rows, reusing this layer's cached K/V."""
-        attn_out = self.attn.infer_suffix(x_suffix, k_prefix, v_prefix, backend)
+        out, _, _ = self.infer_suffix_kv(x_suffix, k_prefix, v_prefix, backend)
+        return out
+
+    def infer_suffix_kv(
+        self,
+        x_suffix: np.ndarray,
+        k_prefix: np.ndarray,
+        v_prefix: np.ndarray,
+        backend,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """:meth:`infer_suffix` that also returns this layer's new K/V rows."""
+        attn_out, k_s, v_s = self.attn.infer_suffix_kv(
+            x_suffix, k_prefix, v_prefix, backend
+        )
         x = self.ln1.infer(x_suffix + attn_out, backend)
         hidden = backend.gelu(self.fc1.infer(x, backend))
-        return self.ln2.infer(x + self.fc2.infer(hidden, backend), backend)
+        out = self.ln2.infer(x + self.fc2.infer(hidden, backend), backend)
+        return out, k_s, v_s
+
+    def decode_step(
+        self,
+        x_step: np.ndarray,
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+        backend,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """One-token block step against a per-sequence K/V cache."""
+        if x_step.shape[1] != 1:
+            raise ValueError(
+                f"decode_step takes one row per sequence, got {x_step.shape[1]}"
+            )
+        return self.infer_suffix_kv(x_step, k_cache, v_cache, backend)
 
 
 class GraphConv(Module):

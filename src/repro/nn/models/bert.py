@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.autograd import Tensor
+from repro.nn.executor import DecodeKV
 from repro.nn.layers import Embedding, Linear, Module, TransformerEncoderLayer
 
 
@@ -120,3 +121,139 @@ class TinyBERT(Module):
     def predict(self, tokens: np.ndarray, backend) -> np.ndarray:
         """Hard class predictions."""
         return np.argmax(self.infer(tokens, backend), axis=-1)
+
+    # -- autoregressive generation --------------------------------------
+    def lm_logits(self, hidden: np.ndarray, backend) -> np.ndarray:
+        """Next-token logits from hidden rows via the tied embedding.
+
+        ``hidden`` is ``(N, D)``; the head is the transposed token
+        embedding table — zero new parameters (the model's RNG draw
+        order is untouched) and one traced ``(N, D, V)`` GEMM.
+        """
+        return backend.matmul(np.asarray(hidden), self.token_emb.table.data.T)
+
+    def infer_logits(self, tokens: np.ndarray, backend) -> np.ndarray:
+        """Full-sequence next-token logits (the recompute reference).
+
+        Runs the whole ``(N, T)`` batch through every layer and reads
+        the last row's logits — the naive per-token reference that
+        :meth:`decode_step` must match bit-for-bit.
+        """
+        tokens = np.asarray(tokens)
+        n, t = tokens.shape
+        if not 0 < t <= self.seq_len:
+            raise ValueError(f"sequence length {t} must be in (0, {self.seq_len}]")
+        x = self.token_emb.infer_indices(tokens) + self.pos_emb.data[:t]
+        for layer in self.layers:
+            x = layer.infer(x, backend)
+        return self.lm_logits(x[:, -1, :], backend)
+
+    def prefill(
+        self, tokens: np.ndarray, backend, cached=None
+    ) -> "tuple[np.ndarray, DecodeKV]":
+        """Process the prompt and return ``(last-row logits, KV state)``.
+
+        ``tokens`` is ``(N, P)``.  With ``cached`` (a captured
+        :class:`~repro.nn.executor.KVTap` covering the first ``C < P``
+        prompt columns, shared across the batch) only the remaining
+        suffix rows are computed — bit-identical to the cold pass
+        because causal K/V rows are suffix-independent.
+        """
+        if not self.causal:
+            raise ValueError("generation requires causal=True")
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError(f"prompt batch must be 2-D, got shape {tokens.shape}")
+        n, p = tokens.shape
+        if not 0 < p <= self.seq_len:
+            raise ValueError(f"prompt length {p} must be in (0, {self.seq_len}]")
+        state = DecodeKV(self.n_layers)
+        if cached is None:
+            x = self.token_emb.infer_indices(tokens) + self.pos_emb.data[:p]
+            for layer in self.layers:
+                x = layer.infer(x, backend, kv_tap=state)
+        else:
+            c = cached.prefix_len
+            if not 0 < c < p:
+                raise ValueError(f"cached prefix length {c} must be in (0, {p})")
+            state.seed(cached, n)
+            x = self.token_emb.infer_indices(tokens[:, c:]) + self.pos_emb.data[c:p]
+            for i, layer in enumerate(self.layers):
+                x, k_s, v_s = layer.infer_suffix_kv(
+                    x, state.k[i], state.v[i], backend
+                )
+                state.extend(i, k_s, v_s)
+        return self.lm_logits(x[:, -1, :], backend), state
+
+    def decode_step(self, state: DecodeKV, tokens: np.ndarray, backend) -> np.ndarray:
+        """One decode iteration: feed one token per sequence, get logits.
+
+        ``tokens`` is ``(N,)`` — each sequence's latest token, placed at
+        position ``state.pos``.  The step's K/V rows are appended onto
+        ``state`` (incremental capture), so repeated calls walk the
+        position table exactly like a growing full-sequence pass.
+        """
+        if not self.causal:
+            raise ValueError("generation requires causal=True")
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1:
+            raise ValueError(f"decode tokens must be 1-D, got shape {tokens.shape}")
+        pos = state.pos
+        if pos < 1:
+            raise ValueError("decode_step needs a prefilled state")
+        if pos >= self.seq_len:
+            raise ValueError(
+                f"position {pos} exhausts the {self.seq_len}-entry position table"
+            )
+        x = self.token_emb.infer_indices(tokens[:, None]) + self.pos_emb.data[
+            pos : pos + 1
+        ]
+        for i, layer in enumerate(self.layers):
+            x, k_s, v_s = layer.decode_step(x, state.k[i], state.v[i], backend)
+            state.extend(i, k_s, v_s)
+        return self.lm_logits(x[:, 0, :], backend)
+
+    def generate(
+        self,
+        tokens: np.ndarray,
+        max_new_tokens: int,
+        backend,
+        stop_token=None,
+    ) -> "list[np.ndarray]":
+        """Greedy decode: prefill then step until length or stop token.
+
+        Returns one 1-D generated-token array per sequence, truncated
+        just after the first ``stop_token`` when one is given.  Rows
+        run in lockstep (batch execution is bit-identical to running
+        each sequence alone), so a stopped row keeps decoding until the
+        whole batch finishes — its extra tokens are simply dropped.
+        """
+        if not self.causal:
+            raise ValueError("generation requires causal=True")
+        tokens = np.asarray(tokens)
+        if max_new_tokens < 1:
+            raise ValueError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
+        n, p = tokens.shape
+        if p + max_new_tokens > self.seq_len:
+            raise ValueError(
+                f"prompt ({p}) + max_new_tokens ({max_new_tokens}) exceeds "
+                f"the {self.seq_len}-entry position table"
+            )
+        logits, state = self.prefill(tokens, backend)
+        steps = [np.argmax(logits, axis=-1)]
+        for _ in range(max_new_tokens - 1):
+            if stop_token is not None and all(
+                any(int(s[j]) == stop_token for s in steps) for j in range(n)
+            ):
+                break
+            logits = self.decode_step(state, steps[-1], backend)
+            steps.append(np.argmax(logits, axis=-1))
+        stacked = np.stack(steps, axis=1)
+        results = []
+        for row in stacked:
+            if stop_token is not None:
+                hits = np.nonzero(row == stop_token)[0]
+                if hits.size:
+                    row = row[: hits[0] + 1]
+            results.append(row)
+        return results

@@ -443,6 +443,101 @@ def transformer_prefix_savings(
     return n_layers * per_layer
 
 
+def transformer_prefill_cycles(
+    batch: int,
+    prompt_len: int,
+    cached_len: int,
+    dim: int,
+    heads: int,
+    ff_dim: int,
+    n_layers: int,
+    vocab: int,
+    config: SystolicConfig,
+) -> int:
+    """Traced cycles of a generation *prefill* pass, in closed form.
+
+    Covers exactly the ``ArrayBackend``-traced work of
+    ``TinyBERT.prefill``: per layer the Q/K/V/out projections over the
+    un-cached suffix rows, the per-(sample × head) score and context
+    GEMMs against all ``prompt_len`` key rows, the feed-forward GEMMs
+    and the GELU MHP pass — plus the tied-embedding logits GEMM.
+    ``cached_len = 0`` is a cold prefill; ``0 < cached_len <
+    prompt_len`` is a radix-cache hit computing only the suffix.
+    """
+    if not 0 <= cached_len < prompt_len:
+        raise ValueError(
+            f"cached_len must be in [0, prompt_len), got {cached_len} of {prompt_len}"
+        )
+    if dim % heads:
+        raise ValueError(f"heads ({heads}) must divide dim ({dim})")
+    suffix = prompt_len - cached_len
+    head_dim = dim // heads
+    rows = batch * suffix
+    pairs = batch * heads
+
+    def gemm(m: int, k: int, n: int) -> int:
+        return gemm_cycles(config, m, k, n).total
+
+    def mhp(m: int, n: int) -> int:
+        return nonlinear_cycles(config, m, n).total
+
+    per_layer = (
+        4 * gemm(rows, dim, dim)
+        + pairs * gemm(suffix, head_dim, prompt_len)
+        + pairs * gemm(suffix, prompt_len, head_dim)
+        + gemm(rows, dim, ff_dim)
+        + mhp(rows, ff_dim)
+        + gemm(rows, ff_dim, dim)
+    )
+    return n_layers * per_layer + gemm(batch, dim, vocab)
+
+
+def transformer_decode_step_cycles(
+    batch: int,
+    position: int,
+    dim: int,
+    heads: int,
+    ff_dim: int,
+    n_layers: int,
+    vocab: int,
+    config: SystolicConfig,
+) -> int:
+    """Traced cycles of one batched decode step, in closed form.
+
+    ``position`` is the K/V cache length *before* the step (the global
+    position of the token being fed), so the attention GEMMs run one
+    query row against ``position + 1`` key/value rows.  Per layer: the
+    four projections over one row per sequence, one score and one
+    context GEMM per (sample × head) pair, the feed-forward GEMMs and
+    the GELU MHP pass; plus the tied-embedding logits GEMM.  The
+    generation test suite asserts per-step traced-cycle deltas equal
+    this value exactly.
+    """
+    if position < 1:
+        raise ValueError(f"position must be >= 1 (post-prefill), got {position}")
+    if dim % heads:
+        raise ValueError(f"heads ({heads}) must divide dim ({dim})")
+    keys = position + 1
+    head_dim = dim // heads
+    pairs = batch * heads
+
+    def gemm(m: int, k: int, n: int) -> int:
+        return gemm_cycles(config, m, k, n).total
+
+    def mhp(m: int, n: int) -> int:
+        return nonlinear_cycles(config, m, n).total
+
+    per_layer = (
+        4 * gemm(batch, dim, dim)
+        + pairs * gemm(1, head_dim, keys)
+        + pairs * gemm(1, keys, head_dim)
+        + gemm(batch, dim, ff_dim)
+        + mhp(batch, ff_dim)
+        + gemm(batch, ff_dim, dim)
+    )
+    return n_layers * per_layer + gemm(batch, dim, vocab)
+
+
 #: Registry used by the comparison and profiling experiments.
 def paper_workloads() -> Dict[str, Workload]:
     """The three Table IV workloads with the paper's evaluation shapes."""

@@ -40,6 +40,14 @@ multi-tenant serving system:
   the skipped cycles accounted in exact closed form — and
   :class:`~repro.serving.cluster.PrefixAffinePlacement` steers batches
   to the shard already holding their prompt;
+* continuous-batching autoregressive decode
+  (:mod:`repro.serving.generation`): generation requests prefill
+  through the normal batch pipeline, then join an iteration-level
+  decode pool whose batch is re-formed every step (finished sequences
+  retire, freshly prefilled ones join), with per-step traced-cycle
+  attribution and a tenant-scoped, byte-budgeted
+  :class:`~repro.serving.prefix_cache.RadixKVCache` reusing the
+  longest cached prefix of every prompt;
 * the engine tying admission, scheduler, placement and shards together
   (:mod:`repro.serving.engine`), now fault-tolerant: per-shard
   circuit breakers (:class:`~repro.serving.cluster.ShardHealth`),
@@ -95,6 +103,11 @@ from repro.serving.cluster import (
 )
 from repro.serving.dispatcher import ShardedDispatcher
 from repro.serving.engine import InferenceEngine, ModelEndpoint
+from repro.serving.generation import (
+    ActiveSequence,
+    DecodeStepRecord,
+    GenerationAdapter,
+)
 from repro.serving.faults import (
     FabricFault,
     FaultPlan,
@@ -119,12 +132,15 @@ from repro.serving.prefix_cache import (
     PrefixCache,
     PrefixEntry,
     PrefixEvent,
+    RadixKVCache,
+    RadixPrefixIndex,
     TransformerPrefixAdapter,
 )
 from repro.serving.report import ServingReport
 from repro.serving.request import (
     CompletedRequest,
     FailureRecord,
+    GenerationRequest,
     InferenceRequest,
     ShedRecord,
 )
@@ -181,13 +197,19 @@ __all__ = [
     "PrefixCache",
     "PrefixEntry",
     "PrefixEvent",
+    "RadixKVCache",
+    "RadixPrefixIndex",
     "TransformerPrefixAdapter",
     "ShardedDispatcher",
     "InferenceEngine",
     "ModelEndpoint",
+    "ActiveSequence",
+    "DecodeStepRecord",
+    "GenerationAdapter",
     "ServingReport",
     "CompletedRequest",
     "FailureRecord",
+    "GenerationRequest",
     "InferenceRequest",
     "ShedRecord",
     "SchedulingPolicy",

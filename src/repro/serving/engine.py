@@ -105,11 +105,18 @@ from repro.serving.cluster import (
     make_placement_policy,
 )
 from repro.serving.faults import FaultPlan, FaultRecord, RetryPolicy, ShardCrash
-from repro.serving.prefix_cache import PrefixCache, PrefixEntry, PrefixEvent
+from repro.serving.generation import ActiveSequence, DecodeStepRecord
+from repro.serving.prefix_cache import (
+    PrefixCache,
+    PrefixEntry,
+    PrefixEvent,
+    RadixKVCache,
+)
 from repro.serving.report import ServingReport
 from repro.serving.request import (
     CompletedRequest,
     FailureRecord,
+    GenerationRequest,
     InferenceRequest,
     ShedRecord,
 )
@@ -136,6 +143,13 @@ class ModelEndpoint:
     :class:`~repro.serving.prefix_cache.TransformerPrefixAdapter`);
     it is only consulted when the engine carries a
     :class:`~repro.serving.prefix_cache.PrefixCache`.
+
+    ``generation_adapter`` opts the endpoint into autoregressive
+    decode (see :class:`~repro.serving.generation.GenerationAdapter`):
+    its requests arrive via
+    :meth:`InferenceEngine.submit_generation`, prefill through the
+    normal batch pipeline, then join the engine's continuous-batching
+    decode pool.
     """
 
     name: str
@@ -143,6 +157,7 @@ class ModelEndpoint:
     batchable: bool = True
     cost_model: Optional[Callable[[BatchProfile, object], float]] = None
     prefix_adapter: Optional[object] = None
+    generation_adapter: Optional[object] = None
 
 
 class _RequestSource:
@@ -217,6 +232,14 @@ class InferenceEngine:
         :class:`~repro.serving.cluster.PrefixAffinePlacement`, so
         batches whose prompt is already resident prefer the holding
         shard; prefix-less traffic is placed exactly as before.
+    radix_cache:
+        Optional :class:`~repro.serving.prefix_cache.RadixKVCache`
+        enabling longest-prefix K/V reuse for generation endpoints: a
+        prefill whose prompt extends an already-cached token sequence
+        recomputes only the new suffix, and retiring sequences donate
+        their decode history back to the tree.  Placement is wrapped
+        in :class:`~repro.serving.cluster.PrefixAffinePlacement` the
+        same way ``prefix_cache`` wraps it.
     faults:
         Optional :class:`~repro.serving.faults.FaultPlan` injecting
         shard crashes and slowdowns into the discrete-event clock.
@@ -244,6 +267,7 @@ class InferenceEngine:
         placement: Union[str, PlacementPolicy] = "round_robin",
         tenants: Optional[Iterable[TenantConfig]] = None,
         prefix_cache: Optional[PrefixCache] = None,
+        radix_cache: Optional[RadixKVCache] = None,
         faults: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
@@ -261,7 +285,8 @@ class InferenceEngine:
         )
         self.placement = make_placement_policy(placement)
         self.prefix_cache = prefix_cache
-        if prefix_cache is not None and not isinstance(
+        self.radix_cache = radix_cache
+        if (prefix_cache is not None or radix_cache is not None) and not isinstance(
             self.placement, PrefixAffinePlacement
         ):
             self.placement = PrefixAffinePlacement(self.placement)
@@ -294,6 +319,10 @@ class InferenceEngine:
         self._work_consumed = 0
         self._failed: List[FailureRecord] = []
         self._fault_log: List[FaultRecord] = []
+        # Continuous-batching decode pool: sequences between their
+        # prefill and their retirement, re-batched every iteration.
+        self._active: List[ActiveSequence] = []
+        self._gen_steps: List[DecodeStepRecord] = []
 
     # ------------------------------------------------------------------
     # Registration and submission
@@ -307,6 +336,7 @@ class InferenceEngine:
         batchable: bool = True,
         cost_model: Optional[Callable[[BatchProfile, object], float]] = None,
         prefix_adapter: Optional[object] = None,
+        generation_adapter: Optional[object] = None,
     ) -> None:
         """Register a model endpoint under ``name``.
 
@@ -322,7 +352,40 @@ class InferenceEngine:
         the engine was constructed with a ``prefix_cache`` and requires
         a batchable endpoint (the adapter runs the stacked batch
         itself).
+
+        ``generation_adapter`` (see
+        :class:`~repro.serving.generation.GenerationAdapter`) opts the
+        endpoint into autoregressive decode via
+        :meth:`submit_generation`.  It is mutually exclusive with
+        ``prefix_adapter`` (generation has its own prefix reuse, the
+        engine-level ``radix_cache``), supplies the endpoint's cost
+        model when none is given, and can stand in for ``model`` /
+        ``infer_fn`` — plain :meth:`submit` traffic then runs the
+        wrapped model's ``infer``.
         """
+        if generation_adapter is not None:
+            if prefix_adapter is not None:
+                raise ValueError(
+                    "generation_adapter and prefix_adapter are mutually "
+                    "exclusive: generation prefills reuse prefixes through "
+                    "the engine's radix_cache instead"
+                )
+            if not batchable:
+                raise ValueError(
+                    "generation_adapter requires a batchable endpoint: "
+                    "prefill and decode both run stacked batches"
+                )
+            gen_model = getattr(generation_adapter, "model", None)
+            if model is not None and gen_model is not None and gen_model is not model:
+                raise ValueError(
+                    "generation_adapter wraps a different model than the one "
+                    "being registered; build the adapter from the same model "
+                    "instance"
+                )
+            if model is None and infer_fn is None:
+                model = gen_model
+            if cost_model is None:
+                cost_model = generation_adapter.cost_model
         if (model is None) == (infer_fn is None):
             raise ValueError("register() needs exactly one of model / infer_fn")
         if prefix_adapter is not None and not batchable:
@@ -342,7 +405,7 @@ class InferenceEngine:
         if infer_fn is None:
             infer_fn = model.infer  # type: ignore[union-attr]
         self._endpoints[name] = ModelEndpoint(
-            name, infer_fn, batchable, cost_model, prefix_adapter
+            name, infer_fn, batchable, cost_model, prefix_adapter, generation_adapter
         )
 
     def register_tenant(
@@ -398,6 +461,42 @@ class InferenceEngine:
         self._submitted.append(request)
         return request.request_id
 
+    def submit_generation(
+        self,
+        model: str,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        arrival: Optional[float] = None,
+        *,
+        stop_token: Optional[int] = None,
+        tenant: str = DEFAULT_TENANT,
+        priority: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """Queue one autoregressive generation request; returns its id.
+
+        The endpoint must be registered with a ``generation_adapter``.
+        ``prompt`` is a 1-D token row; the request prefills through the
+        normal batch pipeline (grouped with identical prompts), then
+        decodes greedily in the engine's continuous-batching pool until
+        ``max_new_tokens`` tokens are generated or ``stop_token`` is
+        emitted (the stop token is included in the output).
+        :meth:`result` returns the generated token row.  Arrival,
+        tenant, priority and deadline behave exactly as in
+        :meth:`submit`.
+        """
+        generation = GenerationRequest(
+            prompt=prompt,
+            max_new_tokens=int(max_new_tokens),
+            stop_token=None if stop_token is None else int(stop_token),
+        )
+        request = self._make_request(
+            model, generation.prompt, arrival, tenant, priority, deadline,
+            generation=generation,
+        )
+        self._submitted.append(request)
+        return request.request_id
+
     def _make_request(
         self,
         model: str,
@@ -406,6 +505,7 @@ class InferenceEngine:
         tenant: str,
         priority: Optional[int],
         deadline: Optional[float],
+        generation: Optional[GenerationRequest] = None,
     ) -> InferenceRequest:
         """Validate and build one request (shared by submit and source)."""
         if model not in self._endpoints:
@@ -419,7 +519,21 @@ class InferenceEngine:
             raise ValueError(f"arrival must be >= 0, got {arrival}")
         endpoint = self._endpoints[model]
         prefix_key = None
-        if self.prefix_cache is not None and endpoint.prefix_adapter is not None:
+        if generation is not None:
+            # Generation requests always carry a prompt-content key:
+            # batch assembly groups on it, so one prefill batch is one
+            # prompt — the shape-uniformity np.stack needs, and the
+            # uniformity the radix warm path verifies.  Validation
+            # happens before any engine state is touched.
+            adapter = endpoint.generation_adapter
+            if adapter is None:
+                raise ValueError(
+                    f"model {model!r} was registered without a "
+                    "generation_adapter; submit_generation needs one"
+                )
+            adapter.validate(generation.prompt, generation.max_new_tokens)
+            prefix_key = adapter.prompt_key(generation.prompt)
+        elif self.prefix_cache is not None and endpoint.prefix_adapter is not None:
             # Key the request on its prompt content at admission: batch
             # assembly groups on it, so one batch is one prompt and the
             # cache decision at execution applies to the whole batch.
@@ -437,6 +551,7 @@ class InferenceEngine:
             priority=None if priority is None else int(priority),
             deadline=None if deadline is None else float(deadline),
             prefix_key=prefix_key,
+            generation=generation,
         )
         self._next_id += 1
         return request
@@ -546,6 +661,7 @@ class InferenceEngine:
         self._failed.clear()
         self._fault_log.clear()
         self._breaker_log.clear()
+        self._gen_steps.clear()
         self._shard_busy = {shard: 0.0 for shard in range(self.dispatcher.n_shards)}
         source = _RequestSource(request_source, self) if request_source is not None else None
 
@@ -638,6 +754,7 @@ class InferenceEngine:
             failed=tuple(self._failed),
             fault_events=tuple(self._fault_log),
             breaker_transitions=tuple(self._breaker_log),
+            generation_steps=tuple(self._gen_steps),
         )
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
@@ -652,6 +769,8 @@ class InferenceEngine:
         stats: Dict[str, Dict[str, int]] = dict(get_store().stats())
         if self.prefix_cache is not None:
             stats.update(self.prefix_cache.namespace_stats())
+        if self.radix_cache is not None:
+            stats.update(self.radix_cache.namespace_stats())
         for shard, backend in enumerate(self.dispatcher.backends):
             param_cache = getattr(backend, "param_cache", None)
             if param_cache is not None:
@@ -803,33 +922,53 @@ class InferenceEngine:
         """Wake time of the earliest queued retry, if any."""
         return self._retry_queue[0][0] if self._retry_queue else None
 
+    def _decode_ready_at(self) -> Optional[float]:
+        """Earliest instant a decode-pool sequence can take a step."""
+        if not self._active:
+            return None
+        return min(seq.ready_time for seq in self._active)
+
     def _earliest_work(self) -> Optional[float]:
         """Earliest instant anything is runnable: a ready batch from
-        the scheduler or a retry whose backoff has a wake time."""
-        ready = self.scheduler.earliest_ready()
-        retry = self._next_retry_at()
-        if ready is None:
-            return retry
-        if retry is None:
-            return ready
-        return min(ready, retry)
+        the scheduler, a retry whose backoff has a wake time, or a
+        decode-pool sequence ready for its next token."""
+        times = [
+            t
+            for t in (
+                self.scheduler.earliest_ready(),
+                self._next_retry_at(),
+                self._decode_ready_at(),
+            )
+            if t is not None
+        ]
+        return min(times) if times else None
 
     def _drain_one(self) -> List[CompletedRequest]:
         """Pop the earliest work unit, execute, store results.
 
-        Retries tied with fresh batches run first (they are strictly
-        older work).  Returns the completions of the attempt — empty
-        when the attempt failed and the batch was re-queued, parked, or
-        abandoned (its requests then appear on :attr:`failed_log`).
+        Retries tied with decode iterations or fresh batches run first
+        (they are strictly older work), and decode iterations beat
+        fresh batches in a tie.  Returns the completions of the attempt
+        — empty when the attempt failed and the batch was re-queued,
+        parked, or abandoned (its requests then appear on
+        :attr:`failed_log`).
         """
         ready = self.scheduler.earliest_ready()
         retry = self._next_retry_at()
-        if retry is not None and (ready is None or retry <= ready):
+        decode = self._decode_ready_at()
+        if (
+            retry is not None
+            and (ready is None or retry <= ready)
+            and (decode is None or retry <= decode)
+        ):
             wake, _seq, attempt, exclude, batch = heapq.heappop(self._retry_queue)
             self._work_consumed += 1
             completed = self._execute_batch(
                 batch, attempt=attempt, exclude_shard=exclude
             )
+        elif decode is not None and (ready is None or decode <= ready):
+            self._work_consumed += 1
+            completed = self._execute_decode()
         else:
             if ready is None:
                 return []
@@ -873,11 +1012,15 @@ class InferenceEngine:
         self._failed.clear()
         self._fault_log.clear()
         self._breaker_log.clear()
+        self._active.clear()
+        self._gen_steps.clear()
         for health in self._health.values():
             health.reset()
         self._last_arrival = 0.0
         if self.prefix_cache is not None:
             self.prefix_cache.clear()
+        if self.radix_cache is not None:
+            self.radix_cache.clear()
         self.dispatcher.reset()
 
     # ------------------------------------------------------------------
@@ -898,6 +1041,55 @@ class InferenceEngine:
             )
         return outputs
 
+    def _select_shard(
+        self,
+        ready_time: float,
+        profile: BatchProfile,
+        attempt: int,
+        exclude_shard: Optional[int],
+        batch_index: int,
+        batch_size: int,
+    ) -> "Tuple[Optional[int], Optional[float]]":
+        """Pick the shard a ready batch executes on; park when none can.
+
+        Returns ``(shard, None)`` on success or ``(None, wake)`` when
+        every breaker is open — the caller re-schedules the work at
+        ``wake`` (the earliest quarantine expiry) without consuming a
+        retry.  The policy only sees shards whose breaker admits work
+        at the ready time; a retry additionally avoids the shard of its
+        failed attempt whenever an alternative exists.
+        """
+        views = self.dispatcher.shard_views()
+        healthy = [
+            view for view in views if self._health[view.index].available(ready_time)
+        ]
+        if not healthy:
+            wake = min(health.open_until for health in self._health.values())
+            self._fault_log.append(
+                FaultRecord(
+                    kind="all_shards_down",
+                    shard=None,
+                    batch_index=batch_index,
+                    at=ready_time,
+                    attempt=attempt,
+                    action="park",
+                    requests=batch_size,
+                )
+            )
+            return None, wake
+        candidates = healthy
+        if exclude_shard is not None and len(healthy) > 1:
+            without = [view for view in healthy if view.index != exclude_shard]
+            if without:
+                candidates = without
+        shard = self.placement.place(profile, candidates)
+        if not 0 <= shard < self.dispatcher.n_shards:
+            raise ValueError(
+                f"placement policy {self.placement.name!r} returned shard "
+                f"{shard} for a pool of {self.dispatcher.n_shards}"
+            )
+        return shard, None
+
     def _execute_batch(
         self,
         batch: Batch,
@@ -905,6 +1097,11 @@ class InferenceEngine:
         exclude_shard: Optional[int] = None,
     ) -> List[CompletedRequest]:
         endpoint = self._endpoints[batch.model]
+        if (
+            endpoint.generation_adapter is not None
+            and batch.requests[0].generation is not None
+        ):
+            return self._execute_prefill(batch, attempt, exclude_shard)
         use_prefix = (
             batch.prefix_key is not None
             and self.prefix_cache is not None
@@ -922,41 +1119,14 @@ class InferenceEngine:
             ready_time=batch.ready_time,
             prefix_key=batch.prefix_key if use_prefix else None,
         )
-        # The policy only sees shards whose breaker admits work at the
-        # batch's ready time; a retry additionally avoids the shard of
-        # its failed attempt whenever an alternative exists.  With every
-        # breaker open the batch parks (no retry consumed) until the
-        # earliest quarantine expiry re-admits a probe.
-        views = self.dispatcher.shard_views()
-        healthy = [
-            view for view in views if self._health[view.index].available(batch.ready_time)
-        ]
-        if not healthy:
-            wake = min(health.open_until for health in self._health.values())
-            self._fault_log.append(
-                FaultRecord(
-                    kind="all_shards_down",
-                    shard=None,
-                    batch_index=batch.index,
-                    at=batch.ready_time,
-                    attempt=attempt,
-                    action="park",
-                    requests=batch.size,
-                )
-            )
+        # With every breaker open the batch parks (no retry consumed)
+        # until the earliest quarantine expiry re-admits a probe.
+        shard, wake = self._select_shard(
+            batch.ready_time, profile, attempt, exclude_shard, batch.index, batch.size
+        )
+        if shard is None:
             self._requeue(batch, wake, attempt, exclude_shard)
             return []
-        candidates = healthy
-        if exclude_shard is not None and len(healthy) > 1:
-            without = [view for view in healthy if view.index != exclude_shard]
-            if without:
-                candidates = without
-        shard = self.placement.place(profile, candidates)
-        if not 0 <= shard < self.dispatcher.n_shards:
-            raise ValueError(
-                f"placement policy {self.placement.name!r} returned shard "
-                f"{shard} for a pool of {self.dispatcher.n_shards}"
-            )
         backend = self.dispatcher.backends[shard]
         array = self.dispatcher.array_of(shard)
 
@@ -1107,6 +1277,423 @@ class InferenceEngine:
             )
             for req, out in zip(batch.requests, per_request)
         ]
+
+    # ------------------------------------------------------------------
+    # Generation: prefill batches and the continuous-batching decode pool
+    # ------------------------------------------------------------------
+    def _execute_prefill(
+        self,
+        batch: Batch,
+        attempt: int = 0,
+        exclude_shard: Optional[int] = None,
+    ) -> List[CompletedRequest]:
+        """Run a generation batch's prompt pass; members join the pool.
+
+        Prefill batches flow through the same ready/retry machinery as
+        classifier batches (same placement, breaker, park and crash
+        handling); what differs is the payload: the adapter returns each
+        member's first greedy token plus its K/V state, the radix cache
+        (when configured) trims the prompt to its uncached suffix, and
+        the surviving members enter :attr:`_active` for iteration-level
+        decode instead of completing.
+        """
+        endpoint = self._endpoints[batch.model]
+        adapter = endpoint.generation_adapter
+        prompts = np.stack([r.inputs for r in batch.requests])
+        prompt_len = int(prompts.shape[1])
+        # Batches are keyed on the prompt digest, so members share one
+        # prompt; verify rather than assume, because the warm path
+        # broadcasts sequence 0's cached rows across the whole batch.
+        uniform = bool(np.all(prompts == prompts[0]))
+        use_radix = self.radix_cache is not None and uniform
+        resident: "tuple[int, ...]" = ()
+        if use_radix:
+            resident = self.radix_cache.resident_shards(
+                batch.tenant, batch.model, prompts[0]
+            )
+        estimator = (
+            endpoint.cost_model
+            if endpoint.cost_model is not None
+            else self._calibrator.estimate
+        )
+        profile = BatchProfile(
+            model=batch.model,
+            tenant=batch.tenant,
+            batch_size=batch.size,
+            sample_shape=(prompt_len,),
+            ready_time=batch.ready_time,
+            estimator=estimator,
+            prefix_key=batch.prefix_key if use_radix else None,
+            resident_shards=resident,
+        )
+        shard, wake = self._select_shard(
+            batch.ready_time, profile, attempt, exclude_shard, batch.index, batch.size
+        )
+        if shard is None:
+            self._requeue(batch, wake, attempt, exclude_shard)
+            return []
+        backend = self.dispatcher.backends[shard]
+        array = self.dispatcher.array_of(shard)
+
+        start = max(batch.ready_time, self.dispatcher.busy_until.get(shard, 0.0))
+        if self.faults is not None:
+            doa = self.faults.crash_covering(shard, start)
+            if doa is not None:
+                self._shard_down(shard, doa)
+                self._attempt_failed(batch, attempt, shard, at=start)
+                return []
+        cycles_before = array.total_cycles if array is not None else 0
+
+        cached_len, cached = 0, None
+        if use_radix:
+            # Cap the usable prefix one short of the prompt: at least
+            # one suffix row must execute to produce the next-token
+            # logits.
+            cached_len, cached = self.radix_cache.lookup(
+                shard, batch.tenant, batch.model, prompts[0],
+                max_len=prompt_len - 1,
+            )
+            if cached_len == 0:
+                cached = None
+
+        namespace = (
+            array.trace.namespace(batch.tenant) if array is not None else nullcontext()
+        )
+        t0 = time.perf_counter()
+        with namespace:
+            first_tokens, state = adapter.prefill(prompts, backend, cached=cached)
+        elapsed_wall = time.perf_counter() - t0
+
+        if array is not None:
+            batch_cycles = array.total_cycles - cycles_before
+            duration = batch_cycles / array.config.clock_hz
+        else:
+            batch_cycles = 0
+            duration = elapsed_wall
+
+        if self.faults is not None:
+            duration *= self.faults.slowdown_factor(shard, start)
+            crash = self.faults.crash_within(shard, start, start + duration)
+            if crash is not None:
+                self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + (
+                    crash.at - start
+                )
+                self._shard_down(shard, crash)
+                self._attempt_failed(batch, attempt, shard, at=crash.at)
+                return []
+
+        finish = start + duration
+        self.dispatcher.busy_until[shard] = finish
+        self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + duration
+        self._health[shard].record_success(finish)
+        if use_radix:
+            if cached_len < prompt_len:
+                # Donate the full prompt's rows back (incremental
+                # capture: a future prompt extending this one prefills
+                # only its new suffix).
+                self.radix_cache.insert(
+                    shard, batch.tenant, batch.model, prompts[0],
+                    adapter.capture(state, prompt_len),
+                )
+            cycles_saved = 0
+            if cached_len > 0 and array is not None:
+                cycles_saved = int(
+                    adapter.prefill_cycles(batch.size, prompt_len, 0, array.config)
+                    - adapter.prefill_cycles(
+                        batch.size, prompt_len, cached_len, array.config
+                    )
+                )
+            self._prefix_events.append(
+                PrefixEvent(
+                    batch_index=batch.index,
+                    model=batch.model,
+                    tenant=batch.tenant,
+                    shard=shard,
+                    batch_size=batch.size,
+                    prefix_key=batch.prefix_key,
+                    hit=cached_len > 0,
+                    cycles_saved=cycles_saved,
+                )
+            )
+        self._placements.append(
+            PlacementDecision(
+                batch_index=batch.index,
+                model=batch.model,
+                tenant=batch.tenant,
+                batch_size=batch.size,
+                shard=shard,
+                policy=self.placement.name,
+                ready_time=batch.ready_time,
+                start=start,
+                finish=finish,
+                batch_cycles=batch_cycles,
+                attempt=attempt,
+                recovered_from=exclude_shard if attempt > 0 else None,
+            )
+        )
+
+        completed: List[CompletedRequest] = []
+        states = state.split()
+        for j, request in enumerate(batch.requests):
+            seq = ActiveSequence(
+                request=request,
+                state=states[j],
+                generated=[int(first_tokens[j])],
+                ready_time=finish,
+                first_start=start,
+                batch_cycles=batch_cycles,
+                attempts=attempt + 1,
+                last_shard=shard,
+                last_batch_index=batch.index,
+                last_batch_size=batch.size,
+            )
+            if seq.finished:
+                completed.append(self._retire(seq, finish))
+            else:
+                self._active.append(seq)
+        return completed
+
+    def _execute_decode(self) -> List[CompletedRequest]:
+        """One decode iteration: re-form the batch, step, retire.
+
+        The batch is rebuilt from the live pool every iteration — the
+        earliest-ready sequence leads, and every compatible sequence
+        (same model, tenant and position; decode batches never mix
+        tenants or models) joins up to the engine's batch-size cap.
+        The iteration starts once every member is ready, so sequences
+        whose prefills finished at different instants merge instead of
+        decoding in isolated lockstep groups.  Prompts MAY differ
+        across members — that is what continuous batching buys.
+
+        The step itself runs on a stacked *copy* of the member caches
+        (see :meth:`~repro.serving.generation.GenerationAdapter.decode`),
+        so a fault-injected attempt discards cleanly: member state is
+        only extended after the attempt survives every fault check.
+        """
+        lead = min(
+            self._active, key=lambda s: (s.ready_time, s.request.request_id)
+        )
+        group = [
+            seq
+            for seq in self._active
+            if seq.request.model == lead.request.model
+            and seq.request.tenant == lead.request.tenant
+            and seq.position == lead.position
+        ]
+        group.sort(key=lambda s: (s.ready_time, s.request.request_id))
+        group = group[: self.scheduler.assembler.max_batch_size]
+        ready = max(seq.ready_time for seq in group)
+        batch_index = self.scheduler.next_batch_index()
+        endpoint = self._endpoints[lead.request.model]
+        adapter = endpoint.generation_adapter
+        size = len(group)
+        position = lead.position
+        attempt = min(seq.attempt for seq in group)
+        exclude = next(
+            (s.exclude_shard for s in group if s.exclude_shard is not None), None
+        )
+        profile = BatchProfile(
+            model=lead.request.model,
+            tenant=lead.request.tenant,
+            batch_size=size,
+            sample_shape=(position,),
+            ready_time=ready,
+            estimator=lambda p, config: adapter.decode_cycles(
+                p.batch_size, position, config
+            ),
+        )
+        shard, wake = self._select_shard(
+            ready, profile, attempt, exclude, batch_index, size
+        )
+        if shard is None:
+            # Park in place: members stay pooled and wake when the
+            # earliest breaker re-admits a probe; no retry consumed.
+            for seq in group:
+                seq.ready_time = wake
+            return []
+        backend = self.dispatcher.backends[shard]
+        array = self.dispatcher.array_of(shard)
+
+        start = max(ready, self.dispatcher.busy_until.get(shard, 0.0))
+        if self.faults is not None:
+            doa = self.faults.crash_covering(shard, start)
+            if doa is not None:
+                self._shard_down(shard, doa)
+                self._decode_attempt_failed(group, batch_index, shard, at=start)
+                return []
+        cycles_before = array.total_cycles if array is not None else 0
+
+        tokens = np.array([seq.generated[-1] for seq in group], dtype=np.int64)
+        namespace = (
+            array.trace.namespace(lead.request.tenant)
+            if array is not None
+            else nullcontext()
+        )
+        t0 = time.perf_counter()
+        with namespace:
+            next_tokens, step_kv = adapter.decode(
+                [seq.state for seq in group], tokens, backend
+            )
+        elapsed_wall = time.perf_counter() - t0
+
+        if array is not None:
+            batch_cycles = array.total_cycles - cycles_before
+            duration = batch_cycles / array.config.clock_hz
+        else:
+            batch_cycles = 0
+            duration = elapsed_wall
+
+        if self.faults is not None:
+            duration *= self.faults.slowdown_factor(shard, start)
+            crash = self.faults.crash_within(shard, start, start + duration)
+            if crash is not None:
+                # The step ran on a scratch copy; dropping step_kv IS
+                # the rollback.  Partial occupancy is charged as wasted
+                # work (the traced cycles already stand).
+                self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + (
+                    crash.at - start
+                )
+                self._shard_down(shard, crash)
+                self._decode_attempt_failed(group, batch_index, shard, at=crash.at)
+                return []
+
+        finish = start + duration
+        self.dispatcher.busy_until[shard] = finish
+        self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + duration
+        self._health[shard].record_success(finish)
+        self._gen_steps.append(
+            DecodeStepRecord(
+                step_index=batch_index,
+                model=lead.request.model,
+                tenant=lead.request.tenant,
+                shard=shard,
+                batch_size=size,
+                position=position,
+                cycles=batch_cycles,
+                start=start,
+                finish=finish,
+                attempt=attempt,
+            )
+        )
+        self._placements.append(
+            PlacementDecision(
+                batch_index=batch_index,
+                model=lead.request.model,
+                tenant=lead.request.tenant,
+                batch_size=size,
+                shard=shard,
+                policy=self.placement.name,
+                ready_time=ready,
+                start=start,
+                finish=finish,
+                batch_cycles=batch_cycles,
+                attempt=attempt,
+                recovered_from=exclude if attempt > 0 else None,
+            )
+        )
+
+        completed: List[CompletedRequest] = []
+        for j, seq in enumerate(group):
+            for layer in range(seq.state.n_layers):
+                seq.state.extend(
+                    layer, step_kv[layer][0][j : j + 1], step_kv[layer][1][j : j + 1]
+                )
+            seq.generated.append(int(next_tokens[j]))
+            seq.ready_time = finish
+            seq.attempt = 0
+            seq.exclude_shard = None
+            seq.batch_cycles += batch_cycles
+            seq.last_shard = shard
+            seq.last_batch_index = batch_index
+            seq.last_batch_size = size
+            if seq.finished:
+                self._active.remove(seq)
+                completed.append(self._retire(seq, finish))
+        return completed
+
+    def _retire(self, seq: ActiveSequence, finish: float) -> CompletedRequest:
+        """Turn a finished sequence into its completion record.
+
+        A retiring sequence donates its whole history — prompt plus all
+        generated tokens but the last, exactly the ``state.pos`` K/V
+        rows it holds — to the radix cache, so a follow-up request that
+        replays the transcript prefills only its new suffix.
+        """
+        if self.radix_cache is not None:
+            history = np.concatenate(
+                [
+                    np.asarray(seq.request.inputs, dtype=np.int64),
+                    np.asarray(seq.generated[:-1], dtype=np.int64),
+                ]
+            )
+            adapter = self._endpoints[seq.request.model].generation_adapter
+            self.radix_cache.insert(
+                seq.last_shard,
+                seq.request.tenant,
+                seq.request.model,
+                history,
+                adapter.capture(seq.state, seq.state.pos),
+            )
+        return CompletedRequest(
+            request=seq.request,
+            outputs=np.asarray(seq.generated, dtype=np.int64),
+            shard=seq.last_shard,
+            batch_index=seq.last_batch_index,
+            batch_size=seq.last_batch_size,
+            start=seq.first_start,
+            finish=finish,
+            batch_cycles=seq.batch_cycles,
+            attempts=seq.attempts,
+        )
+
+    def _decode_attempt_failed(
+        self, group: List[ActiveSequence], batch_index: int, shard: int, at: float
+    ) -> None:
+        """One decode iteration died on ``shard`` at simulated ``at``.
+
+        The per-sequence analogue of :meth:`_attempt_failed`: each
+        member keeps its own attempt counter (reset by every successful
+        step), so a freshly joined sequence is not charged for retries
+        an older member already burned.  Members over budget or whose
+        backoff wake would overshoot their effective deadline leave the
+        pool as :class:`FailureRecord` entries; survivors stay pooled
+        with a bumped attempt, a backoff wake time and the failed shard
+        excluded from their next placement.
+        """
+        self._health[shard].record_failure(at)
+        attempt_floor = min(seq.attempt for seq in group)
+        survivors = 0
+        for seq in group:
+            seq.attempts += 1
+            if seq.attempt >= self.retry_policy.max_retries:
+                self._active.remove(seq)
+                self._fail_requests(
+                    (seq.request,), "max_retries", at, shard, seq.attempts
+                )
+                continue
+            wake = at + self.retry_policy.backoff(seq.attempt)
+            due = self._effective_deadline(seq.request)
+            if due is not None and wake > due:
+                self._active.remove(seq)
+                self._fail_requests(
+                    (seq.request,), "retry_deadline", at, shard, seq.attempts
+                )
+                continue
+            seq.attempt += 1
+            seq.ready_time = wake
+            seq.exclude_shard = shard
+            survivors += 1
+        self._fault_log.append(
+            FaultRecord(
+                kind="crash",
+                shard=shard,
+                batch_index=batch_index,
+                at=at,
+                attempt=attempt_floor,
+                action="retry" if survivors else "abandon",
+                requests=survivors if survivors else len(group),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Fault handling: failure accounting, retry queue, deadlines

@@ -419,3 +419,297 @@ class TransformerPrefixAdapter:
                 config,
             )
         return self._savings[key]
+
+
+class _RadixNode:
+    """One node of a path-compressed token trie."""
+
+    __slots__ = ("edges", "terminal")
+
+    def __init__(self):
+        # first token of the edge label -> (label tuple, child node)
+        self.edges: Dict[int, Tuple[Tuple[int, ...], "_RadixNode"]] = {}
+        self.terminal = False
+
+
+class RadixPrefixIndex:
+    """Path-compressed trie over token sequences (longest-prefix match).
+
+    The index holds only *which* sequences are cached — payloads live
+    in a byte-budgeted :class:`~repro.store.CacheStore` keyed by the
+    exact token tuple, so a digest collision cannot confuse entries.
+    ``longest_match`` walks the query once (O(|query|)) and returns the
+    length of the longest *terminal* prefix, which is how conversational
+    traffic finds the deepest cached slice of its growing history.
+    """
+
+    def __init__(self):
+        self._root = _RadixNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, tokens) -> bool:
+        seq = tuple(tokens)
+        return self.longest_match(seq) == len(seq) and len(seq) > 0
+
+    def insert(self, tokens) -> bool:
+        """Mark ``tokens`` cached; returns False if already present."""
+        seq = tuple(int(t) for t in tokens)
+        if not seq:
+            raise ValueError("cannot index an empty token sequence")
+        node, i = self._root, 0
+        n = len(seq)
+        while i < n:
+            edge = node.edges.get(seq[i])
+            if edge is None:
+                child = _RadixNode()
+                child.terminal = True
+                node.edges[seq[i]] = (seq[i:], child)
+                self._size += 1
+                return True
+            label, child = edge
+            common = 0
+            limit = min(len(label), n - i)
+            while common < limit and label[common] == seq[i + common]:
+                common += 1
+            if common == len(label):
+                node, i = child, i + common
+                continue
+            # Split the edge at the divergence (or containment) point.
+            mid = _RadixNode()
+            node.edges[seq[i]] = (label[:common], mid)
+            mid.edges[label[common]] = (label[common:], child)
+            if i + common == n:
+                mid.terminal = True
+            else:
+                leaf = _RadixNode()
+                leaf.terminal = True
+                mid.edges[seq[i + common]] = (seq[i + common :], leaf)
+            self._size += 1
+            return True
+        if node.terminal:
+            return False
+        node.terminal = True
+        self._size += 1
+        return True
+
+    def longest_match(self, tokens) -> int:
+        """Length of the longest indexed prefix of ``tokens`` (0 = none)."""
+        seq = tuple(tokens)
+        node, i, best = self._root, 0, 0
+        n = len(seq)
+        while i < n:
+            edge = node.edges.get(seq[i])
+            if edge is None:
+                break
+            label, child = edge
+            if len(label) > n - i or label != seq[i : i + len(label)]:
+                break
+            i += len(label)
+            node = child
+            if node.terminal:
+                best = i
+        return best
+
+    def remove(self, tokens) -> bool:
+        """Unmark ``tokens``; prunes empty branches.  False if absent."""
+        seq = tuple(int(t) for t in tokens)
+        path = []  # (parent, first_token_of_edge)
+        node, i = self._root, 0
+        n = len(seq)
+        while i < n:
+            edge = node.edges.get(seq[i])
+            if edge is None:
+                return False
+            label, child = edge
+            if label != seq[i : i + len(label)]:
+                return False
+            path.append((node, seq[i]))
+            node, i = child, i + len(label)
+        if i != n or not node.terminal:
+            return False
+        node.terminal = False
+        self._size -= 1
+        # Prune now-useless leaves back up the walked path.
+        for parent, first in reversed(path):
+            label, child = parent.edges[first]
+            if child.terminal or child.edges:
+                break
+            del parent.edges[first]
+        return True
+
+
+class RadixKVCache:
+    """Tenant-scoped, byte-budgeted radix cache of decode K/V history.
+
+    The generation analogue of :class:`PrefixCache`: payloads are
+    :class:`~repro.nn.executor.KVTap` captures of a sequence's prompt
+    (and, as it generates, its growing history), resident per shard on
+    the :class:`~repro.store.CacheStore` fabric under
+    ``serving.radix.shard<N>`` namespaces.  A per-``(shard, tenant,
+    model)`` :class:`RadixPrefixIndex` finds the longest cached prefix
+    of an incoming prompt, so a conversational follow-up that replays
+    its whole transcript prefills only the new turn.
+
+    Store keys are the *exact token tuples*, so lookups need no
+    digest-collision verification; when the budgeted store evicts a
+    payload underneath the index, the lookup heals the stale index
+    entry and retries the next-longest match.
+    """
+
+    def __init__(
+        self,
+        shard_budget_bytes: int = 32 << 20,
+        store: Optional[CacheStore] = None,
+    ):
+        if shard_budget_bytes < 1:
+            raise ValueError(
+                f"shard_budget_bytes must be >= 1, got {shard_budget_bytes}"
+            )
+        self.shard_budget_bytes = int(shard_budget_bytes)
+        self._store = store if store is not None else InProcessLRU()
+        self._shards_seen: Set[int] = set()
+        self._trees: Dict[Tuple[int, str, str], RadixPrefixIndex] = {}
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejections = 0
+
+    @staticmethod
+    def _seq(tokens) -> Tuple[int, ...]:
+        return tuple(int(t) for t in np.asarray(tokens).reshape(-1))
+
+    @staticmethod
+    def _key(tenant: str, model: str, seq: Tuple[int, ...]) -> tuple:
+        return (tenant, model, seq)
+
+    def _namespace(self, shard: int) -> str:
+        namespace = f"serving.radix.shard{shard}"
+        if shard not in self._shards_seen:
+            self._store.set_limit(namespace, max_bytes=self.shard_budget_bytes)
+            self._shards_seen.add(shard)
+        return namespace
+
+    # -- read side -------------------------------------------------------
+    def lookup(
+        self,
+        shard: int,
+        tenant: str,
+        model: str,
+        tokens,
+        max_len: Optional[int] = None,
+    ) -> Tuple[int, Optional[KVTap]]:
+        """Longest cached prefix of ``tokens`` on ``shard``.
+
+        Returns ``(cached_len, payload)`` or ``(0, None)``.  ``max_len``
+        caps the usable prefix (a prefill must keep at least one
+        un-cached row to produce logits).  A hit refreshes the payload's
+        LRU recency; an index entry whose payload the store already
+        evicted is removed and the next-longest match is tried.
+        """
+        tree = self._trees.get((shard, tenant, model))
+        if tree is None:
+            self.misses += 1
+            return 0, None
+        seq = self._seq(tokens)
+        limit = len(seq) if max_len is None else min(int(max_len), len(seq))
+        namespace = self._namespace(shard)
+        query = seq[:limit]
+        while True:
+            match = tree.longest_match(query)
+            if match == 0:
+                self.misses += 1
+                return 0, None
+            payload = self._store.get(namespace, self._key(tenant, model, seq[:match]))
+            if payload is not None:
+                self.hits += 1
+                return match, payload
+            # Store evicted the payload under the index: heal and retry.
+            tree.remove(seq[:match])
+            query = seq[:match]
+
+    def resident_shards(self, tenant: str, model: str, tokens) -> Tuple[int, ...]:
+        """Shards holding *any* cached prefix of ``tokens`` (affinity).
+
+        A pure read on the index: payload LRU order and hit/miss
+        counters are untouched (a stale index entry may count until the
+        next lookup heals it — affinity is a hint, not a contract).
+        """
+        seq = self._seq(tokens)
+        return tuple(
+            shard
+            for shard in sorted(self._shards_seen)
+            if (tree := self._trees.get((shard, tenant, model))) is not None
+            and tree.longest_match(seq) > 0
+        )
+
+    def resident_bytes(self, shard: int) -> int:
+        """Bytes of cached history resident on ``shard`` (<= budget)."""
+        if shard not in self._shards_seen:
+            return 0
+        return self._store.stats(self._namespace(shard))["bytes"]
+
+    # -- write side ------------------------------------------------------
+    def insert(self, shard: int, tenant: str, model: str, tokens, payload: KVTap) -> bool:
+        """Cache ``payload`` as the K/V rows of ``tokens`` on ``shard``.
+
+        The payload must cover exactly ``len(tokens)`` positions.
+        Evicts least-recently-used payloads until the byte budget
+        holds; a payload alone exceeding the budget is rejected.
+        """
+        seq = self._seq(tokens)
+        if payload.prefix_len != len(seq):
+            raise ValueError(
+                f"payload covers {payload.prefix_len} positions, "
+                f"tokens have {len(seq)}"
+            )
+        size = payload.nbytes + 8 * len(seq)
+        if size > self.shard_budget_bytes:
+            self.rejections += 1
+            return False
+        namespace = self._namespace(shard)
+        evictions_before = self._store.stats(namespace)["evictions"]
+        self._store.put(namespace, self._key(tenant, model, seq), payload, nbytes=size)
+        self.evictions += self._store.stats(namespace)["evictions"] - evictions_before
+        tree = self._trees.setdefault(
+            (shard, tenant, model), RadixPrefixIndex()
+        )
+        tree.insert(seq)
+        self.insertions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every payload and index on every shard (counters kept)."""
+        for shard in self._shards_seen:
+            self._store.clear(self._namespace(shard))
+        self._trees.clear()
+
+    # -- introspection ---------------------------------------------------
+    def namespace_stats(self) -> Dict[str, Dict[str, int]]:
+        """Store-schema stats of every shard namespace (for reports)."""
+        return {
+            self._namespace(shard): self._store.stats(self._namespace(shard))
+            for shard in sorted(self._shards_seen)
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot plus per-shard residency."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejections": self.rejections,
+            "shard_budget_bytes": self.shard_budget_bytes,
+            "resident_bytes": {
+                shard: self.resident_bytes(shard)
+                for shard in sorted(self._shards_seen)
+            },
+            "resident_entries": {
+                shard: self._store.stats(self._namespace(shard))["entries"]
+                for shard in sorted(self._shards_seen)
+            },
+        }

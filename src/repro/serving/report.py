@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.serving.cluster import BreakerTransition, PlacementDecision
 from repro.serving.faults import FaultRecord
+from repro.serving.generation import DecodeStepRecord
 from repro.serving.prefix_cache import PrefixEvent
 from repro.serving.request import CompletedRequest, FailureRecord, ShedRecord
 from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig
@@ -85,6 +86,11 @@ class ServingReport:
         Supervision actions of a multi-worker run (always 0 for a
         single-engine report): dead workers restarted, and dead
         workers whose requests were re-run on a surviving partition.
+    generation_steps:
+        One :class:`~repro.serving.generation.DecodeStepRecord` per
+        executed decode iteration, in execution order — the basis of
+        the generation section (steps, tokens/sec in simulated time,
+        per-tenant token counts).
     """
 
     completed: Tuple[CompletedRequest, ...]
@@ -103,6 +109,7 @@ class ServingReport:
     breaker_transitions: Tuple[BreakerTransition, ...] = ()
     worker_restarts: int = 0
     worker_redistributions: int = 0
+    generation_steps: Tuple["DecodeStepRecord", ...] = ()
 
     # -- request-level views --------------------------------------------
     @property
@@ -426,6 +433,83 @@ class ServingReport:
             )
         return "\n".join(lines)
 
+    # -- generation views ------------------------------------------------
+    @cached_property
+    def generation_completed(self) -> Tuple[CompletedRequest, ...]:
+        """Completed generation requests (outputs are token rows)."""
+        return tuple(
+            c for c in self.completed if c.request.generation is not None
+        )
+
+    @property
+    def decode_steps(self) -> int:
+        """Decode iterations executed during the run."""
+        return len(self.generation_steps)
+
+    @property
+    def generated_tokens(self) -> int:
+        """Tokens produced by completed generation requests."""
+        return sum(len(c.outputs) for c in self.generation_completed)
+
+    @property
+    def has_generation_activity(self) -> bool:
+        return bool(self.generation_steps or self.generation_completed)
+
+    def generation_makespan(self) -> float:
+        """First generation arrival to last generation finish (sim s)."""
+        records = self.generation_completed
+        if not records:
+            return 0.0
+        first = min(c.request.arrival for c in records)
+        last = max(c.finish for c in records)
+        return last - first
+
+    def tokens_per_second(self) -> float:
+        """Generated-token throughput over the generation makespan,
+        in *simulated* time."""
+        span = self.generation_makespan()
+        if span <= 0.0:
+            return 0.0
+        return self.generated_tokens / span
+
+    def tenant_tokens(self) -> Dict[str, int]:
+        """Generated-token counts per tenant (completed requests)."""
+        counts: Dict[str, int] = {}
+        for c in self.generation_completed:
+            counts[c.request.tenant] = counts.get(c.request.tenant, 0) + len(
+                c.outputs
+            )
+        return counts
+
+    def generation_section(self) -> str:
+        """Continuous-batching block of the summary.
+
+        Decode iterations and their mean batch size, completed
+        sequences and token totals, token throughput in simulated
+        time, decode-attributed cycles, and per-tenant token counts.
+        """
+        steps = self.generation_steps
+        mean_batch = (
+            sum(s.batch_size for s in steps) / len(steps) if steps else 0.0
+        )
+        decode_cycles = sum(s.cycles for s in steps)
+        lines = [
+            f"decode iterations    : {len(steps)} "
+            f"(mean batch size {mean_batch:.2f})",
+            f"  sequences          : {len(self.generation_completed)} completed, "
+            f"{self.generated_tokens} tokens",
+            f"  token throughput   : {self.tokens_per_second():.1f} tokens/s "
+            f"(simulated)",
+            f"  decode cycles      : {decode_cycles}",
+        ]
+        tokens = self.tenant_tokens()
+        if tokens:
+            per_tenant = ", ".join(
+                f"{tenant} {count}" for tenant, count in sorted(tokens.items())
+            )
+            lines.append(f"  tenant tokens      : {per_tenant}")
+        return "\n".join(lines)
+
     # -- per-tenant views -----------------------------------------------
     @cached_property
     def _completed_by_tenant(self) -> Dict[str, List[CompletedRequest]]:
@@ -555,6 +639,8 @@ class ServingReport:
             lines.append(self.prefix_section())
         if self.cache_stats:
             lines.append(self.cache_section())
+        if self.has_generation_activity:
+            lines.append(self.generation_section())
         if self.has_fault_activity:
             lines.append(self.fault_section())
         tenant_ids = self.tenant_ids

@@ -17,6 +17,42 @@ from repro.serving.tenancy import DEFAULT_TENANT
 
 
 @dataclass(frozen=True)
+class GenerationRequest:
+    """Autoregressive generation parameters riding on a request.
+
+    Attributes
+    ----------
+    prompt:
+        The 1-D integer token prompt (frozen copy; also the request's
+        ``inputs``).
+    max_new_tokens:
+        Upper bound on generated tokens (>= 1; the prefill's greedy
+        token is the first).
+    stop_token:
+        Token id that terminates the sequence early, or None.  The
+        stop token itself is included in the output.
+    """
+
+    prompt: np.ndarray
+    max_new_tokens: int
+    stop_token: "int | None" = None
+
+    def __post_init__(self) -> None:
+        prompt = np.asarray(self.prompt, dtype=np.int64)
+        if prompt.ndim != 1 or prompt.shape[0] < 1:
+            raise ValueError(
+                f"prompt must be a non-empty 1-D token row, got shape {prompt.shape}"
+            )
+        if self.max_new_tokens < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
+            )
+        prompt = np.array(prompt, copy=True)
+        prompt.setflags(write=False)
+        object.__setattr__(self, "prompt", prompt)
+
+
+@dataclass(frozen=True)
 class InferenceRequest:
     """One queued inference call.
 
@@ -51,6 +87,12 @@ class InferenceRequest:
         Batch assembly keys groups on it, so requests with different
         prompts (or none) never share a batch — cache hits and misses
         cannot silently mix.
+    generation:
+        :class:`GenerationRequest` parameters when this request asks
+        for autoregressive decode (set by
+        :meth:`~repro.serving.engine.InferenceEngine.submit_generation`),
+        else None.  A generation request's ``outputs`` are its
+        generated token row rather than a model-head slice.
     """
 
     request_id: int
@@ -61,6 +103,7 @@ class InferenceRequest:
     priority: "int | None" = None
     deadline: "float | None" = None
     prefix_key: "str | None" = None
+    generation: "GenerationRequest | None" = None
 
 
 @dataclass(frozen=True)

@@ -245,6 +245,18 @@ class TenantScheduler:
         self._n_batches += 1
         return batch
 
+    def next_batch_index(self) -> int:
+        """Claim the next engine-wide batch index.
+
+        Decode iterations are formed by the engine's generation pool,
+        not popped from the assembler, but they share this counter so
+        ``(shard, batch_index)`` pairs stay unique across every kind of
+        batch in one run.
+        """
+        index = self._n_batches
+        self._n_batches += 1
+        return index
+
     def _request_priority(self, request: InferenceRequest) -> int:
         """Effective priority: explicit on the request, else the
         tenant's configured priority *now* (lazy, like WRR weights, so

@@ -52,6 +52,10 @@ def test_heterogeneous_demo_runs():
     run_example("heterogeneous_demo")
 
 
+def test_generation_demo_runs():
+    run_example("generation_demo")
+
+
 def test_design_space_example_runs():
     run_example("design_space_exploration")
 

@@ -1,0 +1,787 @@
+"""Generation test suite: step-wise decode pinned bit-identical.
+
+The load-bearing contract of the continuous-batching decode path, in
+three tiers:
+
+1. **Bit-identity** (property-based): greedy generation via
+   ``prefill`` + ``decode_step`` produces exactly the tokens of
+   recomputing the full sequence from scratch at every step, across
+   random model shapes, depths, prompt lengths and batch compositions
+   — suffix-length-1 inference is not an approximation, because causal
+   masking makes every cached K/V row suffix-independent and the
+   fixed-point pipeline is exact per row.
+2. **Cycle accounting**: every prefill and decode iteration's traced
+   cycles equal the closed forms in :mod:`repro.nn.workload`, step by
+   step, warm and cold.
+3. **Continuous batching** (engine-level fuzz): randomized
+   arrival/retirement schedules keep the scheduler honest — decode
+   batches never mix tenants or positions, prefill batches never mix
+   prompts, per-tenant cycles sum exactly to the total, and every
+   admitted request completes bit-identically or lands in the failure
+   ledger (the chaos case injects a seeded mid-decode shard crash).
+
+Plus unit/property coverage of the radix prefix index and the
+tenant-scoped, byte-budgeted :class:`~repro.serving.RadixKVCache`, and
+the ``ShardedDispatcher`` deprecation shim.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.executor import ArrayBackend, CPWLBackend, DecodeKV, KVTap
+from repro.nn.models import TinyBERT
+from repro.nn.workload import (
+    transformer_decode_step_cycles,
+    transformer_prefill_cycles,
+)
+from repro.serving import (
+    ClusterDispatcher,
+    FaultPlan,
+    GenerationAdapter,
+    GenerationRequest,
+    InferenceEngine,
+    PrefixCache,
+    PrefixEntry,
+    RadixKVCache,
+    RadixPrefixIndex,
+    RetryPolicy,
+    ShardedDispatcher,
+)
+from repro.systolic import SystolicArray, SystolicConfig
+
+CONFIG = SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=8)
+GRANULARITY = 0.25
+
+# One model per shape, shared across hypothesis examples: construction
+# dominates runtime and the weights are deterministic per shape anyway.
+_MODELS = {}
+
+
+def _model(dim=8, heads=2, ff_dim=16, n_layers=2, seq_len=12, vocab=16):
+    key = (dim, heads, ff_dim, n_layers, seq_len, vocab)
+    if key not in _MODELS:
+        _MODELS[key] = TinyBERT(
+            vocab=vocab, seq_len=seq_len, dim=dim, heads=heads,
+            ff_dim=ff_dim, n_layers=n_layers, causal=True, seed=0,
+        )
+    return _MODELS[key]
+
+
+def _backend():
+    return CPWLBackend(granularity=GRANULARITY)
+
+
+def _prompts(rng, batch, length, vocab=16):
+    return rng.integers(0, vocab, size=(batch, length), dtype=np.int64)
+
+
+def _recompute_generate(model, prompt_row, max_new, backend, stop_token=None):
+    """Reference decode: full-sequence recompute at every step."""
+    tokens = list(int(t) for t in prompt_row)
+    out = []
+    for _ in range(max_new):
+        logits = model.infer_logits(np.array([tokens], dtype=np.int64), backend)
+        nxt = int(np.argmax(logits, axis=-1)[0])
+        out.append(nxt)
+        tokens.append(nxt)
+        if stop_token is not None and nxt == stop_token:
+            break
+    return np.array(out, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# 1. Bit-identity of step-wise decode (property-based)
+# ---------------------------------------------------------------------------
+class TestDecodeBitIdentity:
+    @given(
+        dim_heads=st.sampled_from([(4, 1), (4, 2), (8, 2)]),
+        n_layers=st.integers(1, 2),
+        prompt_len=st.integers(1, 5),
+        max_new=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generate_matches_recompute_per_token(
+        self, dim_heads, n_layers, prompt_len, max_new, seed
+    ):
+        """KV-cached decode == full recompute, token for token."""
+        dim, heads = dim_heads
+        model = _model(dim=dim, heads=heads, ff_dim=2 * dim, n_layers=n_layers)
+        rng = np.random.default_rng(seed)
+        prompt = _prompts(rng, 1, prompt_len)
+        backend = _backend()
+        cached = model.generate(prompt, max_new, backend)[0]
+        recomputed = _recompute_generate(model, prompt[0], max_new, backend)
+        assert np.array_equal(cached, recomputed)
+
+    @given(
+        batch=st.integers(2, 4),
+        prompt_len=st.integers(1, 5),
+        max_new=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_batched_decode_matches_per_sequence(
+        self, batch, prompt_len, max_new, seed
+    ):
+        """Stacking sequences into one decode batch changes nothing."""
+        model = _model()
+        rng = np.random.default_rng(seed)
+        prompts = _prompts(rng, batch, prompt_len)
+        backend = _backend()
+        together = model.generate(prompts, max_new, backend)
+        alone = [
+            model.generate(prompts[j : j + 1], max_new, backend)[0]
+            for j in range(batch)
+        ]
+        for got, expect in zip(together, alone):
+            assert np.array_equal(got, expect)
+
+    @given(
+        prompt_len=st.integers(2, 6),
+        cached_len_frac=st.floats(0.1, 0.9),
+        max_new=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_warm_prefill_bit_identical(
+        self, prompt_len, cached_len_frac, max_new, seed
+    ):
+        """Prefilling from a cached prefix == prefilling from scratch."""
+        model = _model()
+        rng = np.random.default_rng(seed)
+        prompt = _prompts(rng, 1, prompt_len)
+        cached_len = max(1, min(prompt_len - 1, int(prompt_len * cached_len_frac)))
+        backend = _backend()
+        cold_logits, cold_state = model.prefill(prompt, backend)
+
+        adapter = GenerationAdapter(model)
+        payload = adapter.capture(cold_state, cached_len)
+        warm_logits, warm_state = model.prefill(prompt, backend, cached=payload)
+        assert np.array_equal(cold_logits, warm_logits)
+        for i in range(model.n_layers):
+            assert np.array_equal(cold_state.k[i], warm_state.k[i])
+            assert np.array_equal(cold_state.v[i], warm_state.v[i])
+        # ...and the continuation decodes identically from either state.
+        t0 = np.argmax(cold_logits, axis=-1)
+        a = model.decode_step(cold_state, t0, backend)
+        b = model.decode_step(warm_state, t0, backend)
+        assert np.array_equal(a, b)
+
+    @given(
+        stop_after=st.integers(0, 3),
+        prompt_len=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_stop_token_truncates_inclusively(self, stop_after, prompt_len, seed):
+        """A stop token ends the row and is kept in the output."""
+        model = _model()
+        rng = np.random.default_rng(seed)
+        prompt = _prompts(rng, 1, prompt_len)
+        backend = _backend()
+        free = model.generate(prompt, 6, backend)[0]
+        stop = int(free[min(stop_after, len(free) - 1)])
+        stopped = model.generate(prompt, 6, backend, stop_token=stop)[0]
+        hits = np.flatnonzero(free == stop)
+        expect = free[: hits[0] + 1] if hits.size else free
+        assert np.array_equal(stopped, expect)
+
+    def test_stack_split_roundtrip(self):
+        model = _model()
+        rng = np.random.default_rng(0)
+        backend = _backend()
+        _, state = model.prefill(_prompts(rng, 3, 4), backend)
+        parts = state.split()
+        restacked = DecodeKV.stack(parts)
+        for i in range(state.n_layers):
+            assert np.array_equal(state.k[i], restacked.k[i])
+            assert np.array_equal(state.v[i], restacked.v[i])
+
+    def test_decode_step_rejects_misuse(self):
+        model = _model()
+        backend = _backend()
+        with pytest.raises(ValueError):
+            model.prefill(np.zeros((2, model.seq_len + 1), dtype=np.int64), backend)
+        with pytest.raises(ValueError):
+            # more new tokens than the position table can hold
+            model.generate(
+                np.zeros((1, 4), dtype=np.int64), model.seq_len, backend
+            )
+        with pytest.raises(ValueError):
+            GenerationRequest(prompt=np.zeros((2, 3)), max_new_tokens=1)
+        with pytest.raises(ValueError):
+            GenerationRequest(prompt=np.array([1, 2]), max_new_tokens=0)
+
+
+# ---------------------------------------------------------------------------
+# 2. Exact per-step cycle accounting (traced ArrayBackend)
+# ---------------------------------------------------------------------------
+class TestCycleAccounting:
+    def _warm_backend(self, model):
+        """An ArrayBackend past its one-time nonlinearity table preload."""
+        array = SystolicArray(CONFIG)
+        backend = ArrayBackend(array, GRANULARITY)
+        model.prefill(np.zeros((1, 2), dtype=np.int64), backend)
+        return array, backend
+
+    def test_prefill_and_decode_steps_match_closed_form(self):
+        model = _model()
+        array, backend = self._warm_backend(model)
+        rng = np.random.default_rng(1)
+        batch, prompt_len, max_new = 3, 4, 4
+        prompts = _prompts(rng, batch, prompt_len)
+
+        before = array.total_cycles
+        _, state = model.prefill(prompts, backend)
+        measured = array.total_cycles - before
+        assert measured == transformer_prefill_cycles(
+            batch, prompt_len, 0, model.dim, model.heads, model.ff_dim,
+            model.n_layers, model.vocab, CONFIG,
+        )
+
+        tokens = np.zeros(batch, dtype=np.int64)
+        for step in range(max_new):
+            position = state.pos
+            before = array.total_cycles
+            logits = model.decode_step(state, tokens, backend)
+            measured = array.total_cycles - before
+            assert measured == transformer_decode_step_cycles(
+                batch, position, model.dim, model.heads, model.ff_dim,
+                model.n_layers, model.vocab, CONFIG,
+            )
+            tokens = np.argmax(logits, axis=-1)
+
+    def test_warm_prefill_cycles_match_closed_form(self):
+        model = _model()
+        array, backend = self._warm_backend(model)
+        rng = np.random.default_rng(2)
+        prompt = _prompts(rng, 2, 6)
+        _, state = model.prefill(prompt, backend)
+        payload = GenerationAdapter(model).capture(state, 4)
+
+        before = array.total_cycles
+        model.prefill(prompt, backend, cached=payload)
+        measured = array.total_cycles - before
+        assert measured == transformer_prefill_cycles(
+            2, 6, 4, model.dim, model.heads, model.ff_dim,
+            model.n_layers, model.vocab, CONFIG,
+        )
+
+    def test_decode_cycles_grow_with_position_only(self):
+        """The per-step closed form depends on the K/V length, not on
+        how the sequence got there — the attention GEMMs see one query
+        row against ``position + 1`` keys."""
+        model = _model()
+        c1 = transformer_decode_step_cycles(
+            2, 4, model.dim, model.heads, model.ff_dim,
+            model.n_layers, model.vocab, CONFIG,
+        )
+        c2 = transformer_decode_step_cycles(
+            2, 8, model.dim, model.heads, model.ff_dim,
+            model.n_layers, model.vocab, CONFIG,
+        )
+        assert c2 > c1
+
+    def test_closed_form_validation(self):
+        with pytest.raises(ValueError):
+            transformer_prefill_cycles(1, 4, 4, 8, 2, 16, 1, 16, CONFIG)
+        with pytest.raises(ValueError):
+            transformer_decode_step_cycles(1, 0, 8, 2, 16, 1, 16, CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# 3. Continuous batching in the engine (invariant fuzz)
+# ---------------------------------------------------------------------------
+class RecordingAdapter(GenerationAdapter):
+    """Adapter spy: observes every prefill/decode batch the engine runs."""
+
+    def __init__(self, model):
+        super().__init__(model)
+        self.prefill_batches = []
+        self.decode_batches = []
+
+    def prefill(self, prompts, backend, cached=None):
+        prompts = np.asarray(prompts)
+        self.prefill_batches.append(
+            {
+                "size": prompts.shape[0],
+                "uniform": bool(np.all(prompts == prompts[0])),
+                "cached": cached is not None,
+            }
+        )
+        return super().prefill(prompts, backend, cached=cached)
+
+    def decode(self, states, tokens, backend):
+        self.decode_batches.append(
+            {"size": len(states), "positions": {s.pos for s in states}}
+        )
+        return super().decode(states, tokens, backend)
+
+
+def _gen_engine(n_shards=2, adapter=None, model=None, **kw):
+    model = model if model is not None else _model()
+    pool = ClusterDispatcher.from_arrays(
+        [SystolicArray(CONFIG) for _ in range(n_shards)], GRANULARITY
+    )
+    kw.setdefault("max_batch_size", 4)
+    kw.setdefault("flush_timeout", 1e-4)
+    engine = InferenceEngine(pool, **kw)
+    adapter = adapter if adapter is not None else GenerationAdapter(model)
+    engine.register("gen", generation_adapter=adapter)
+    return engine, adapter, model
+
+
+class TestContinuousBatching:
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_randomized_schedule_invariants(self, seed):
+        """Random arrivals/lengths/tenants: the full contract holds."""
+        model = _model()
+        adapter = RecordingAdapter(model)
+        engine, _, _ = _gen_engine(adapter=adapter, model=model)
+        rng = np.random.default_rng(seed)
+        ids, params = [], {}
+        for i in range(12):
+            length = int(rng.integers(1, 6))
+            prompt = _prompts(rng, 1, length)[0]
+            max_new = int(rng.integers(1, 5))
+            tenant = ["gold", "free"][int(rng.integers(0, 2))]
+            arrival = float(rng.uniform(0, 3e-4))
+            rid = engine.submit_generation(
+                "gen", prompt, max_new, arrival=arrival, tenant=tenant
+            )
+            ids.append(rid)
+            params[rid] = (prompt, max_new)
+        report = engine.run()
+
+        # Every admitted request completes exactly once (no faults here).
+        completed_ids = sorted(c.request.request_id for c in report.completed)
+        assert completed_ids == sorted(ids)
+        assert not report.failed and not report.shed
+
+        # ...bit-identically to standalone lockstep generation.
+        reference = _backend()
+        for rid in ids:
+            prompt, max_new = params[rid]
+            expect = model.generate(prompt[None, :], max_new, reference)[0]
+            assert np.array_equal(engine.result(rid), expect)
+
+        # Prefill batches never mix prompts; decode batches never mix
+        # positions (tenant/model purity is structural: DecodeStepRecord
+        # carries exactly one of each, and the grouping keys on them).
+        assert all(b["uniform"] for b in adapter.prefill_batches)
+        assert all(len(b["positions"]) == 1 for b in adapter.decode_batches)
+        assert all(
+            b["size"] <= engine.scheduler.assembler.max_batch_size
+            for b in adapter.decode_batches
+        )
+
+        # Per-tenant attribution is exact and exhaustive.
+        assert sum(report.tenant_cycles.values()) == sum(
+            report.shard_cycles.values()
+        )
+        # Token accounting: one token per decode-step batch slot, plus
+        # one prefill token per sequence.
+        step_tokens = sum(s.tokens for s in report.generation_steps)
+        total_tokens = sum(len(c.outputs) for c in report.completed)
+        assert total_tokens == step_tokens + len(ids)
+        assert report.generated_tokens == total_tokens
+        per_tenant = report.tenant_tokens()
+        assert sum(per_tenant.values()) == total_tokens
+
+    def test_decode_batches_merge_sequences_across_prefills(self):
+        """Sequences from different prefill batches share iterations —
+        the continuous part of continuous batching."""
+        model = _model()
+        adapter = RecordingAdapter(model)
+        engine, _, _ = _gen_engine(n_shards=1, adapter=adapter, model=model)
+        rng = np.random.default_rng(5)
+        # Same length, distinct prompts (distinct digests => distinct
+        # prefill batches), arrivals staggered tightly enough that later
+        # sequences prefill while earlier ones still have steps left.
+        for i in range(4):
+            engine.submit_generation(
+                "gen", _prompts(rng, 1, 4)[0], 6, arrival=i * 2e-6
+            )
+        report = engine.run()
+        assert len(report.completed) == 4
+        # Distinct prompts never share a prefill...
+        assert all(b["size"] == 1 for b in adapter.prefill_batches)
+        # ...yet decode iterations run multiple sequences together.
+        assert any(b["size"] > 1 for b in adapter.decode_batches)
+        assert any(s.batch_size > 1 for s in report.generation_steps)
+
+    def test_identical_prompts_share_one_prefill(self):
+        model = _model()
+        adapter = RecordingAdapter(model)
+        engine, _, _ = _gen_engine(adapter=adapter, model=model)
+        prompt = np.array([5, 3, 1], dtype=np.int64)
+        ids = [
+            engine.submit_generation("gen", prompt, 3, arrival=i * 1e-5)
+            for i in range(3)
+        ]
+        report = engine.run()
+        assert [b["size"] for b in adapter.prefill_batches] == [3]
+        outs = [engine.result(i) for i in ids]
+        assert all(np.array_equal(outs[0], o) for o in outs)
+        assert report.generation_section()  # renders without error
+        assert "decode iterations" in report.summary()
+
+    def test_generation_report_views(self):
+        engine, _, model = _gen_engine()
+        rid = engine.submit_generation(
+            "gen", np.array([1, 2, 3], dtype=np.int64), 4
+        )
+        report = engine.run()
+        assert report.has_generation_activity
+        assert report.generated_tokens == len(engine.result(rid, keep=True))
+        assert report.tokens_per_second() > 0
+        assert report.generation_makespan() > 0
+        assert report.decode_steps == 3  # 4 tokens = prefill + 3 steps
+        for step in report.generation_steps:
+            assert step.cycles > 0 and step.finish > step.start
+
+    def test_submit_generation_requires_adapter(self):
+        pool = ClusterDispatcher.from_arrays([SystolicArray(CONFIG)], GRANULARITY)
+        engine = InferenceEngine(pool)
+        engine.register("plain", _model())
+        with pytest.raises(ValueError, match="generation_adapter"):
+            engine.submit_generation("plain", np.array([1, 2]), 2)
+        # ...and the position-table bound is enforced at submit time.
+        engine.register("gen", generation_adapter=GenerationAdapter(_model()))
+        with pytest.raises(ValueError, match="position table"):
+            engine.submit_generation(
+                "gen", np.zeros(4, dtype=np.int64), _model().seq_len
+            )
+
+    def test_mixed_generation_and_classifier_traffic(self):
+        """Plain submit() and submit_generation() coexist on one engine."""
+        model = _model()
+        cls_model = TinyBERT(
+            vocab=16, seq_len=8, dim=8, heads=2, ff_dim=16, n_layers=1,
+            causal=True, seed=0,
+        )
+        engine, _, _ = _gen_engine(model=model)
+        engine.register("cls", cls_model)
+        rng = np.random.default_rng(9)
+        gid = engine.submit_generation("gen", _prompts(rng, 1, 3)[0], 3, arrival=0.0)
+        cid = engine.submit("cls", rng.integers(0, 16, size=8), arrival=1e-5)
+        report = engine.run()
+        assert len(report.completed) == 2
+        assert engine.result(gid).shape == (3,)
+        assert engine.result(cid) is not None
+        assert sum(report.tenant_cycles.values()) == sum(
+            report.shard_cycles.values()
+        )
+
+
+@pytest.mark.chaos
+class TestGenerationChaos:
+    def test_mid_decode_crash_reconciles_and_stays_bit_identical(self):
+        """A seeded shard crash mid-decode: retried iterations complete
+        bit-identically; anything abandoned is ledgered, never lost."""
+        model = _model()
+        plan = FaultPlan.from_seed(
+            11, n_shards=2, horizon=2e-3, crash_rate=1.0, slowdown_rate=0.5
+        )
+        engine, _, _ = _gen_engine(
+            model=model, faults=plan, retry_policy=RetryPolicy(max_retries=3)
+        )
+        rng = np.random.default_rng(3)
+        ids = [
+            engine.submit_generation(
+                "gen", _prompts(rng, 1, 4)[0], 6, arrival=i * 2e-4
+            )
+            for i in range(8)
+        ]
+        report = engine.run()
+        done = {c.request.request_id for c in report.completed}
+        failed = {f.request.request_id for f in report.failed}
+        assert done | failed == set(ids) and not (done & failed)
+        assert report.fault_events  # the plan actually struck
+        reference = _backend()
+        for record in report.completed:
+            expect = model.generate(
+                np.asarray(record.request.inputs)[None, :], 6, reference
+            )[0]
+            assert np.array_equal(engine.result(record.request.request_id), expect)
+        assert sum(report.tenant_cycles.values()) == sum(
+            report.shard_cycles.values()
+        )
+
+    def test_decode_retry_budget_exhaustion_fails_cleanly(self):
+        """A crash inside a decode step with a zero retry budget: the
+        sequence lands in the failure ledger, never silently lost."""
+        from repro.serving.faults import ShardCrash
+
+        model = _model()
+        prompt = np.array([1, 2, 3], dtype=np.int64)
+        # Dry run to learn where the first decode iteration falls...
+        engine, _, _ = _gen_engine(n_shards=1, model=model)
+        engine.submit_generation("gen", prompt, 3, arrival=0.0)
+        clean = engine.run()
+        first = clean.generation_steps[0]
+        strike = (first.start + first.finish) / 2.0
+
+        # ...then strike exactly there with no budget to recover.
+        plan = FaultPlan(events=(ShardCrash(shard=0, at=strike, until=1.0),))
+        engine, _, _ = _gen_engine(
+            n_shards=1, model=model,
+            faults=plan, retry_policy=RetryPolicy(max_retries=0),
+        )
+        ids = [engine.submit_generation("gen", prompt, 3, arrival=0.0)]
+        report = engine.run()
+        assert not report.completed
+        assert {f.request.request_id for f in report.failed} == set(ids)
+        assert all(f.reason == "max_retries" for f in report.failed)
+        assert any(
+            r.kind == "crash" and r.action == "abandon"
+            for r in report.fault_events
+        )
+
+
+# ---------------------------------------------------------------------------
+# 4. Radix prefix index + RadixKVCache
+# ---------------------------------------------------------------------------
+class TestRadixPrefixIndex:
+    def test_insert_and_longest_match(self):
+        tree = RadixPrefixIndex()
+        assert tree.insert([1, 2, 3])
+        assert not tree.insert([1, 2, 3])  # already terminal
+        assert tree.insert([1, 2])  # boundary split
+        assert tree.insert([1, 2, 3, 4, 5])
+        assert tree.longest_match([1, 2, 3, 4, 5, 6]) == 5
+        assert tree.longest_match([1, 2, 3, 9]) == 3
+        assert tree.longest_match([1, 2, 9]) == 2
+        assert tree.longest_match([1, 9]) == 0
+        assert tree.longest_match([9]) == 0
+        assert len(tree) == 3
+
+    def test_remove_prunes(self):
+        tree = RadixPrefixIndex()
+        tree.insert([1, 2, 3])
+        tree.insert([1, 2])
+        assert tree.remove([1, 2, 3])
+        assert not tree.remove([1, 2, 3])  # already gone
+        assert tree.longest_match([1, 2, 3]) == 2
+        assert tree.remove([1, 2])
+        assert tree.longest_match([1, 2, 3]) == 0
+        assert len(tree) == 0
+
+    @given(
+        seqs=st.lists(
+            st.lists(st.integers(0, 3), min_size=1, max_size=6),
+            min_size=1, max_size=12,
+        ),
+        query=st.lists(st.integers(0, 3), min_size=1, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_longest_match_equals_brute_force(self, seqs, query):
+        """The tree agrees with the obvious O(N*M) scan, always."""
+        tree = RadixPrefixIndex()
+        inserted = set()
+        for seq in seqs:
+            tree.insert(seq)
+            inserted.add(tuple(seq))
+        brute = max(
+            (len(s) for s in inserted if tuple(query[: len(s)]) == s),
+            default=0,
+        )
+        assert tree.longest_match(query) == brute
+        # containment round-trip
+        for s in inserted:
+            assert s in tree and tree.longest_match(list(s)) == len(s)
+
+    @given(
+        seqs=st.lists(
+            st.lists(st.integers(0, 2), min_size=1, max_size=5),
+            min_size=1, max_size=8,
+        ),
+        drop=st.integers(0, 7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_remove_restores_brute_force(self, seqs, drop):
+        tree = RadixPrefixIndex()
+        kept = set()
+        for seq in seqs:
+            tree.insert(seq)
+            kept.add(tuple(seq))
+        victim = sorted(kept)[drop % len(kept)]
+        assert tree.remove(list(victim))
+        kept.discard(victim)
+        for s in sorted(kept):
+            assert tree.longest_match(list(s)) == len(s)
+        assert victim not in tree
+        assert len(tree) == len(kept)
+
+
+def _payload(model, prompt_row, upto=None):
+    """A KVTap covering ``prompt_row``'s first ``upto`` positions."""
+    backend = _backend()
+    _, state = model.prefill(np.asarray(prompt_row)[None, :], backend)
+    upto = len(prompt_row) if upto is None else upto
+    return GenerationAdapter(model).capture(state, upto)
+
+
+class TestRadixKVCache:
+    def test_longest_prefix_lookup_and_incremental_capture(self):
+        model = _model()
+        cache = RadixKVCache()
+        p = np.array([1, 2, 3, 4], dtype=np.int64)
+        cache.insert(0, "t", "m", p, _payload(model, p))
+        # exact query, capped one short of the prompt
+        n, payload = cache.lookup(0, "t", "m", p, max_len=len(p) - 1)
+        assert n == 0 and payload is None  # only the full-4 entry exists
+        longer = np.array([1, 2, 3, 4, 9, 9], dtype=np.int64)
+        n, payload = cache.lookup(0, "t", "m", longer, max_len=5)
+        assert n == 4 and payload.prefix_len == 4
+        # extending the transcript re-captures incrementally
+        cache.insert(0, "t", "m", longer, _payload(model, longer))
+        evenlonger = np.concatenate([longer, [7]])
+        n, payload = cache.lookup(0, "t", "m", evenlonger, max_len=6)
+        assert n == 6 and payload.prefix_len == 6
+        stats = cache.stats()
+        assert stats["insertions"] == 2 and stats["hits"] == 2
+
+    def test_tenant_and_model_isolation(self):
+        model = _model()
+        cache = RadixKVCache()
+        p = np.array([5, 6, 7], dtype=np.int64)
+        cache.insert(0, "alice", "m", p, _payload(model, p))
+        q = np.concatenate([p, [1]])
+        assert cache.lookup(0, "bob", "m", q)[0] == 0
+        assert cache.lookup(0, "alice", "other", q)[0] == 0
+        assert cache.lookup(1, "alice", "m", q)[0] == 0  # other shard
+        assert cache.lookup(0, "alice", "m", q)[0] == 3
+        assert cache.resident_shards("alice", "m", q) == (0,)
+        assert cache.resident_shards("bob", "m", q) == ()
+
+    def test_eviction_under_byte_budget_self_heals(self):
+        model = _model()
+        one = _payload(model, np.array([0, 1], dtype=np.int64))
+        budget = one.nbytes + 16 + 8  # room for ~one entry + token key
+        cache = RadixKVCache(shard_budget_bytes=budget)
+        a = np.array([0, 1], dtype=np.int64)
+        b = np.array([2, 3], dtype=np.int64)
+        assert cache.insert(0, "t", "m", a, _payload(model, a))
+        assert cache.insert(0, "t", "m", b, _payload(model, b))  # evicts a
+        assert cache.stats()["evictions"] >= 1
+        # The stale index entry heals at lookup: a misses, b hits.
+        assert cache.lookup(0, "t", "m", np.concatenate([a, [9]]))[0] == 0
+        assert cache.lookup(0, "t", "m", np.concatenate([b, [9]]))[0] == 2
+        # An entry that can never fit is rejected outright.
+        huge = _payload(model, np.arange(8, dtype=np.int64) % 4)
+        tiny = RadixKVCache(shard_budget_bytes=8)
+        assert not tiny.insert(0, "t", "m", np.arange(8) % 4, huge)
+        assert tiny.stats()["rejections"] == 1
+
+    def test_payload_length_must_match_tokens(self):
+        model = _model()
+        cache = RadixKVCache()
+        p = np.array([1, 2, 3], dtype=np.int64)
+        with pytest.raises(ValueError, match="positions"):
+            cache.insert(0, "t", "m", p, _payload(model, p, upto=2))
+
+    def test_matches_flat_prefix_cache_on_single_prefix_workloads(self):
+        """With whole-prompt entries only, the radix cache makes the
+        same hit/miss decisions as the flat digest-keyed PrefixCache."""
+        model = _model()
+        radix = RadixKVCache()
+        flat = PrefixCache()
+        rng = np.random.default_rng(4)
+        prompts = [_prompts(rng, 1, 4)[0] for _ in range(3)]
+        workload = [prompts[i] for i in (0, 1, 0, 2, 1, 0)]
+        for prompt in workload:
+            key = GenerationAdapter(model).prompt_key(prompt)
+            flat_hit = flat.lookup(0, "t", "m", key, prompt) is not None
+            radix_len, _ = radix.lookup(0, "t", "m", prompt)
+            assert (radix_len == len(prompt)) == flat_hit
+            if not flat_hit:
+                payload = _payload(model, prompt)
+                flat.insert(
+                    0,
+                    PrefixEntry(
+                        tenant="t", model="m", prefix_key=key,
+                        prefix_tokens=prompt, payload=payload,
+                    ),
+                )
+                radix.insert(0, "t", "m", prompt, payload)
+        assert radix.stats()["hits"] == flat.hits
+        assert radix.stats()["misses"] == flat.misses
+
+    def test_engine_radix_roundtrip_saves_cycles(self):
+        """Second run of the same prompt prefills warm: bit-identical
+        output, positive closed-form savings in the prefix event."""
+        model = _model(seq_len=16)
+        adapter = GenerationAdapter(model)
+        engine, _, _ = _gen_engine(
+            n_shards=1, model=model, adapter=adapter,
+            radix_cache=RadixKVCache(),
+        )
+        prompt = np.array([3, 1, 4, 1], dtype=np.int64)
+        i0 = engine.submit_generation("gen", prompt, 4, arrival=0.0)
+        engine.run()
+        out0 = engine.result(i0)
+
+        follow = np.concatenate([prompt, out0, [7, 2]]).astype(np.int64)
+        i1 = engine.submit_generation("gen", follow, 3, arrival=1.0)
+        report = engine.run()
+        expect = model.generate(follow[None, :], 3, _backend())[0]
+        assert np.array_equal(engine.result(i1), expect)
+        hits = [e for e in report.prefix_events if e.hit]
+        assert len(hits) == 1
+        # Retirement donates prompt + generated[:-1]: the final token's
+        # K/V row is never computed (its logits end the sequence), so
+        # the resident prefix is one short of the full transcript.
+        cached_len = len(prompt) + len(out0) - 1
+        assert hits[0].cycles_saved == transformer_prefill_cycles(
+            1, len(follow), 0, model.dim, model.heads, model.ff_dim,
+            model.n_layers, model.vocab, CONFIG,
+        ) - transformer_prefill_cycles(
+            1, len(follow), cached_len, model.dim, model.heads, model.ff_dim,
+            model.n_layers, model.vocab, CONFIG,
+        )
+        assert any(
+            ns.startswith("serving.radix.") for ns in engine.cache_stats()
+        )
+
+
+# ---------------------------------------------------------------------------
+# 5. ShardedDispatcher deprecation shim
+# ---------------------------------------------------------------------------
+class TestShardedDispatcherShim:
+    def test_warns_and_behaves_like_cluster_dispatcher(self):
+        arrays = [SystolicArray(CONFIG) for _ in range(2)]
+        with pytest.warns(DeprecationWarning, match="ShardedDispatcher"):
+            legacy = ShardedDispatcher.from_arrays(arrays, GRANULARITY)
+        assert isinstance(legacy, ClusterDispatcher)
+        modern = ClusterDispatcher.from_arrays(
+            [SystolicArray(CONFIG) for _ in range(2)], GRANULARITY
+        )
+        assert legacy.n_shards == modern.n_shards
+
+        model = _model()
+        rng = np.random.default_rng(6)
+        rows = rng.integers(0, 16, size=(4, model.seq_len))
+        results = []
+        for pool in (legacy, modern):
+            engine = InferenceEngine(pool, max_batch_size=2, flush_timeout=1e-4)
+            engine.register("bert", model)
+            ids = [engine.submit("bert", row, arrival=i * 1e-5)
+                   for i, row in enumerate(rows)]
+            engine.run()
+            results.append([engine.result(i) for i in ids])
+        for got, expect in zip(*results):
+            assert np.array_equal(got, expect)
+
+    def test_direct_construction_warns_once_per_instance(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ClusterDispatcher.from_arrays([SystolicArray(CONFIG)], GRANULARITY)
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
