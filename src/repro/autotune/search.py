@@ -1,0 +1,219 @@
+"""Seeded search drivers over :class:`~repro.autotune.tuning.TuningConfig`.
+
+Two drivers share one evaluation fabric:
+
+* :func:`random_search` — uniform seeded draws from a
+  :class:`~repro.autotune.tuning.ConfigSpace`, the baseline every
+  fancier strategy must beat;
+* :func:`evolutionary_search` — a mutation/crossover loop: each
+  generation scores a population, keeps the scalar-score elite as
+  parents, and refills with crossover children and neighbor-hop
+  mutants.
+
+Candidate generation is driven entirely by one
+``numpy.random.default_rng(seed)`` stream and replay is
+deterministic, so a search is reproducible bit for bit — including
+across ``n_workers``: workers only parallelize evaluation (one forked
+process per chunk of candidates, the
+:mod:`~repro.serving.multiproc` spawn/collect pattern), never the
+choice of candidates.  Every scored candidate flows into a
+:class:`~repro.autotune.front.TuningFront` via the existing Pareto
+dominance code; pass a loaded front in to resume a previous run — its
+surviving configs seed the first population and its entries stay in
+the merged result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import traceback
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autotune.front import FrontEntry, TuningFront
+from repro.autotune.objective import Objective, scalar_score
+from repro.autotune.replay import EndpointSpec, evaluate
+from repro.autotune.trace import TrafficTrace
+from repro.autotune.tuning import ConfigSpace, TuningConfig
+from repro.serving.faults import FaultPlan
+
+
+class EvaluationFailedError(RuntimeError):
+    """A search worker process died before delivering its scores."""
+
+    def __init__(self, worker: int, n_candidates: int, exit_code: int) -> None:
+        self.worker = worker
+        self.n_candidates = n_candidates
+        self.exit_code = exit_code
+        super().__init__(
+            f"search worker {worker} ({n_candidates} candidate(s)) exited "
+            f"with code {exit_code} before delivering its scores"
+        )
+
+
+def _evaluate_chunk(
+    trace: TrafficTrace,
+    configs: Sequence[TuningConfig],
+    endpoints: Sequence[EndpointSpec],
+    faults: Optional[FaultPlan],
+) -> List[Objective]:
+    """Score a chunk of candidates, in order (worker body, also the
+    in-process path)."""
+    return [evaluate(trace, config, endpoints, faults=faults) for config in configs]
+
+
+def _chunk_entry(payload, conn) -> None:
+    """Process body of one search worker: evaluate, send, exit."""
+    try:
+        conn.send(_evaluate_chunk(*payload))
+    except BaseException:  # pragma: no cover — exercised via subprocess
+        traceback.print_exc(file=sys.stderr)
+        conn.close()
+        os._exit(1)
+    conn.close()
+
+
+def _evaluate_candidates(
+    trace: TrafficTrace,
+    configs: Sequence[TuningConfig],
+    endpoints: Sequence[EndpointSpec],
+    faults: Optional[FaultPlan] = None,
+    n_workers: int = 1,
+) -> List[FrontEntry]:
+    """Score every candidate, fanning chunks out across processes.
+
+    Candidates round-robin over workers (``configs[w::n]``) and the
+    results reassemble in candidate order, so the outcome is
+    independent of ``n_workers`` — a single-process run and an 8-way
+    fan-out of the same seed produce the same entries.
+    """
+    n_workers = max(1, min(int(n_workers), len(configs)))
+    if n_workers == 1:
+        objectives = _evaluate_chunk(trace, configs, endpoints, faults)
+    else:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        procs = []
+        for worker in range(n_workers):
+            chunk = configs[worker::n_workers]
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_chunk_entry,
+                args=((trace, chunk, endpoints, faults), child_conn),
+            )
+            proc.start()
+            child_conn.close()
+            procs.append((proc, parent_conn, len(chunk)))
+        chunks: List[Optional[List[Objective]]] = []
+        for worker, (proc, conn, size) in enumerate(procs):
+            # Read before joining — a result larger than the pipe
+            # buffer would deadlock a join-first collector.
+            result: Optional[List[Objective]] = None
+            try:
+                result = conn.recv()
+            except (EOFError, OSError):
+                result = None
+            finally:
+                conn.close()
+            proc.join()
+            if result is None:
+                raise EvaluationFailedError(
+                    worker, size, proc.exitcode if proc.exitcode is not None else 0
+                )
+            chunks.append(result)
+        objectives = [None] * len(configs)
+        for worker, chunk_result in enumerate(chunks):
+            for offset, objective in enumerate(chunk_result):
+                objectives[worker + offset * n_workers] = objective
+    return [
+        FrontEntry(config=config, objective=objective)
+        for config, objective in zip(configs, objectives)
+    ]
+
+
+def random_search(
+    trace: TrafficTrace,
+    space: ConfigSpace,
+    endpoints: Sequence[EndpointSpec],
+    n_candidates: int,
+    seed: int,
+    n_workers: int = 1,
+    faults: Optional[FaultPlan] = None,
+    front: Optional[TuningFront] = None,
+) -> TuningFront:
+    """Score ``n_candidates`` uniform seeded draws; return the front.
+
+    Pass a previously saved ``front`` to resume: its entries survive
+    into the merge and its ``evaluated`` count keeps accumulating.
+    """
+    if n_candidates < 1:
+        raise ValueError(f"n_candidates must be >= 1, got {n_candidates}")
+    rng = np.random.default_rng(seed)
+    configs = [space.sample(rng) for _ in range(n_candidates)]
+    entries = _evaluate_candidates(
+        trace, configs, endpoints, faults=faults, n_workers=n_workers
+    )
+    if front is None:
+        front = TuningFront.from_entries(trace.name, (), evaluated=0)
+    return front.merge(entries, evaluated=len(entries))
+
+
+def evolutionary_search(
+    trace: TrafficTrace,
+    space: ConfigSpace,
+    endpoints: Sequence[EndpointSpec],
+    generations: int,
+    population: int,
+    seed: int,
+    n_workers: int = 1,
+    faults: Optional[FaultPlan] = None,
+    front: Optional[TuningFront] = None,
+) -> TuningFront:
+    """Mutation/crossover loop over ``generations`` populations.
+
+    Generation 0 samples the space — seeded by the surviving configs
+    of ``front`` when resuming.  Each later generation keeps the top
+    third (by scalar score) of everything evaluated so far as parents
+    and refills the population with crossover children and mutants.
+    Every scored candidate is merged into the returned front.
+    """
+    if generations < 1:
+        raise ValueError(f"generations must be >= 1, got {generations}")
+    if population < 2:
+        raise ValueError(f"population must be >= 2, got {population}")
+    rng = np.random.default_rng(seed)
+    if front is None:
+        front = TuningFront.from_entries(trace.name, (), evaluated=0)
+
+    pool: List[TuningConfig] = [entry.config for entry in front.entries]
+    pool = pool[:population]
+    while len(pool) < population:
+        pool.append(space.sample(rng))
+
+    scored: List[FrontEntry] = []
+    for _ in range(generations):
+        entries = _evaluate_candidates(
+            trace, pool, endpoints, faults=faults, n_workers=n_workers
+        )
+        front = front.merge(entries, evaluated=len(entries))
+        scored.extend(entries)
+        parents = sorted(scored, key=lambda entry: scalar_score(entry.objective))
+        parents = [entry.config for entry in parents[: max(2, population // 3)]]
+        pool = []
+        while len(pool) < population:
+            if rng.integers(0, 2) == 0 and len(parents) >= 2:
+                first, second = rng.choice(len(parents), size=2, replace=False)
+                child = space.crossover(
+                    parents[int(first)], parents[int(second)], rng
+                )
+            else:
+                child = space.mutate(
+                    parents[int(rng.integers(0, len(parents)))], rng
+                )
+            pool.append(child)
+    return front

@@ -1,0 +1,381 @@
+"""Traffic traces: record serving requests, synthesize workloads, persist.
+
+A :class:`TrafficTrace` is a pure value describing a request stream —
+everything :meth:`~repro.serving.engine.InferenceEngine.submit` /
+:meth:`~repro.serving.engine.InferenceEngine.submit_generation` needs
+to re-drive the exact same traffic, in a versioned JSON-safe format
+(``TRACE_VERSION``) that both store serializers can carry.  Traces
+come from two places:
+
+* **capture** — a :class:`TraceRecorder` attached to a live engine
+  (the ``recorder=`` constructor knob) observes every admitted
+  request: tenant, model, input tokens, arrival time, priority,
+  deadline, and — for generation traffic — prompt, token budget and
+  stop token;
+* **synthesis** — :func:`synthesize_trace` draws a seeded stream in
+  one of three workload shapes (``bursty`` / ``skewed`` /
+  ``conversational``), so the autotuner can be exercised on traffic
+  the serving stack has never actually seen.
+
+Traces persist as namespaces on the :mod:`repro.store` fabric
+(:func:`save_trace` / :func:`load_trace` under
+:data:`TRACE_NAMESPACE`), so a trace recorded by one process — or one
+serving worker — is replayable by any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.store import register_namespace
+
+#: Schema version stamped into every serialized trace.  Bump on any
+#: field change; ``TrafficTrace.from_dict`` refuses versions it does
+#: not understand instead of guessing.
+TRACE_VERSION = 1
+
+#: Store namespace holding persisted traces (one entry per trace name).
+TRACE_NAMESPACE = "autotune.traces"
+
+register_namespace(TRACE_NAMESPACE, max_entries=32)
+
+
+@dataclass(frozen=True)
+class TracedRequest:
+    """One recorded submission — enough to re-issue it exactly.
+
+    ``inputs`` holds the token/feature payload as nested lists plus a
+    dtype string (JSON-safe; rebuilt with :meth:`inputs_array`).
+    ``max_new_tokens`` is None for plain inference requests and set for
+    generation requests (where ``inputs`` is the prompt row).
+    """
+
+    model: str
+    inputs: Tuple
+    dtype: str
+    arrival: float
+    tenant: str = "default"
+    priority: Optional[int] = None
+    deadline: Optional[float] = None
+    max_new_tokens: Optional[int] = None
+    stop_token: Optional[int] = None
+
+    @property
+    def is_generation(self) -> bool:
+        return self.max_new_tokens is not None
+
+    def inputs_array(self) -> np.ndarray:
+        """The payload as the ndarray the engine originally saw."""
+        return np.array(self.inputs, dtype=np.dtype(self.dtype))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "inputs": _to_jsonable(self.inputs),
+            "dtype": self.dtype,
+            "arrival": self.arrival,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "max_new_tokens": self.max_new_tokens,
+            "stop_token": self.stop_token,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TracedRequest":
+        return cls(
+            model=str(data["model"]),
+            inputs=_to_tuple(data["inputs"]),
+            dtype=str(data["dtype"]),
+            arrival=float(data["arrival"]),
+            tenant=str(data["tenant"]),
+            priority=(
+                None if data["priority"] is None else int(data["priority"])
+            ),
+            deadline=(
+                None if data["deadline"] is None else float(data["deadline"])
+            ),
+            max_new_tokens=(
+                None
+                if data["max_new_tokens"] is None
+                else int(data["max_new_tokens"])
+            ),
+            stop_token=(
+                None if data["stop_token"] is None else int(data["stop_token"])
+            ),
+        )
+
+    @classmethod
+    def from_request(cls, request) -> "TracedRequest":
+        """Capture one live :class:`~repro.serving.request.InferenceRequest`."""
+        generation = request.generation
+        return cls(
+            model=request.model,
+            inputs=_to_tuple(np.asarray(request.inputs).tolist()),
+            dtype=str(np.asarray(request.inputs).dtype),
+            arrival=request.arrival,
+            tenant=request.tenant,
+            priority=request.priority,
+            deadline=request.deadline,
+            max_new_tokens=(
+                None if generation is None else generation.max_new_tokens
+            ),
+            stop_token=(None if generation is None else generation.stop_token),
+        )
+
+
+def _to_tuple(value):
+    """Nested lists → nested tuples (hashable, hypothesis-friendly)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_to_tuple(item) for item in value)
+    return value
+
+
+def _to_jsonable(value):
+    """Nested tuples → nested lists (what JSON serializers expect)."""
+    if isinstance(value, tuple):
+        return [_to_jsonable(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A versioned, replayable request stream.
+
+    ``seed`` records provenance for synthesized traces (None for
+    captured ones); ``requests`` are sorted by arrival at construction
+    so the trace is directly feedable to a discrete-event run.
+    """
+
+    name: str
+    requests: Tuple[TracedRequest, ...]
+    seed: Optional[int] = None
+    version: int = TRACE_VERSION
+
+    def __post_init__(self) -> None:
+        arrivals = [r.arrival for r in self.requests]
+        if arrivals != sorted(arrivals):
+            object.__setattr__(
+                self,
+                "requests",
+                tuple(sorted(self.requests, key=lambda r: r.arrival)),
+            )
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def models(self) -> List[str]:
+        """Distinct endpoint names the trace touches, sorted."""
+        return sorted({r.model for r in self.requests})
+
+    @property
+    def tenants(self) -> List[str]:
+        return sorted({r.tenant for r in self.requests})
+
+    @property
+    def horizon(self) -> float:
+        """Last recorded arrival (0.0 for an empty trace)."""
+        return max((r.arrival for r in self.requests), default=0.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "name": self.name,
+            "seed": self.seed,
+            "requests": [r.to_dict() for r in self.requests],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TrafficTrace":
+        version = int(data["version"])
+        if version != TRACE_VERSION:
+            raise ValueError(
+                f"trace version {version} is not supported "
+                f"(this build reads version {TRACE_VERSION})"
+            )
+        return cls(
+            name=str(data["name"]),
+            seed=None if data["seed"] is None else int(data["seed"]),
+            requests=tuple(
+                TracedRequest.from_dict(item) for item in data["requests"]
+            ),
+            version=version,
+        )
+
+
+class TraceRecorder:
+    """Engine hook capturing every admitted request.
+
+    Pass one as the engine's ``recorder=`` constructor argument (or set
+    ``engine.recorder`` afterwards); the engine calls :meth:`record`
+    with each validated :class:`~repro.serving.request.InferenceRequest`
+    at submission time — including requests fed through
+    ``run(request_source=...)``, so a recorder sees exactly the traffic
+    the run served.  :meth:`trace` snapshots the log as an immutable
+    :class:`TrafficTrace`; :meth:`clear` starts a fresh capture.
+    """
+
+    def __init__(self, name: str = "captured") -> None:
+        self.name = name
+        self._log: List[TracedRequest] = []
+
+    def record(self, request) -> None:
+        self._log.append(TracedRequest.from_request(request))
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def clear(self) -> None:
+        self._log.clear()
+
+    def trace(self, name: Optional[str] = None) -> TrafficTrace:
+        return TrafficTrace(
+            name=name if name is not None else self.name,
+            requests=tuple(self._log),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Synthesis
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EndpointProfile:
+    """Shape of one synthetic endpoint's requests.
+
+    ``weight`` biases model choice (the ``skewed`` shape raises the
+    contrast); ``max_new_tokens`` switches the endpoint's requests to
+    generation traffic with ``seq_len``-token prompts.
+    """
+
+    model: str
+    seq_len: int
+    vocab: int = 16
+    weight: float = 1.0
+    max_new_tokens: Optional[int] = None
+    stop_token: Optional[int] = None
+
+
+def synthesize_trace(
+    name: str,
+    endpoints: Sequence[EndpointProfile],
+    n_requests: int,
+    horizon: float,
+    seed: int,
+    shape: str = "bursty",
+    tenants: Sequence[str] = ("default",),
+    deadline_slack: Optional[float] = None,
+) -> TrafficTrace:
+    """Draw a seeded synthetic trace in one of three workload shapes.
+
+    * ``bursty`` — arrivals cluster into a few tight bursts over the
+      horizon (the flash-crowd case dynamic batching exists for);
+    * ``skewed`` — uniform arrivals, but model and tenant choice
+      follow the endpoint weights raised to a power, so one endpoint
+      dominates (the hot-model case placement policies trip over);
+    * ``conversational`` — multi-turn sessions: each session re-sends
+      a growing prompt (shared prefix + fresh suffix), the shape
+      prefix/radix caches monetize.
+
+    Same ``(endpoints, n_requests, horizon, seed, shape)`` ⇒ the same
+    trace, bit for bit.  ``deadline_slack`` attaches a deadline of
+    ``arrival + slack`` to every request so replays score SLO
+    attainment.
+    """
+    if not endpoints:
+        raise ValueError("synthesize_trace needs at least one endpoint")
+    if shape not in ("bursty", "skewed", "conversational"):
+        raise ValueError(
+            f"unknown workload shape {shape!r}; "
+            "available: bursty, skewed, conversational"
+        )
+    rng = np.random.default_rng(seed)
+    weights = np.array([e.weight for e in endpoints], dtype=np.float64)
+    if shape == "skewed":
+        weights = weights**2
+    weights = weights / weights.sum()
+
+    if shape == "bursty":
+        n_bursts = max(1, n_requests // 8)
+        burst_times = np.sort(rng.uniform(0.0, horizon, size=n_bursts))
+        arrivals = np.sort(
+            np.clip(
+                burst_times[rng.integers(0, n_bursts, size=n_requests)]
+                + rng.exponential(horizon / (20.0 * n_bursts), size=n_requests),
+                0.0,
+                horizon,
+            )
+        )
+    else:
+        arrivals = np.sort(rng.uniform(0.0, horizon, size=n_requests))
+
+    sessions: Dict[int, np.ndarray] = {}
+    requests: List[TracedRequest] = []
+    for index in range(n_requests):
+        endpoint = endpoints[int(rng.choice(len(endpoints), p=weights))]
+        tenant = str(tenants[int(rng.integers(0, len(tenants)))])
+        if shape == "conversational":
+            # A session's next turn keeps the first half of its prompt
+            # and redraws the rest — a growing shared prefix.
+            session = int(rng.integers(0, max(1, n_requests // 4)))
+            row = rng.integers(0, endpoint.vocab, size=endpoint.seq_len)
+            prior = sessions.get(session)
+            if prior is not None and prior.size == row.size:
+                keep = endpoint.seq_len // 2
+                row[:keep] = prior[:keep]
+            sessions[session] = row
+        else:
+            row = rng.integers(0, endpoint.vocab, size=endpoint.seq_len)
+        arrival = float(arrivals[index])
+        requests.append(
+            TracedRequest(
+                model=endpoint.model,
+                inputs=_to_tuple(row.tolist()),
+                dtype=str(row.dtype),
+                arrival=arrival,
+                tenant=tenant,
+                deadline=(
+                    None
+                    if deadline_slack is None
+                    else arrival + float(deadline_slack)
+                ),
+                max_new_tokens=endpoint.max_new_tokens,
+                stop_token=endpoint.stop_token,
+            )
+        )
+    return TrafficTrace(name=name, requests=tuple(requests), seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+def save_trace(trace: TrafficTrace, store=None) -> None:
+    """Persist ``trace`` under its name on a cache store.
+
+    With a :class:`repro.store.FileStore` fabric the trace survives the
+    process and is loadable by any worker; the default process-global
+    store makes it an in-process snapshot.  The payload is the
+    JSON-safe :meth:`TrafficTrace.to_dict` form, so both store
+    serializers can carry it.
+    """
+    if store is None:
+        from repro.store import get_store
+
+        store = get_store()
+    store.put(TRACE_NAMESPACE, trace.name, trace.to_dict())
+
+
+def load_trace(name: str, store=None) -> Optional[TrafficTrace]:
+    """Restore a :func:`save_trace` snapshot, or None if absent."""
+    if store is None:
+        from repro.store import get_store
+
+        store = get_store()
+    data = store.get(TRACE_NAMESPACE, name)
+    if data is None:
+        return None
+    return TrafficTrace.from_dict(data)

@@ -455,9 +455,30 @@ class CostAwarePlacement(PlacementPolicy):
     information anywhere the policy degenerates to earliest-available —
     still occupancy-aware, never worse than round-robin on backlog.
     Ties break by backlog then index.
+
+    ``occupancy_penalty`` counters the greedy policy's
+    load-concentration failure mode: on a skewed pool the fastest
+    shard's ETA stays lowest even with a deep queue, so it absorbs
+    nearly everything while slower shards idle (the ``{1.0, 0.17, 0,
+    0}`` utilization pattern of the placement bench).  A penalty
+    ``k > 0`` charges each candidate ``k x`` its already-queued
+    backlog *on top of* the real ETA, steering marginal batches onto
+    idle slower shards once the fast shard's queue grows.  The default
+    ``0.0`` is the pinned historical behavior, bit for bit; the knob
+    is searchable through
+    :attr:`repro.autotune.TuningConfig.occupancy_penalty`.
     """
 
     name = "cost_aware"
+
+    def __init__(self, occupancy_penalty: float = 0.0):
+        if occupancy_penalty < 0:
+            raise ValueError(
+                f"occupancy_penalty must be >= 0, got {occupancy_penalty}"
+            )
+        self.occupancy_penalty = float(occupancy_penalty)
+        if self.occupancy_penalty > 0:
+            self.name = f"cost_aware(occ={self.occupancy_penalty:g})"
 
     def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
         services = {}
@@ -470,6 +491,7 @@ class CostAwarePlacement(PlacementPolicy):
         def finish(view: ShardView) -> Tuple[float, float, int]:
             service = services.get(view.index, unknown_service)
             eta = max(batch.ready_time, view.busy_until) + service
+            eta += self.occupancy_penalty * view.backlog_seconds(batch.ready_time)
             return (eta, view.busy_until, view.index)
 
         return min(shards, key=finish).index

@@ -255,6 +255,14 @@ class InferenceEngine:
         gets an independent :class:`~repro.serving.cluster.ShardHealth`
         driven by batch outcomes, and placement only sees shards whose
         breaker currently admits work.
+    recorder:
+        Optional traffic-capture hook — any object with a
+        ``record(request)`` method, typically a
+        :class:`repro.autotune.TraceRecorder`.  Called once per
+        validated submission (``submit``, ``submit_generation``, and
+        ``run(request_source=...)`` items alike), so the captured
+        trace is exactly the traffic the engine admitted.  Also
+        settable after construction via the ``recorder`` attribute.
     """
 
     def __init__(
@@ -271,6 +279,7 @@ class InferenceEngine:
         faults: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
+        recorder: Optional[object] = None,
     ):
         self.dispatcher = dispatcher
         for shard in range(dispatcher.n_shards):
@@ -323,6 +332,11 @@ class InferenceEngine:
         # prefill and their retirement, re-batched every iteration.
         self._active: List[ActiveSequence] = []
         self._gen_steps: List[DecodeStepRecord] = []
+        # Traffic capture: any object with record(request) — typically
+        # a repro.autotune.TraceRecorder (duck-typed so serving never
+        # imports the autotune layer above it).  Settable after
+        # construction too; None = no capture.
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
     # Registration and submission
@@ -554,6 +568,11 @@ class InferenceEngine:
             generation=generation,
         )
         self._next_id += 1
+        # Capture after validation succeeded: a recorder sees exactly
+        # the traffic the engine admitted (including request_source
+        # items), never a submission that raised.
+        if self.recorder is not None:
+            self.recorder.record(request)
         return request
 
     _SOURCE_FIELDS = ("model", "inputs", "arrival", "tenant", "priority", "deadline")

@@ -576,6 +576,46 @@ class ServingReport:
             return None
         return sum(scored) / len(scored)
 
+    def objective_section(self) -> Dict[str, object]:
+        """Machine-readable run summary for replay scoring.
+
+        One flat dict instead of three report sections to scrape —
+        what :func:`repro.autotune.objective_from_report` reads when a
+        trace replay is collapsed into an objective tuple:
+
+        * ``slo_attainment`` — fraction of *all* deadline-carrying
+          completed requests that met their effective deadline
+          (explicit deadline, else tenant SLO), across tenants; None
+          when nothing carried a deadline;
+        * ``shed`` / ``failed`` / ``n_requests`` — refused, lost and
+          completed counts; ``shed_rate`` is shed over everything the
+          run was asked to serve;
+        * ``p50`` / ``p99`` — request latency percentiles, simulated
+          seconds;
+        * ``tokens_per_second`` — generated-token throughput in
+          simulated time (0.0 without generation traffic);
+        * ``total_cycles`` — traced array cycles across all shards.
+        """
+        scored = [
+            c.finish <= due
+            for c in self.completed
+            if (due := self._effective_deadline(c)) is not None
+        ]
+        offered = self.n_requests + self.shed_count + self.failed_count
+        return {
+            "slo_attainment": (
+                sum(scored) / len(scored) if scored else None
+            ),
+            "shed": self.shed_count,
+            "shed_rate": self.shed_count / offered if offered else 0.0,
+            "failed": self.failed_count,
+            "n_requests": self.n_requests,
+            "p50": self.p50,
+            "p99": self.p99,
+            "tokens_per_second": self.tokens_per_second(),
+            "total_cycles": self.total_cycles,
+        }
+
     def slo_section(self) -> str:
         """Per-tenant block of the summary: share, latency, SLO."""
         total = self.total_cycles

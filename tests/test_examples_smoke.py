@@ -56,6 +56,10 @@ def test_generation_demo_runs():
     run_example("generation_demo")
 
 
+def test_autotune_demo_runs():
+    run_example("autotune_demo")
+
+
 def test_design_space_example_runs():
     run_example("design_space_exploration")
 
