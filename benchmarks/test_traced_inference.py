@@ -48,6 +48,8 @@ MULTIPROC_GATE = 1.5
 FAULT_RECOVERY_GATE = 0.4
 GENERATION_GATE = 2.0
 AUTOTUNE_GATE = 1.3
+ELASTIC_GATE = 1.5
+ELASTIC_SPREAD_GATE = 3.0
 
 
 def _update_artifact(**sections) -> None:
@@ -946,4 +948,162 @@ def test_autotune_search_beats_default(print_artifact):
     assert ratio >= AUTOTUNE_GATE, (
         f"tuned config only {ratio:.2f}x better than the default "
         f"(< {AUTOTUNE_GATE}x gate)"
+    )
+
+
+def test_elastic_runtime_beats_greedy(print_artifact):
+    """Look-ahead placement + work-stealing >= 1.5x lower simulated
+    makespan than greedy ``cost_aware`` on the skewed 4-shard pool,
+    with max/min shard-busy imbalance <= 3x and bit-identical outputs.
+
+    The load-concentration pathology this PR fixes: a warmup of large
+    batches occupies both fast shards, so the first batch of a
+    hot-prefix stream cold-lands on a slow shard — and greedy placement
+    then *pins the whole stream there*, because prefix affinity always
+    prefers the shard holding the KV entry and greedy never revisits a
+    queued decision.  The slow shard grinds through dozens of hit
+    batches at ~3x the fast shards' service time while those shards sit
+    idle.  The elastic runtime re-prices queued-but-unstarted batches
+    at execution time: once a fast shard frees, the affinity-break test
+    fires, the prefix entry migrates through the store fabric, and the
+    remaining stream drains at fast-shard hit cost.  Placement moves
+    work between shards, never changes arithmetic, so every request's
+    output stays bit-identical to the greedy run's.
+    """
+    from repro.nn.workload import transformer_serving_workload
+    from repro.serving import (
+        ClusterSpec,
+        ElasticConfig,
+        InferenceEngine,
+        PrefixCache,
+        TransformerPrefixAdapter,
+        workload_cost_model,
+    )
+
+    pool_configs = [
+        SystolicConfig(pe_rows=8, pe_cols=8, macs_per_pe=16, clock_hz=250e6),
+        SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4, clock_hz=250e6),
+        SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=4, clock_hz=100e6),
+        SystolicConfig(pe_rows=4, pe_cols=4, macs_per_pe=2, clock_hz=100e6),
+    ]
+    small_kw = dict(vocab=16, seq_len=8, dim=8, heads=2, ff_dim=16, n_layers=1)
+    large_kw = dict(vocab=16, seq_len=16, dim=16, heads=4, ff_dim=32, n_layers=2)
+    prefix_len = 6
+    n_large_rows, n_cold, n_hot_batches = 12, 8, 48
+
+    def cost(kw):
+        return workload_cost_model(
+            lambda batch, shape: transformer_serving_workload(
+                batch, kw["seq_len"], kw["dim"], kw["heads"],
+                kw["ff_dim"], kw["n_layers"],
+            )
+        )
+
+    def run(placement, elastic):
+        engine = InferenceEngine(
+            ClusterSpec.heterogeneous(pool_configs).build(),
+            max_batch_size=4,
+            flush_timeout=1e-7,
+            placement=placement,
+            prefix_cache=PrefixCache(shard_budget_bytes=1 << 20),
+            elastic=elastic,
+        )
+        small = TinyBERT(**small_kw, causal=True, seed=0)
+        engine.register(
+            "bert_small", small, cost_model=cost(small_kw),
+            prefix_adapter=TransformerPrefixAdapter(small, prefix_len),
+        )
+        engine.register(
+            "bert_large", TinyBERT(**large_kw, seed=0), cost_model=cost(large_kw)
+        )
+        rng = np.random.default_rng(11)
+        # Warmup: three large batches.  Greedy stacks two on shard 0 and
+        # spills the third to shard 1, so both fast shards are busy
+        # ~105 us when the hot stream starts arriving.
+        ids = [
+            engine.submit("bert_large", row, arrival=0.0)
+            for row in rng.integers(0, 16, size=(n_large_rows, 16))
+        ]
+        ids += [
+            engine.submit("bert_small", row, arrival=0.0)
+            for row in rng.integers(0, 16, size=(n_cold, 8))
+        ]
+        # The hot stream: 4-row batches sharing a 6/8-token prompt, one
+        # batch per microsecond — faster than the slow shard can serve
+        # them, so a pinned queue builds there under greedy placement.
+        prompt = rng.integers(0, 16, size=prefix_len)
+        for i in range(n_hot_batches):
+            for _ in range(4):
+                suffix = rng.integers(0, 16, size=2)
+                ids.append(
+                    engine.submit(
+                        "bert_small",
+                        np.concatenate([prompt, suffix]),
+                        arrival=1e-6 * (i + 1),
+                    )
+                )
+        report = engine.run()
+        outputs = {i: engine.result(i, keep=True) for i in ids}
+        return outputs, report
+
+    greedy_out, greedy_report = run("cost_aware", None)
+    elastic_out, elastic_report = run(
+        "lookahead", ElasticConfig(lookahead=True, steal=True)
+    )
+
+    # Re-placement must not change arithmetic: request by request,
+    # outputs are bit-identical across the two runs.
+    assert greedy_out.keys() == elastic_out.keys()
+    for request_id, expected in greedy_out.items():
+        assert np.array_equal(expected, elastic_out[request_id]), (
+            "elastic re-placement changed results"
+        )
+    assert elastic_report.steal_count > 0, "no steal fired"
+
+    # Busy-time imbalance over the *whole* pool — idle shards count.
+    greedy_busy = {s: greedy_report.shard_busy.get(s, 0.0) for s in range(4)}
+    elastic_busy = {s: elastic_report.shard_busy.get(s, 0.0) for s in range(4)}
+    assert min(elastic_busy.values()) > 0.0, "elastic left a shard idle"
+    spread = max(elastic_busy.values()) / min(elastic_busy.values())
+
+    ratio = greedy_report.makespan / elastic_report.makespan
+    results = {
+        "pool": [
+            f"{c.describe()} @ {c.clock_hz / 1e6:.0f} MHz" for c in pool_configs
+        ],
+        "requests": len(greedy_out),
+        "hot_prefix_batches": n_hot_batches,
+        "greedy_makespan_us": greedy_report.makespan * 1e6,
+        "elastic_makespan_us": elastic_report.makespan * 1e6,
+        "speedup": ratio,
+        "gate": ELASTIC_GATE,
+        "steals": elastic_report.steal_count,
+        "steals_by_reason": elastic_report.steals_by_reason(),
+        "greedy_busy_us": {
+            str(s): round(b * 1e6, 2) for s, b in greedy_busy.items()
+        },
+        "elastic_busy_us": {
+            str(s): round(b * 1e6, 2) for s, b in elastic_busy.items()
+        },
+        "elastic_spread": spread,
+        "spread_gate": ELASTIC_SPREAD_GATE,
+    }
+    _update_artifact(elastic=results)
+
+    print_artifact(
+        "Elastic runtime on the skewed heterogeneous 4-shard pool "
+        f"({len(greedy_out)} requests, hot-prefix stream)\n"
+        f"  greedy cost_aware makespan {greedy_report.makespan * 1e6:9.1f} us\n"
+        f"  lookahead+steal   makespan {elastic_report.makespan * 1e6:9.1f} us   "
+        f"{ratio:4.2f}x\n"
+        f"  elastic busy spread {spread:4.2f}x (gate <= {ELASTIC_SPREAD_GATE}x)\n"
+        + elastic_report.elastic_section()
+    )
+    assert ratio >= ELASTIC_GATE, (
+        f"elastic runtime only {ratio:.2f}x better than greedy cost_aware "
+        f"(< {ELASTIC_GATE}x gate)"
+    )
+    assert spread <= ELASTIC_SPREAD_GATE, (
+        f"elastic busy-time spread {spread:.2f}x exceeds "
+        f"{ELASTIC_SPREAD_GATE}x gate"
     )

@@ -125,6 +125,7 @@ def build_engine(
         spec.generation for spec in endpoints
     ):
         radix_cache = RadixKVCache(tuning.radix_budget_bytes)
+    elastic = tuning.elastic()
     engine = InferenceEngine(
         dispatcher,
         max_batch_size=tuning.max_batch_size,
@@ -137,6 +138,7 @@ def build_engine(
         prefix_cache=prefix_cache,
         radix_cache=radix_cache,
         faults=faults,
+        elastic=elastic if elastic.enabled else None,
     )
     for spec in endpoints:
         model = spec.factory(**dict(spec.kwargs))

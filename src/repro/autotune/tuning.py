@@ -24,9 +24,15 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.serving.cluster import config_from_dict, config_to_dict
+from repro.serving.elastic import ElasticConfig
 from repro.systolic.config import SystolicConfig
 
-_PLACEMENT_CHOICES = ("round_robin", "least_loaded", "cost_aware")
+_PLACEMENT_CHOICES = ("round_robin", "least_loaded", "cost_aware", "lookahead")
+
+#: Default search range — the pre-elastic trio, so existing seeded
+#: searches draw the same stream; operators add ``"lookahead"`` (and
+#: widen the elastic ranges) explicitly.
+_BASELINE_PLACEMENTS = ("round_robin", "least_loaded", "cost_aware")
 
 
 @dataclass(frozen=True)
@@ -39,6 +45,12 @@ class TuningConfig:
     ``max_queue_depth`` caps every tenant's queue (None = uncapped);
     the cache budgets size the per-shard prefix cache and the radix KV
     cache when the replayed models opt into them (None = feature off).
+
+    The elastic-runtime knobs (``steal``, ``autoscale`` and their
+    thresholds) feed an :class:`~repro.serving.elastic.ElasticConfig`
+    the replay harness hands the engine; ``placement="lookahead"``
+    turns on joint per-round list scheduling.  All default off, so an
+    untuned config replays the pinned baseline bit-identically.
     """
 
     pool: Tuple[SystolicConfig, ...]
@@ -49,6 +61,10 @@ class TuningConfig:
     max_queue_depth: Optional[int] = None
     prefix_budget_bytes: Optional[int] = None
     radix_budget_bytes: Optional[int] = None
+    steal: bool = False
+    autoscale: bool = False
+    steal_drift_threshold: float = 1.5
+    affinity_break_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if not self.pool:
@@ -66,10 +82,23 @@ class TuningConfig:
             raise ValueError(
                 f"max_batch_size must be >= 1, got {self.max_batch_size}"
             )
+        # Threshold bounds are ElasticConfig's contract; fail at
+        # construction, not at replay time.
+        self.elastic()
 
     @property
     def n_shards(self) -> int:
         return len(self.pool)
+
+    def elastic(self) -> ElasticConfig:
+        """The engine-side elastic knobs this candidate deploys with."""
+        return ElasticConfig(
+            lookahead=self.placement == "lookahead",
+            steal=self.steal,
+            autoscale=self.autoscale,
+            steal_drift_threshold=self.steal_drift_threshold,
+            affinity_break_factor=self.affinity_break_factor,
+        )
 
     def describe(self) -> str:
         """One line: pool grids, placement and batch knobs."""
@@ -80,10 +109,14 @@ class TuningConfig:
         placement = self.placement
         if self.placement == "cost_aware" and self.occupancy_penalty > 0:
             placement = f"cost_aware(occ={self.occupancy_penalty:g})"
-        return (
+        line = (
             f"[{grids}] placement={placement} "
             f"batch<= {self.max_batch_size} flush={self.flush_timeout:g}s"
         )
+        elastic = self.elastic()
+        if elastic.steal or elastic.autoscale:
+            line += " " + elastic.describe()
+        return line
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -95,10 +128,16 @@ class TuningConfig:
             "max_queue_depth": self.max_queue_depth,
             "prefix_budget_bytes": self.prefix_budget_bytes,
             "radix_budget_bytes": self.radix_budget_bytes,
+            "steal": self.steal,
+            "autoscale": self.autoscale,
+            "steal_drift_threshold": self.steal_drift_threshold,
+            "affinity_break_factor": self.affinity_break_factor,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TuningConfig":
+        # Elastic knobs are read with defaults so pre-elastic snapshots
+        # (recorded fronts, saved Pareto members) keep loading.
         return cls(
             pool=tuple(config_from_dict(item) for item in data["pool"]),
             placement=str(data["placement"]),
@@ -120,6 +159,10 @@ class TuningConfig:
                 if data["radix_budget_bytes"] is None
                 else int(data["radix_budget_bytes"])
             ),
+            steal=bool(data.get("steal", False)),
+            autoscale=bool(data.get("autoscale", False)),
+            steal_drift_threshold=float(data.get("steal_drift_threshold", 1.5)),
+            affinity_break_factor=float(data.get("affinity_break_factor", 2.0)),
         )
 
 
@@ -137,13 +180,17 @@ class ConfigSpace:
 
     catalog: Tuple[SystolicConfig, ...]
     max_shards: int = 4
-    placements: Tuple[str, ...] = _PLACEMENT_CHOICES
+    placements: Tuple[str, ...] = _BASELINE_PLACEMENTS
     occupancy_penalties: Tuple[float, ...] = (0.0, 0.5, 1.0, 2.0)
     batch_sizes: Tuple[int, ...] = (2, 4, 8)
     flush_timeouts: Tuple[float, ...] = (1e-4, 1e-3)
     queue_depths: Tuple[Optional[int], ...] = (None,)
     prefix_budgets: Tuple[Optional[int], ...] = (None,)
     radix_budgets: Tuple[Optional[int], ...] = (None,)
+    steal_choices: Tuple[bool, ...] = (False,)
+    autoscale_choices: Tuple[bool, ...] = (False,)
+    steal_thresholds: Tuple[float, ...] = (1.5,)
+    affinity_break_factors: Tuple[float, ...] = (2.0,)
 
     def __post_init__(self) -> None:
         if not self.catalog:
@@ -178,13 +225,49 @@ class ConfigSpace:
             max_queue_depth=_pick(rng, self.queue_depths),
             prefix_budget_bytes=_pick(rng, self.prefix_budgets),
             radix_budget_bytes=_pick(rng, self.radix_budgets),
+            steal=bool(_pick_or_only(rng, self.steal_choices)),
+            autoscale=bool(_pick_or_only(rng, self.autoscale_choices)),
+            steal_drift_threshold=float(
+                _pick_or_only(rng, self.steal_thresholds)
+            ),
+            affinity_break_factor=float(
+                _pick_or_only(rng, self.affinity_break_factors)
+            ),
+        )
+
+    @property
+    def _elastic_searchable(self) -> bool:
+        """Any elastic range wider than its singleton default?"""
+        return any(
+            len(choices) > 1
+            for choices in (
+                self.steal_choices,
+                self.autoscale_choices,
+                self.steal_thresholds,
+                self.affinity_break_factors,
+            )
         )
 
     def mutate(
         self, config: TuningConfig, rng: np.random.Generator
     ) -> TuningConfig:
-        """One neighbor hop: re-draw a single knob (or swap one shard)."""
-        move = int(rng.integers(0, 5))
+        """One neighbor hop: re-draw a single knob (or swap one shard).
+
+        The elastic-knob move exists only when an elastic range is
+        wider than its singleton default, so spaces that do not search
+        the elastic runtime draw the exact pre-elastic stream.
+        """
+        move = int(rng.integers(0, 6 if self._elastic_searchable else 5))
+        if move == 5:
+            return replace(
+                config,
+                steal=bool(_pick(rng, self.steal_choices)),
+                autoscale=bool(_pick(rng, self.autoscale_choices)),
+                steal_drift_threshold=float(_pick(rng, self.steal_thresholds)),
+                affinity_break_factor=float(
+                    _pick(rng, self.affinity_break_factors)
+                ),
+            )
         if move == 0:
             # Swap one shard for a catalog neighbor; grow or shrink the
             # pool by one when the bounds allow it.
@@ -261,12 +344,24 @@ class ConfigSpace:
             max_queue_depth=knob_parent.max_queue_depth,
             prefix_budget_bytes=knob_parent.prefix_budget_bytes,
             radix_budget_bytes=knob_parent.radix_budget_bytes,
+            steal=knob_parent.steal,
+            autoscale=knob_parent.autoscale,
+            steal_drift_threshold=knob_parent.steal_drift_threshold,
+            affinity_break_factor=knob_parent.affinity_break_factor,
         )
 
 
 def _pick(rng: np.random.Generator, choices: Sequence):
     """Uniform choice preserving None entries (np.choice would coerce)."""
     return choices[int(rng.integers(0, len(choices)))]
+
+
+def _pick_or_only(rng: np.random.Generator, choices: Sequence):
+    """Like :func:`_pick`, but a singleton range consumes no randomness —
+    the default (elastic-off) space draws the exact pre-elastic stream."""
+    if len(choices) == 1:
+        return choices[0]
+    return _pick(rng, choices)
 
 
 def default_space(

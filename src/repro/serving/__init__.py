@@ -55,6 +55,18 @@ multi-tenant serving system:
   simulated time, and re-placement of failed batches onto healthy
   shards — driven by a seeded, reproducible fault plan
   (:mod:`repro.serving.faults`);
+* the elastic cluster runtime (:mod:`repro.serving.elastic`,
+  :mod:`repro.serving.stats`), all off by default and regression-pinned
+  bit-identical when off: look-ahead placement plans each scheduling
+  round's whole ready set jointly
+  (:class:`~repro.serving.cluster.LookaheadPlacement` list scheduling),
+  work-stealing re-prices queued-but-unstarted batches at execution
+  time — migrating them (and, when prefix affinity breaks, the cache
+  *entry* through the fabric) off drifted or tripped shards — and an
+  SLO-driven autoscaler grows/shrinks the live pool from windowed
+  attainment and shed signals with hysteresis, priced by the hardware
+  power model; every decision feeds from the per-shard stats
+  descriptor tree and lands in the report's elastic section;
 * a multi-worker serving front (:mod:`repro.serving.multiproc`):
   :func:`~repro.serving.multiproc.serve_multiproc` partitions the
   declared cluster into contiguous shard blocks, runs one engine
@@ -87,6 +99,7 @@ from repro.serving.cluster import (
     ClusterSpec,
     CostAwarePlacement,
     LeastLoadedPlacement,
+    LookaheadPlacement,
     PlacementDecision,
     PlacementPolicy,
     PrefixAffinePlacement,
@@ -102,6 +115,7 @@ from repro.serving.cluster import (
     workload_cost_model,
 )
 from repro.serving.dispatcher import ShardedDispatcher
+from repro.serving.elastic import ElasticConfig, ScalingEvent, StealEvent
 from repro.serving.engine import InferenceEngine, ModelEndpoint
 from repro.serving.generation import (
     ActiveSequence,
@@ -150,6 +164,7 @@ from repro.serving.scheduler import (
     TenantScheduler,
     WeightedRoundRobin,
 )
+from repro.serving.stats import ShardStats, cluster_desc, render_cluster_desc
 from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig, TenantRegistry
 
 __all__ = [
@@ -162,6 +177,7 @@ __all__ = [
     "ClusterSpec",
     "CostAwarePlacement",
     "LeastLoadedPlacement",
+    "LookaheadPlacement",
     "PlacementDecision",
     "PlacementPolicy",
     "RoundRobinPlacement",
@@ -201,6 +217,12 @@ __all__ = [
     "RadixPrefixIndex",
     "TransformerPrefixAdapter",
     "ShardedDispatcher",
+    "ElasticConfig",
+    "ScalingEvent",
+    "StealEvent",
+    "ShardStats",
+    "cluster_desc",
+    "render_cluster_desc",
     "InferenceEngine",
     "ModelEndpoint",
     "ActiveSequence",

@@ -150,13 +150,19 @@ class ShardView:
     ``busy_until`` is the simulated time the shard finishes everything
     already placed on it (the discrete-event backlog horizon);
     ``config``/``clock_hz`` are ``None`` for functional (untraced)
-    backends, which have no cycle model.
+    backends, which have no cycle model.  ``breaker`` is the shard's
+    circuit-breaker state at the decision instant (``"closed"`` /
+    ``"half_open"`` / ``"open"``): cost-ranking policies filter
+    ``"open"`` shards out before pricing and treat ``"half_open"``
+    shards pessimistically, so a flapping fast shard no longer
+    re-captures every batch the instant its quarantine elapses.
     """
 
     index: int
     busy_until: float
     clock_hz: Optional[float] = None
     config: Optional[SystolicConfig] = None
+    breaker: str = "closed"
 
     def backlog_seconds(self, now: float) -> float:
         """Seconds of already-placed work outstanding at ``now``."""
@@ -348,12 +354,27 @@ class ShardHealth:
             self.open_until = now + self._quarantine
 
     def record_success(self, now: float) -> None:
-        """One completed batch on this shard at simulated ``now``."""
+        """One completed batch on this shard at simulated ``now``.
+
+        A successful probe closes the breaker but only *decays* the
+        quarantine one factor step toward its base instead of resetting
+        it outright: a flapping shard (fail, recover, fail, ...) keeps
+        an escalated quarantine across flaps, while a genuinely
+        recovered shard works its way back to the base quarantine over
+        a few clean successes.
+        """
         self.successes += 1
         self.consecutive_failures = 0
+        self._quarantine = max(
+            self.config.quarantine, self._quarantine / self.config.quarantine_factor
+        )
         if self.state != self.CLOSED:
-            self._quarantine = self.config.quarantine
             self._transition(self.CLOSED, now)
+
+    @property
+    def quarantine(self) -> float:
+        """The quarantine the *next* breaker opening would impose."""
+        return self._quarantine
 
     def reset(self) -> None:
         self.state = self.CLOSED
@@ -380,6 +401,19 @@ class PlacementPolicy:
 
     def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
         raise NotImplementedError
+
+    @staticmethod
+    def admissible(shards: Sequence[ShardView]) -> Sequence[ShardView]:
+        """Candidates with open-breaker shards filtered out.
+
+        Cost ranking must never price a quarantined shard — an open
+        fast shard would otherwise win on estimated finish time the
+        instant it is offered.  When *every* shard is open the original
+        list is returned unchanged (the engine parks batches before it
+        ever offers an all-open pool, so this is pure defense).
+        """
+        healthy = [view for view in shards if view.breaker != ShardHealth.OPEN]
+        return healthy if healthy else shards
 
     def reset(self) -> None:
         """Forget accumulated state (new serving epoch)."""
@@ -428,15 +462,29 @@ class LeastLoadedPlacement(PlacementPolicy):
     name = "least_loaded"
 
     def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
+        shards = self.admissible(shards)
         in_cycles = all(s.clock_hz for s in shards)
 
-        def occupancy(view: ShardView) -> Tuple[float, int]:
-            backlog = (
+        def backlog(view: ShardView) -> float:
+            return (
                 view.backlog_cycles(batch.ready_time)
                 if in_cycles
                 else view.backlog_seconds(batch.ready_time)
             )
-            return (backlog, view.index)
+
+        # A half-open shard is a re-admission probe, not a healthy
+        # candidate: charge it the pool's deepest backlog on top of its
+        # own, so it only wins (and gets probed) once the healthy pool
+        # is at least that busy — never instantly on an idle fast shard.
+        worst = max((backlog(view) for view in shards), default=0.0)
+
+        def occupancy(view: ShardView) -> Tuple[float, int, int]:
+            probing = view.breaker == ShardHealth.HALF_OPEN
+            return (
+                backlog(view) + (worst if probing else 0.0),
+                1 if probing else 0,
+                view.index,
+            )
 
         return min(shards, key=occupancy).index
 
@@ -481,6 +529,7 @@ class CostAwarePlacement(PlacementPolicy):
             self.name = f"cost_aware(occ={self.occupancy_penalty:g})"
 
     def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
+        shards = self.admissible(shards)
         services = {}
         for view in shards:
             estimate = batch.estimate_cycles(view.config)
@@ -488,11 +537,18 @@ class CostAwarePlacement(PlacementPolicy):
                 services[view.index] = estimate / view.clock_hz
         unknown_service = max(services.values(), default=0.0)
 
-        def finish(view: ShardView) -> Tuple[float, float, int]:
+        def finish(view: ShardView) -> Tuple[float, int, float, int]:
             service = services.get(view.index, unknown_service)
+            # A half-open shard is priced as if the probe re-runs
+            # elsewhere (it may well fail): its ETA carries the most
+            # expensive known service on top, so a quarantine-flapping
+            # fast shard stops winning every batch on raw speed.
+            probing = view.breaker == ShardHealth.HALF_OPEN
+            if probing:
+                service += unknown_service
             eta = max(batch.ready_time, view.busy_until) + service
             eta += self.occupancy_penalty * view.backlog_seconds(batch.ready_time)
-            return (eta, view.busy_until, view.index)
+            return (eta, 1 if probing else 0, view.busy_until, view.index)
 
         return min(shards, key=finish).index
 
@@ -534,11 +590,91 @@ class PrefixAffinePlacement(PlacementPolicy):
         self.inner.reset()
 
 
+class LookaheadPlacement(PlacementPolicy):
+    """Joint list scheduling of the *entire ready set* per round.
+
+    Greedy per-batch cost_aware commits each batch at its ready
+    instant, so on a skewed pool the fastest shard's ETA wins batch
+    after batch and the rest of the pool idles.  This policy receives
+    every currently-ready batch at once (:meth:`plan`) and runs
+    longest-processing-time list scheduling over the pool's busy
+    horizons: batches are ordered by descending best-case service time
+    (ties by submission order), each is assigned to the shard with the
+    earliest estimated finish *given the assignments already made this
+    round*, and the chosen shard's planning horizon advances by the
+    batch's service estimate.  The LPT order is the classic 4/3-
+    approximation for makespan on uniform machines — big batches claim
+    the fast shards first, small batches back-fill idle slower shards.
+
+    Everything is deterministic: estimates come from the same cost
+    models greedy placement prices with, ties break by shard index, and
+    placement still never changes arithmetic — only *where* each batch
+    runs, so outputs stay bit-identical to per-batch placement on
+    format-uniform pools.
+
+    :meth:`place` (single-batch calls: retries, decode steps, parked
+    re-admissions) degenerates to greedy cost_aware against the live
+    horizons — exactly the behavior look-ahead improves on, applied
+    only where there is no ready *set* to plan over.
+    """
+
+    name = "lookahead"
+
+    def __init__(self, occupancy_penalty: float = 0.0):
+        self._greedy = CostAwarePlacement(occupancy_penalty=occupancy_penalty)
+
+    def place(self, batch: BatchProfile, shards: Sequence[ShardView]) -> int:
+        return self._greedy.place(batch, shards)
+
+    def plan(
+        self, batches: Sequence[BatchProfile], shards: Sequence[ShardView]
+    ) -> List[int]:
+        """Assign every ready batch a shard; returns one index per batch."""
+        candidates = list(self.admissible(shards))
+        horizons = {view.index: view.busy_until for view in candidates}
+
+        def services_of(batch: BatchProfile) -> Dict[int, float]:
+            services = {}
+            for view in candidates:
+                estimate = batch.estimate_cycles(view.config)
+                if estimate is not None and view.clock_hz:
+                    services[view.index] = estimate / view.clock_hz
+            return services
+
+        priced = [services_of(batch) for batch in batches]
+        # LPT order: biggest batch (by its best-case service anywhere)
+        # first; ties keep submission order for determinism.
+        order = sorted(
+            range(len(batches)),
+            key=lambda i: (-min(priced[i].values(), default=0.0), i),
+        )
+        assignment: List[int] = [0] * len(batches)
+        for i in order:
+            batch, services = batches[i], priced[i]
+            unknown_service = max(services.values(), default=0.0)
+
+            def finish(view: ShardView) -> Tuple[float, int, float, int]:
+                service = services.get(view.index, unknown_service)
+                probing = view.breaker == ShardHealth.HALF_OPEN
+                if probing:
+                    service += unknown_service
+                eta = max(batch.ready_time, horizons[view.index]) + service
+                return (eta, 1 if probing else 0, horizons[view.index], view.index)
+
+            best = min(candidates, key=finish)
+            assignment[i] = best.index
+            horizons[best.index] = max(
+                batch.ready_time, horizons[best.index]
+            ) + services.get(best.index, unknown_service)
+        return assignment
+
+
 _PLACEMENTS = {
     "round_robin": RoundRobinPlacement,
     "rr": RoundRobinPlacement,
     "least_loaded": LeastLoadedPlacement,
     "cost_aware": CostAwarePlacement,
+    "lookahead": LookaheadPlacement,
 }
 
 
@@ -683,6 +819,15 @@ class CalibratingCostModel:
     # The engine passes the estimator around as a plain callable.
     __call__ = estimate
 
+    @property
+    def version(self) -> int:
+        """Monotonic refinement stamp: the number of distinct
+        observations held.  Deterministic under a ``to_dict`` round
+        trip (the snapshot replays exactly these observations), so two
+        workers comparing versions through the store fabric agree on
+        which snapshot is fresher."""
+        return len(self._exact)
+
     def reset(self) -> None:
         self._exact.clear()
         self._per_row.clear()
@@ -768,13 +913,17 @@ def save_calibration(
     snapshot survives the process and is visible to every worker; the
     default process-global store makes it an in-process checkpoint.
     The payload is the JSON-safe :meth:`CalibratingCostModel.to_dict`
-    snapshot, so both store serializers can carry it.
+    snapshot, so both store serializers can carry it.  The entry is
+    version-stamped with :attr:`CalibratingCostModel.version` so a
+    :class:`~repro.store.tiered.TieredStore` read revalidates a stale
+    local copy against a fresher snapshot another worker saved.
     """
     if store is None:
         from repro.store import get_store
 
         store = get_store()
-    store.put(CALIBRATION_NAMESPACE, name, calibrator.to_dict())
+    store.put(CALIBRATION_NAMESPACE, name, calibrator.to_dict(),
+              version=calibrator.version)
 
 
 def load_calibration(
@@ -870,6 +1019,10 @@ class ClusterDispatcher:
         )
         #: Simulated time each shard finishes everything placed on it.
         self.busy_until: Dict[int, float] = {}
+        #: Shards retired by the autoscaler: kept in the pool (their
+        #: traces and in-flight horizons survive) but hidden from
+        #: :meth:`shard_views`, so placement never offers them.
+        self._offline: set = set()
         self._next = 0
 
     @classmethod
@@ -905,8 +1058,53 @@ class ClusterDispatcher:
         config = self.config_of(shard)
         return None if config is None else config.clock_hz
 
+    # -- elastic pool membership -----------------------------------------
+    def add_shard(self, spec: ShardSpec) -> int:
+        """Grow the pool by one shard built from ``spec``; its index.
+
+        The new shard joins live: it appears in the next
+        :meth:`shard_views` snapshot with an empty busy horizon.
+        """
+        from repro.nn.executor import ArrayBackend
+        from repro.systolic.array import SystolicArray
+
+        self.backends.append(ArrayBackend(SystolicArray(spec.config), spec.granularity))
+        if self.specs is not None:
+            self.specs = self.specs + (spec,)
+        index = len(self.backends) - 1
+        self._offline.discard(index)
+        return index
+
+    def retire_shard(self, index: int) -> None:
+        """Take a shard offline: hidden from placement, state kept.
+
+        In-flight work (the busy horizon) is unaffected — retirement
+        only stops *new* placements, so draining is graceful.
+        """
+        if not 0 <= index < self.n_shards:
+            raise ValueError(f"no shard {index} in a {self.n_shards}-shard pool")
+        self._offline.add(index)
+
+    def activate_shard(self, index: int) -> None:
+        """Bring a retired shard back into placement rotation."""
+        if not 0 <= index < self.n_shards:
+            raise ValueError(f"no shard {index} in a {self.n_shards}-shard pool")
+        self._offline.discard(index)
+
+    def offline_shards(self) -> frozenset:
+        """Indices currently hidden from placement."""
+        return frozenset(self._offline)
+
+    @property
+    def n_live_shards(self) -> int:
+        return self.n_shards - len(self._offline)
+
     def shard_views(self) -> List[ShardView]:
-        """Pool state snapshot for a placement decision."""
+        """Pool state snapshot for a placement decision.
+
+        Retired (offline) shards are omitted: they exist, their traces
+        and horizons persist, but no policy may place on them.
+        """
         return [
             ShardView(
                 index=shard,
@@ -915,6 +1113,7 @@ class ClusterDispatcher:
                 config=self.config_of(shard),
             )
             for shard in range(self.n_shards)
+            if shard not in self._offline
         ]
 
     def describe(self) -> str:
@@ -963,10 +1162,13 @@ class ClusterDispatcher:
         return totals
 
     def reset(self) -> None:
-        """Clear traces, busy horizons, and the round-robin pointer."""
+        """Clear traces, busy horizons, offline marks and the
+        round-robin pointer.  Shards the autoscaler added stay in the
+        pool (membership is state, not statistics) but re-enter live."""
         for shard in range(self.n_shards):
             array = self.array_of(shard)
             if array is not None:
                 array.reset()
         self.busy_until.clear()
+        self._offline.clear()
         self._next = 0

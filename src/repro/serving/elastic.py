@@ -1,0 +1,213 @@
+"""Knobs and event records of the elastic cluster runtime.
+
+The elastic runtime is three engine behaviors layered over placement,
+all off by default (the defaults are regression-pinned bit-identical
+to the pre-elastic engine):
+
+* **look-ahead placement** (``lookahead=True``) — fresh batches that
+  are ready at the same scheduling instant are planned *jointly* by
+  :class:`~repro.serving.cluster.LookaheadPlacement` list scheduling
+  instead of committed one by one at the greedy earliest finish;
+* **work-stealing / re-placement** (``steal=True``) — a planned batch
+  whose shard has drifted (actual traced cycles diverged from the
+  calibrated estimate beyond ``steal_drift_threshold``) or whose
+  breaker opened is re-priced at execution time and migrates to the
+  shard that now finishes it earliest; prefix-cache affinity is
+  consulted, and when affinity and load conflict beyond
+  ``affinity_break_factor`` the cache *entry* migrates through the
+  store fabric instead of pinning the batch;
+* **SLO-driven autoscaling** (``autoscale=True``) — the engine grows /
+  shrinks the live pool from windowed SLO-attainment and shed-rate
+  signals with hysteresis, priced by the hardware power model so the
+  autotuner can search the knobs.
+
+Every decision leaves an event record (:class:`StealEvent`,
+:class:`ScalingEvent`) surfaced in
+:meth:`~repro.serving.report.ServingReport.elastic_section`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Elastic-runtime knobs (everything off = the pinned baseline).
+
+    Attributes
+    ----------
+    lookahead:
+        Plan the whole ready set per scheduling round via
+        :class:`~repro.serving.cluster.LookaheadPlacement` list
+        scheduling instead of placing one batch greedily.
+    steal:
+        Re-price queued-but-unstarted batches at execution time and
+        migrate them off drifted / tripped shards.
+    autoscale:
+        Grow/shrink the live pool from windowed SLO and shed signals.
+    steal_drift_threshold:
+        Re-place a planned batch when its shard's drift-corrected ETA
+        exceeds the best alternative's by more than this factor
+        (``1.5`` = 50% worse before a steal triggers).
+    affinity_break_factor:
+        A prefix-resident batch abandons its resident shard (migrating
+        the cache entry through the fabric) when the resident ETA
+        exceeds the best alternative's by more than this factor.
+    autoscale_window:
+        Completions per SLO/shed evaluation window.
+    grow_below_attainment:
+        Grow the pool when windowed SLO attainment falls below this.
+    shrink_above_attainment:
+        Shrink the pool when windowed attainment is at/above this
+        *and* the windowed shed rate is zero.
+    autoscale_cooldown:
+        Simulated seconds between scaling actions (hysteresis).
+    min_shards / max_shards:
+        Live-pool size bounds the autoscaler honors.  ``max_shards``
+        of ``None`` means "never beyond the declared pool + template
+        growth limit" (the engine caps growth at the pool it can
+        build).
+    power_budget_watts:
+        Refuse growth that would push the live pool's priced power
+        (:func:`repro.hardware.power.power_watts` per shard) past this
+        budget (``None`` = unbudgeted).
+    """
+
+    lookahead: bool = False
+    steal: bool = False
+    autoscale: bool = False
+    steal_drift_threshold: float = 1.5
+    affinity_break_factor: float = 2.0
+    autoscale_window: int = 8
+    grow_below_attainment: float = 0.9
+    shrink_above_attainment: float = 0.98
+    autoscale_cooldown: float = 1e-3
+    min_shards: int = 1
+    max_shards: Optional[int] = None
+    power_budget_watts: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.steal_drift_threshold < 1.0:
+            raise ValueError(
+                f"steal_drift_threshold must be >= 1, got "
+                f"{self.steal_drift_threshold}"
+            )
+        if self.affinity_break_factor < 1.0:
+            raise ValueError(
+                f"affinity_break_factor must be >= 1, got "
+                f"{self.affinity_break_factor}"
+            )
+        if self.autoscale_window < 1:
+            raise ValueError(
+                f"autoscale_window must be >= 1, got {self.autoscale_window}"
+            )
+        if not 0.0 <= self.grow_below_attainment <= 1.0:
+            raise ValueError("grow_below_attainment must be in [0, 1]")
+        if not 0.0 <= self.shrink_above_attainment <= 1.0:
+            raise ValueError("shrink_above_attainment must be in [0, 1]")
+        if self.grow_below_attainment > self.shrink_above_attainment:
+            raise ValueError(
+                "grow_below_attainment must not exceed shrink_above_attainment "
+                "(the hysteresis band would be inverted)"
+            )
+        if self.autoscale_cooldown < 0:
+            raise ValueError("autoscale_cooldown must be >= 0")
+        if self.min_shards < 1:
+            raise ValueError(f"min_shards must be >= 1, got {self.min_shards}")
+        if self.max_shards is not None and self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if self.power_budget_watts is not None and self.power_budget_watts <= 0:
+            raise ValueError("power_budget_watts must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Any elastic behavior on?  False = the pinned baseline."""
+        return self.lookahead or self.steal or self.autoscale
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "lookahead": self.lookahead,
+            "steal": self.steal,
+            "autoscale": self.autoscale,
+            "steal_drift_threshold": self.steal_drift_threshold,
+            "affinity_break_factor": self.affinity_break_factor,
+            "autoscale_window": self.autoscale_window,
+            "grow_below_attainment": self.grow_below_attainment,
+            "shrink_above_attainment": self.shrink_above_attainment,
+            "autoscale_cooldown": self.autoscale_cooldown,
+            "min_shards": self.min_shards,
+            "max_shards": self.max_shards,
+            "power_budget_watts": self.power_budget_watts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ElasticConfig":
+        kwargs = {}
+        for name in (
+            "lookahead", "steal", "autoscale", "steal_drift_threshold",
+            "affinity_break_factor", "autoscale_window",
+            "grow_below_attainment", "shrink_above_attainment",
+            "autoscale_cooldown", "min_shards", "max_shards",
+            "power_budget_watts",
+        ):
+            if name in data:
+                kwargs[name] = data[name]
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "elastic: off"
+        parts = []
+        if self.lookahead:
+            parts.append("lookahead")
+        if self.steal:
+            parts.append(f"steal(drift>{self.steal_drift_threshold:g}x)")
+        if self.autoscale:
+            parts.append(
+                f"autoscale(window={self.autoscale_window}, "
+                f"slo<{self.grow_below_attainment:g})"
+            )
+        return "elastic: " + " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class StealEvent:
+    """One queued-but-unstarted batch migrated between shards."""
+
+    batch_index: int
+    model: str
+    tenant: str
+    from_shard: int
+    to_shard: int
+    at: float
+    #: Why the batch moved: ``"drift"`` (calibrated estimate proved
+    #: wrong), ``"breaker"`` (planned shard's breaker opened) or
+    #: ``"affinity"`` (prefix affinity broken by load, entry migrated).
+    reason: str
+    #: ETA on the planned shard vs on the shard stolen to, at decision
+    #: time — the imbalance the steal removed.
+    planned_eta: float = 0.0
+    stolen_eta: float = 0.0
+    #: True when a prefix/radix cache entry moved through the fabric
+    #: along with the batch.
+    cache_migrated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One autoscaler pool-resize decision."""
+
+    at: float
+    #: ``"grow"`` (shard added or reactivated) or ``"shrink"``
+    #: (shard retired from placement rotation).
+    action: str
+    shard: int
+    #: The windowed signal that triggered the action.
+    reason: str
+    #: Windowed SLO attainment / shed rate at the decision.
+    slo_attainment: float
+    shed_rate: float
+    #: Priced power of the live pool *after* the action.
+    pool_power_watts: float = 0.0

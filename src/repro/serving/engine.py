@@ -85,9 +85,10 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import deque
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -98,12 +99,15 @@ from repro.serving.cluster import (
     BreakerTransition,
     CalibratingCostModel,
     ClusterDispatcher,
+    LookaheadPlacement,
     PlacementDecision,
     PlacementPolicy,
     PrefixAffinePlacement,
     ShardHealth,
+    ShardView,
     make_placement_policy,
 )
+from repro.serving.elastic import ElasticConfig, ScalingEvent, StealEvent
 from repro.serving.faults import FaultPlan, FaultRecord, RetryPolicy, ShardCrash
 from repro.serving.generation import ActiveSequence, DecodeStepRecord
 from repro.serving.prefix_cache import (
@@ -121,6 +125,7 @@ from repro.serving.request import (
     ShedRecord,
 )
 from repro.serving.scheduler import SchedulingPolicy, TenantScheduler
+from repro.serving.stats import ShardStats
 from repro.serving.tenancy import DEFAULT_TENANT, TenantConfig, TenantRegistry
 from repro.store import get_store
 
@@ -255,6 +260,19 @@ class InferenceEngine:
         gets an independent :class:`~repro.serving.cluster.ShardHealth`
         driven by batch outcomes, and placement only sees shards whose
         breaker currently admits work.
+    elastic:
+        Optional :class:`~repro.serving.elastic.ElasticConfig` turning
+        on the elastic cluster runtime: look-ahead placement (the
+        whole ready set is planned jointly per scheduling round by
+        :class:`~repro.serving.cluster.LookaheadPlacement` list
+        scheduling), work-stealing (queued-but-unstarted batches are
+        re-priced with per-shard drift at execution time and migrate
+        off overloaded / tripped shards, moving prefix-cache entries
+        through the store fabric when load breaks affinity), and
+        SLO-driven autoscaling (the live pool grows/shrinks from
+        windowed attainment and shed signals, priced by the hardware
+        power model).  The default — everything off — is
+        regression-pinned bit-identical to the pre-elastic engine.
     recorder:
         Optional traffic-capture hook — any object with a
         ``record(request)`` method, typically a
@@ -279,6 +297,7 @@ class InferenceEngine:
         faults: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
+        elastic: Optional[ElasticConfig] = None,
         recorder: Optional[object] = None,
     ):
         self.dispatcher = dispatcher
@@ -316,10 +335,29 @@ class InferenceEngine:
         self.faults = faults
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._breaker_log: List[BreakerTransition] = []
+        self._breaker_config = breaker
         self._health: Dict[int, ShardHealth] = {
             shard: ShardHealth(shard, breaker, on_transition=self._breaker_log.append)
             for shard in range(dispatcher.n_shards)
         }
+        # Elastic runtime: knobs, the look-ahead planner, the planned
+        # (batch, shard) queue of the current scheduling round, the
+        # per-shard live stats (drift feeds stealing), the steal /
+        # scaling event logs, and the autoscaler's windowed signals.
+        self.elastic = elastic if elastic is not None else ElasticConfig()
+        planner = getattr(self.placement, "inner", self.placement)
+        self._lookahead = (
+            planner
+            if isinstance(planner, LookaheadPlacement)
+            else LookaheadPlacement()
+        )
+        self._planned: Deque[Tuple[Batch, Optional[int]]] = deque()
+        self._shard_stats: Dict[int, ShardStats] = {}
+        self._steals: List[StealEvent] = []
+        self._scaling_log: List[ScalingEvent] = []
+        self._slo_window: List[bool] = []
+        self._window_sheds = 0
+        self._last_scale_at: Optional[float] = None
         # Heap of (wake_time, seq, attempt, excluded_shard, batch);
         # seq breaks wake-time ties deterministically (batches don't
         # compare) in requeue order.
@@ -641,7 +679,12 @@ class InferenceEngine:
         ``infer_fn`` callback): requests the scheduler loop has taken
         out of the submission buffer but not yet admitted are counted.
         """
-        return len(self._submitted) + self._run_buffered + self.scheduler.pending
+        return (
+            len(self._submitted)
+            + self._run_buffered
+            + self.scheduler.pending
+            + sum(batch.size for batch, _ in self._planned)
+        )
 
     # ------------------------------------------------------------------
     # Execution: the scheduler loop
@@ -681,6 +724,10 @@ class InferenceEngine:
         self._fault_log.clear()
         self._breaker_log.clear()
         self._gen_steps.clear()
+        self._steals.clear()
+        self._scaling_log.clear()
+        self._slo_window.clear()
+        self._window_sheds = 0
         self._shard_busy = {shard: 0.0 for shard in range(self.dispatcher.n_shards)}
         source = _RequestSource(request_source, self) if request_source is not None else None
 
@@ -774,6 +821,8 @@ class InferenceEngine:
             fault_events=tuple(self._fault_log),
             breaker_transitions=tuple(self._breaker_log),
             generation_steps=tuple(self._gen_steps),
+            steals=tuple(self._steals),
+            scaling_events=tuple(self._scaling_log),
         )
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
@@ -832,6 +881,7 @@ class InferenceEngine:
             >= config.max_queue_depth
         ):
             self._shed.append(ShedRecord(request, "queue_full", request.arrival))
+            self._window_sheds += 1
             return False
         if config.shed_doomed:
             due = request.deadline
@@ -841,6 +891,7 @@ class InferenceEngine:
                 self._shed.append(
                     ShedRecord(request, "deadline_doomed", request.arrival)
                 )
+                self._window_sheds += 1
                 return False
         self.scheduler.admit(request)
         return True
@@ -928,6 +979,22 @@ class InferenceEngine:
         return dict(self._health)
 
     @property
+    def steal_log(self) -> "tuple[StealEvent, ...]":
+        """Work-stealing migrations since the last :meth:`run` start."""
+        return tuple(self._steals)
+
+    @property
+    def scaling_log(self) -> "tuple[ScalingEvent, ...]":
+        """Autoscaler pool resizes since the last :meth:`run` start."""
+        return tuple(self._scaling_log)
+
+    @property
+    def shard_stats(self) -> Dict[int, ShardStats]:
+        """Per-shard live stats (drift EWMA, steal tallies; cumulative
+        across runs, cleared by :meth:`reset`)."""
+        return dict(self._shard_stats)
+
+    @property
     def calibrator(self) -> CalibratingCostModel:
         """The engine's calibrating cost model.
 
@@ -947,14 +1014,20 @@ class InferenceEngine:
             return None
         return min(seq.ready_time for seq in self._active)
 
+    def _planned_ready_at(self) -> Optional[float]:
+        """Ready time of the look-ahead round's next planned batch."""
+        return self._planned[0][0].ready_time if self._planned else None
+
     def _earliest_work(self) -> Optional[float]:
         """Earliest instant anything is runnable: a ready batch from
-        the scheduler, a retry whose backoff has a wake time, or a
-        decode-pool sequence ready for its next token."""
+        the scheduler, a batch the look-ahead round already planned, a
+        retry whose backoff has a wake time, or a decode-pool sequence
+        ready for its next token."""
         times = [
             t
             for t in (
                 self.scheduler.earliest_ready(),
+                self._planned_ready_at(),
                 self._next_retry_at(),
                 self._decode_ready_at(),
             )
@@ -967,17 +1040,24 @@ class InferenceEngine:
 
         Retries tied with decode iterations or fresh batches run first
         (they are strictly older work), and decode iterations beat
-        fresh batches in a tie.  Returns the completions of the attempt
-        — empty when the attempt failed and the batch was re-queued,
-        parked, or abandoned (its requests then appear on
-        :attr:`failed_log`).
+        fresh batches in a tie.  Fresh work is either the next batch a
+        look-ahead round already planned (older, so it wins ties
+        against the scheduler) or the scheduler's policy-selected ready
+        batch — which, under ``elastic.lookahead``, first harvests
+        every batch ready at the same instant into a jointly planned
+        round.  Returns the completions of the attempt — empty when
+        the attempt failed and the batch was re-queued, parked, or
+        abandoned (its requests then appear on :attr:`failed_log`).
         """
         ready = self.scheduler.earliest_ready()
+        planned = self._planned_ready_at()
+        fresh_times = [t for t in (ready, planned) if t is not None]
+        fresh = min(fresh_times) if fresh_times else None
         retry = self._next_retry_at()
         decode = self._decode_ready_at()
         if (
             retry is not None
-            and (ready is None or retry <= ready)
+            and (fresh is None or retry <= fresh)
             and (decode is None or retry <= decode)
         ):
             wake, _seq, attempt, exclude, batch = heapq.heappop(self._retry_queue)
@@ -985,9 +1065,13 @@ class InferenceEngine:
             completed = self._execute_batch(
                 batch, attempt=attempt, exclude_shard=exclude
             )
-        elif decode is not None and (ready is None or decode <= ready):
+        elif decode is not None and (fresh is None or decode <= fresh):
             self._work_consumed += 1
             completed = self._execute_decode()
+        elif planned is not None and (ready is None or planned <= ready):
+            batch, shard = self._planned.popleft()
+            self._work_consumed += 1
+            completed = self._execute_batch(batch, planned_shard=shard)
         else:
             if ready is None:
                 return []
@@ -995,10 +1079,121 @@ class InferenceEngine:
             if batch is None:  # pragma: no cover — ready_at implies a batch
                 return []
             self._work_consumed += 1
-            completed = self._execute_batch(batch)
+            if self.elastic.lookahead:
+                self._plan_round(batch, ready)
+                batch, shard = self._planned.popleft()
+                completed = self._execute_batch(batch, planned_shard=shard)
+            else:
+                completed = self._execute_batch(batch)
         for record in completed:
             self._results[record.request.request_id] = record.outputs
+        if completed:
+            self._note_completions(completed)
         return completed
+
+    def _plan_round(self, first: Batch, ready: float) -> None:
+        """Harvest every batch ready at this instant; plan them jointly.
+
+        The scheduling round of look-ahead placement: ``first`` (the
+        batch the scheduler just popped) plus every further batch whose
+        ready time has also arrived form one planning set.  Prefix- and
+        radix-resident batches keep their cache affinity (the resident
+        shard, exactly as :class:`PrefixAffinePlacement` would place
+        them — work-stealing may break it later); the rest go through
+        :meth:`LookaheadPlacement.plan` LPT list scheduling over
+        horizons that already account for the affine assignments.
+        Generation prefills are exempt (their profile depends on radix
+        state at execution) and keep per-batch placement.  The planned
+        ``(batch, shard)`` pairs queue for execution in plan order.
+        """
+        batches = [first]
+        while True:
+            nxt = self.scheduler.earliest_ready()
+            if nxt is None or nxt > ready:
+                break
+            batch = self.scheduler.pop_ready(nxt)
+            if batch is None:  # pragma: no cover — defensive
+                break
+            batches.append(batch)
+        views = self._available_views(ready)
+        if not views:
+            # Everything will park through the normal placement path.
+            self._planned.extend((batch, None) for batch in batches)
+            return
+        profiles: List[Optional[BatchProfile]] = []
+        for batch in batches:
+            endpoint = self._endpoints[batch.model]
+            if (
+                endpoint.generation_adapter is not None
+                and batch.requests[0].generation is not None
+            ):
+                profiles.append(None)
+                continue
+            use_prefix = (
+                batch.prefix_key is not None
+                and self.prefix_cache is not None
+                and endpoint.prefix_adapter is not None
+            )
+            profiles.append(
+                self._profile(
+                    model=batch.model,
+                    tenant=batch.tenant,
+                    batch_size=batch.size,
+                    sample_shape=np.asarray(batch.requests[0].inputs).shape,
+                    ready_time=batch.ready_time,
+                    prefix_key=batch.prefix_key if use_prefix else None,
+                )
+            )
+        horizons = {view.index: view.busy_until for view in views}
+        assignments: List[Optional[int]] = [None] * len(batches)
+        plan_indices: List[int] = []
+        for i, profile in enumerate(profiles):
+            if profile is None:
+                continue
+            if profile.resident_shards:
+                resident = [
+                    view
+                    for view in views
+                    if view.index in set(profile.resident_shards)
+                ]
+                if resident:
+                    best = min(
+                        resident, key=lambda v: (horizons[v.index], v.index)
+                    )
+                    assignments[i] = best.index
+                    estimate = profile.estimate_cycles(best.config)
+                    service = (
+                        estimate / best.clock_hz
+                        if estimate is not None and best.clock_hz
+                        else 0.0
+                    )
+                    horizons[best.index] = (
+                        max(profile.ready_time, horizons[best.index]) + service
+                    )
+                    continue
+            plan_indices.append(i)
+        if plan_indices:
+            planning_views = [
+                replace(view, busy_until=horizons[view.index]) for view in views
+            ]
+            shards = self._lookahead.plan(
+                [profiles[i] for i in plan_indices], planning_views
+            )
+            for i, shard in zip(plan_indices, shards):
+                assignments[i] = shard
+        self._planned.extend(zip(batches, assignments))
+
+    def _note_completions(self, completed: List[CompletedRequest]) -> None:
+        """Feed the autoscaler's windowed SLO signal, maybe scale."""
+        if not self.elastic.autoscale:
+            return
+        for record in completed:
+            due = self._effective_deadline(record.request)
+            self._slo_window.append(due is None or record.finish <= due)
+        excess = len(self._slo_window) - self.elastic.autoscale_window
+        if excess > 0:
+            del self._slo_window[:excess]
+        self._maybe_autoscale(max(record.finish for record in completed))
 
     def result(self, request_id: int, keep: bool = False) -> np.ndarray:
         """Output of a completed request (KeyError if not yet run).
@@ -1033,6 +1228,14 @@ class InferenceEngine:
         self._breaker_log.clear()
         self._active.clear()
         self._gen_steps.clear()
+        self._planned.clear()
+        self._steals.clear()
+        self._scaling_log.clear()
+        self._slo_window.clear()
+        self._window_sheds = 0
+        self._last_scale_at = None
+        for stats in self._shard_stats.values():
+            stats.reset()
         for health in self._health.values():
             health.reset()
         self._last_arrival = 0.0
@@ -1060,6 +1263,60 @@ class InferenceEngine:
             )
         return outputs
 
+    def _health_of(self, shard: int) -> ShardHealth:
+        """The shard's breaker (created lazily for autoscaler-added shards)."""
+        health = self._health.get(shard)
+        if health is None:
+            health = self._health[shard] = ShardHealth(
+                shard, self._breaker_config, on_transition=self._breaker_log.append
+            )
+        return health
+
+    def _stats_of(self, shard: int) -> ShardStats:
+        """The shard's live stats accumulator (created on first touch)."""
+        stats = self._shard_stats.get(shard)
+        if stats is None:
+            stats = self._shard_stats[shard] = ShardStats(shard)
+        return stats
+
+    def _available_views(self, now: float) -> List[ShardView]:
+        """Live shards whose breaker admits work at ``now``, with each
+        view carrying its breaker state — so placement can filter open
+        shards and price half-open probes pessimistically."""
+        views = []
+        for view in self.dispatcher.shard_views():
+            health = self._health_of(view.index)
+            if not health.available(now):
+                continue
+            views.append(replace(view, breaker=health.state))
+        return views
+
+    def _all_down(
+        self, ready_time: float, batch_index: int, attempt: int, batch_size: int
+    ) -> "Tuple[None, float]":
+        """Every live breaker is open: park until the earliest expiry."""
+        offline = self.dispatcher.offline_shards()
+        expiries = [
+            health.open_until
+            for shard, health in self._health.items()
+            if shard not in offline
+        ]
+        wake = min(expiries) if expiries else min(
+            health.open_until for health in self._health.values()
+        )
+        self._fault_log.append(
+            FaultRecord(
+                kind="all_shards_down",
+                shard=None,
+                batch_index=batch_index,
+                at=ready_time,
+                attempt=attempt,
+                action="park",
+                requests=batch_size,
+            )
+        )
+        return None, wake
+
     def _select_shard(
         self,
         ready_time: float,
@@ -1074,28 +1331,15 @@ class InferenceEngine:
         Returns ``(shard, None)`` on success or ``(None, wake)`` when
         every breaker is open — the caller re-schedules the work at
         ``wake`` (the earliest quarantine expiry) without consuming a
-        retry.  The policy only sees shards whose breaker admits work
-        at the ready time; a retry additionally avoids the shard of its
-        failed attempt whenever an alternative exists.
+        retry.  The policy only sees live shards whose breaker admits
+        work at the ready time (each view carries its breaker state, so
+        half-open probes are priced pessimistically); a retry
+        additionally avoids the shard of its failed attempt whenever an
+        alternative exists.
         """
-        views = self.dispatcher.shard_views()
-        healthy = [
-            view for view in views if self._health[view.index].available(ready_time)
-        ]
+        healthy = self._available_views(ready_time)
         if not healthy:
-            wake = min(health.open_until for health in self._health.values())
-            self._fault_log.append(
-                FaultRecord(
-                    kind="all_shards_down",
-                    shard=None,
-                    batch_index=batch_index,
-                    at=ready_time,
-                    attempt=attempt,
-                    action="park",
-                    requests=batch_size,
-                )
-            )
-            return None, wake
+            return self._all_down(ready_time, batch_index, attempt, batch_size)
         candidates = healthy
         if exclude_shard is not None and len(healthy) > 1:
             without = [view for view in healthy if view.index != exclude_shard]
@@ -1109,11 +1353,263 @@ class InferenceEngine:
             )
         return shard, None
 
+    def _resolve_planned(
+        self, batch: Batch, profile: BatchProfile, planned_shard: int
+    ) -> "Tuple[Optional[int], Optional[float]]":
+        """Hold or steal: re-validate a planned placement at execution.
+
+        The look-ahead plan priced the round with calibrated estimates;
+        by the time this batch reaches the head of the queue the world
+        may have moved — the planned shard's breaker may have opened
+        (or the autoscaler retired it), or its measured drift (EWMA of
+        actual vs estimated service) may have blown the estimate.  With
+        ``elastic.steal`` on, the batch is re-priced against every
+        available shard with drift-corrected ETAs and migrates when the
+        planned shard's ETA exceeds the best alternative's by
+        ``steal_drift_threshold`` (``affinity_break_factor`` when the
+        planned shard holds the batch's prefix — the cache entry then
+        migrates through the store fabric with the batch, preserving
+        the hit).  With stealing off, an unavailable planned shard
+        falls back to the configured placement policy; an available one
+        is honored unconditionally.
+        """
+        ready = batch.ready_time
+        views = self._available_views(ready)
+        if not views:
+            return self._all_down(ready, batch.index, 0, batch.size)
+        available = {view.index: view for view in views}
+        if planned_shard in available and not self.elastic.steal:
+            return planned_shard, None
+        if planned_shard not in available and not self.elastic.steal:
+            # Breaker opened (or shard retired) under the plan: the
+            # batch re-places through the normal policy path.
+            return self.placement.place(profile, views), None
+
+        # Drift-corrected ETA per candidate: the planned service time,
+        # scaled by the shard's measured actual/estimated ratio, on top
+        # of its live horizon.  Half-open probes carry the worst known
+        # service on top (mirroring CostAwarePlacement's pessimism).
+        services: Dict[int, float] = {}
+        for view in views:
+            estimate = profile.estimate_cycles(view.config)
+            if estimate is not None and view.clock_hz:
+                services[view.index] = estimate / view.clock_hz
+        unknown_service = max(services.values(), default=0.0)
+
+        def eta_of(view: ShardView) -> float:
+            service = services.get(view.index, unknown_service)
+            if view.breaker == ShardHealth.HALF_OPEN:
+                service += unknown_service
+            service *= self._stats_of(view.index).drift
+            return max(ready, view.busy_until) + service
+
+        best = min(views, key=lambda view: (eta_of(view), view.index))
+        resident = planned_shard in set(profile.resident_shards or ())
+
+        if planned_shard not in available:
+            target = best.index
+            migrated = self._migrate_prefix(batch, resident, planned_shard, target)
+            self._record_steal(
+                batch, planned_shard, target, ready, "breaker",
+                planned_eta=0.0, stolen_eta=eta_of(best), migrated=migrated,
+            )
+            return target, None
+
+        if best.index == planned_shard:
+            return planned_shard, None
+        planned_eta = eta_of(available[planned_shard])
+        best_eta = eta_of(best)
+        factor = (
+            self.elastic.affinity_break_factor
+            if resident
+            else self.elastic.steal_drift_threshold
+        )
+        if planned_eta <= factor * best_eta:
+            return planned_shard, None
+        migrated = self._migrate_prefix(batch, resident, planned_shard, best.index)
+        self._record_steal(
+            batch, planned_shard, best.index, ready,
+            "affinity" if resident else "drift",
+            planned_eta=planned_eta, stolen_eta=best_eta, migrated=migrated,
+        )
+        return best.index, None
+
+    def _migrate_prefix(
+        self, batch: Batch, resident: bool, from_shard: int, to_shard: int
+    ) -> bool:
+        """Move the batch's prefix entry with a steal (when it has one)."""
+        if not resident or self.prefix_cache is None or batch.prefix_key is None:
+            return False
+        return self.prefix_cache.migrate(
+            from_shard, to_shard, batch.tenant, batch.model, batch.prefix_key
+        )
+
+    def _record_steal(
+        self,
+        batch: Batch,
+        from_shard: int,
+        to_shard: int,
+        at: float,
+        reason: str,
+        planned_eta: float,
+        stolen_eta: float,
+        migrated: bool,
+    ) -> None:
+        self._steals.append(
+            StealEvent(
+                batch_index=batch.index,
+                model=batch.model,
+                tenant=batch.tenant,
+                from_shard=from_shard,
+                to_shard=to_shard,
+                at=at,
+                reason=reason,
+                planned_eta=planned_eta,
+                stolen_eta=stolen_eta,
+                cache_migrated=migrated,
+            )
+        )
+        self._stats_of(from_shard).steals_out += 1
+        self._stats_of(to_shard).steals_in += 1
+
+    # ------------------------------------------------------------------
+    # SLO-driven autoscaling
+    # ------------------------------------------------------------------
+    def _pool_power(self, extra_config: Optional[object] = None) -> float:
+        """Priced power of the live pool (plus a candidate shard)."""
+        from repro.hardware.power import power_watts
+
+        total = 0.0
+        for view in self.dispatcher.shard_views():
+            if view.config is not None:
+                total += power_watts(view.config)
+        if extra_config is not None:
+            total += power_watts(extra_config)
+        return total
+
+    def _power_admits(self, config: Optional[object]) -> bool:
+        """Would adding a shard of ``config`` stay inside the budget?"""
+        budget = self.elastic.power_budget_watts
+        if budget is None or config is None:
+            return True
+        return self._pool_power(extra_config=config) <= budget
+
+    def _maybe_autoscale(self, now: float) -> None:
+        """Evaluate the windowed SLO/shed signals; grow or shrink once.
+
+        Hysteresis is threefold: a full window of completions must have
+        accumulated, ``autoscale_cooldown`` simulated seconds must have
+        passed since the last action, and the grow/shrink attainment
+        thresholds are separated by a dead band.  After any action the
+        window restarts, so one bad burst triggers at most one resize
+        per window.
+        """
+        config = self.elastic
+        if len(self._slo_window) < config.autoscale_window:
+            return
+        if (
+            self._last_scale_at is not None
+            and now - self._last_scale_at < config.autoscale_cooldown
+        ):
+            return
+        attainment = sum(self._slo_window) / len(self._slo_window)
+        shed_rate = self._window_sheds / (
+            self._window_sheds + len(self._slo_window)
+        )
+        acted = False
+        if attainment < config.grow_below_attainment or shed_rate > 0.0:
+            reason = (
+                "slo_attainment"
+                if attainment < config.grow_below_attainment
+                else "shed_rate"
+            )
+            acted = self._grow_pool(now, attainment, shed_rate, reason)
+        elif attainment >= config.shrink_above_attainment and shed_rate == 0.0:
+            acted = self._shrink_pool(now, attainment, shed_rate)
+        if acted:
+            self._last_scale_at = now
+            self._slo_window.clear()
+            self._window_sheds = 0
+
+    def _grow_pool(
+        self, now: float, attainment: float, shed_rate: float, reason: str
+    ) -> bool:
+        """Reactivate a retired shard, or build one from the pool spec.
+
+        Growth is refused at ``max_shards``, when the priced pool power
+        would exceed ``power_budget_watts``, or when there is neither a
+        retired shard to reactivate nor a :class:`ShardSpec` template
+        to clone — so an unbudgeted homogeneous pool can still grow.
+        """
+        config = self.elastic
+        if (
+            config.max_shards is not None
+            and self.dispatcher.n_live_shards >= config.max_shards
+        ):
+            return False
+        offline = sorted(self.dispatcher.offline_shards())
+        if offline:
+            shard = offline[0]
+            if not self._power_admits(self.dispatcher.config_of(shard)):
+                return False
+            self.dispatcher.activate_shard(shard)
+        else:
+            specs = self.dispatcher.specs
+            if not specs:
+                return False
+            template = specs[-1]
+            if not self._power_admits(template.config):
+                return False
+            shard = self.dispatcher.add_shard(template)
+            self._health_of(shard)
+        self._scaling_log.append(
+            ScalingEvent(
+                at=now,
+                action="grow",
+                shard=shard,
+                reason=reason,
+                slo_attainment=attainment,
+                shed_rate=shed_rate,
+                pool_power_watts=self._pool_power(),
+            )
+        )
+        return True
+
+    def _shrink_pool(
+        self, now: float, attainment: float, shed_rate: float
+    ) -> bool:
+        """Retire the least-utilized live shard (never below min_shards).
+
+        Retirement is graceful: the shard's horizon, traces and cached
+        prefixes survive — it is only hidden from new placements, and a
+        later grow reactivates it first.
+        """
+        live = sorted(view.index for view in self.dispatcher.shard_views())
+        if len(live) <= self.elastic.min_shards:
+            return False
+        # Least busy this run; ties retire the higher index, so shard 0
+        # (and with it a deterministic pool core) is retired last.
+        victim = min(live, key=lambda s: (self._shard_busy.get(s, 0.0), -s))
+        self.dispatcher.retire_shard(victim)
+        self._scaling_log.append(
+            ScalingEvent(
+                at=now,
+                action="shrink",
+                shard=victim,
+                reason="slo_headroom",
+                slo_attainment=attainment,
+                shed_rate=shed_rate,
+                pool_power_watts=self._pool_power(),
+            )
+        )
+        return True
+
     def _execute_batch(
         self,
         batch: Batch,
         attempt: int = 0,
         exclude_shard: Optional[int] = None,
+        planned_shard: Optional[int] = None,
     ) -> List[CompletedRequest]:
         endpoint = self._endpoints[batch.model]
         if (
@@ -1139,10 +1635,16 @@ class InferenceEngine:
             prefix_key=batch.prefix_key if use_prefix else None,
         )
         # With every breaker open the batch parks (no retry consumed)
-        # until the earliest quarantine expiry re-admits a probe.
-        shard, wake = self._select_shard(
-            batch.ready_time, profile, attempt, exclude_shard, batch.index, batch.size
-        )
+        # until the earliest quarantine expiry re-admits a probe.  A
+        # look-ahead-planned batch re-validates (and possibly steals)
+        # its planned shard instead of re-placing from scratch.
+        if planned_shard is not None and attempt == 0:
+            shard, wake = self._resolve_planned(batch, profile, planned_shard)
+        else:
+            shard, wake = self._select_shard(
+                batch.ready_time, profile, attempt, exclude_shard,
+                batch.index, batch.size,
+            )
         if shard is None:
             self._requeue(batch, wake, attempt, exclude_shard)
             return []
@@ -1237,7 +1739,17 @@ class InferenceEngine:
         finish = start + duration
         self.dispatcher.busy_until[shard] = finish
         self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + duration
-        self._health[shard].record_success(finish)
+        self._health_of(shard).record_success(finish)
+        # Feed the shard's drift EWMA (estimated vs actual service
+        # seconds) only from full executions: a prefix hit's suffix-only
+        # timing would read as phantom speedup against full-cost
+        # estimates, exactly like the calibrator exclusion below.
+        estimated_seconds = None
+        if self.elastic.enabled and array is not None and not prefix_hit:
+            estimate = profile.estimate_cycles(array.config)
+            if estimate is not None and array.config.clock_hz:
+                estimated_seconds = estimate / array.config.clock_hz
+        self._stats_of(shard).observe(batch_cycles, duration, estimated_seconds)
         if array is not None and batch_cycles > 0 and not prefix_hit:
             # Feed the calibrating cost model: the next placement of
             # this (model, shape) estimates from traced ground truth.
@@ -1404,7 +1916,8 @@ class InferenceEngine:
         finish = start + duration
         self.dispatcher.busy_until[shard] = finish
         self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + duration
-        self._health[shard].record_success(finish)
+        self._health_of(shard).record_success(finish)
+        self._stats_of(shard).observe(batch_cycles, duration)
         if use_radix:
             if cached_len < prompt_len:
                 # Donate the full prompt's rows back (incremental
@@ -1579,7 +2092,8 @@ class InferenceEngine:
         finish = start + duration
         self.dispatcher.busy_until[shard] = finish
         self._shard_busy[shard] = self._shard_busy.get(shard, 0.0) + duration
-        self._health[shard].record_success(finish)
+        self._health_of(shard).record_success(finish)
+        self._stats_of(shard).observe(batch_cycles, duration)
         self._gen_steps.append(
             DecodeStepRecord(
                 step_index=batch_index,
@@ -1679,7 +2193,7 @@ class InferenceEngine:
         with a bumped attempt, a backoff wake time and the failed shard
         excluded from their next placement.
         """
-        self._health[shard].record_failure(at)
+        self._health_of(shard).record_failure(at)
         attempt_floor = min(seq.attempt for seq in group)
         survivors = 0
         for seq in group:
@@ -1739,7 +2253,7 @@ class InferenceEngine:
         attempt that completes — so retried traffic is never
         double-attributed.
         """
-        self._health[shard].record_failure(at)
+        self._health_of(shard).record_failure(at)
         failed_attempts = attempt + 1
         if attempt >= self.retry_policy.max_retries:
             self._fault_log.append(

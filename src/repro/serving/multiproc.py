@@ -62,6 +62,7 @@ from repro.serving.cluster import (
     ClusterSpec,
     save_calibration,
 )
+from repro.serving.elastic import ElasticConfig
 from repro.serving.engine import InferenceEngine
 from repro.serving.faults import FaultPlan
 from repro.serving.prefix_cache import PrefixCache, TransformerPrefixAdapter
@@ -129,6 +130,9 @@ class WorkerConfig:
     calibration_name: str = "default"
     fault_plan: Optional[FaultPlan] = None
     shard_offset: int = 0
+    #: Elastic-runtime knobs every worker engine runs under (None =
+    #: the pinned baseline; the frozen config pickles as-is).
+    elastic: Optional[ElasticConfig] = None
 
 
 class WorkerFailedError(RuntimeError):
@@ -246,6 +250,7 @@ def _worker_main(config: WorkerConfig) -> ServingReport:
             tenants=config.tenants,
             prefix_cache=prefix_cache,
             faults=config.fault_plan,
+            elastic=config.elastic,
         )
         for spec in config.models:
             model = spec.factory(**dict(spec.kwargs))
@@ -418,6 +423,7 @@ def serve_multiproc(
     fault_plan: Optional[FaultPlan] = None,
     supervise: bool = False,
     max_restarts: int = 1,
+    elastic: Optional[ElasticConfig] = None,
 ) -> MultiprocResult:
     """Serve ``requests`` with ``n_workers`` engine processes.
 
@@ -452,6 +458,12 @@ def serve_multiproc(
       actions land in the merged report's ``worker_restarts`` /
       ``worker_redistributions`` counters.
 
+    ``elastic`` hands every worker engine the same
+    :class:`~repro.serving.elastic.ElasticConfig` (look-ahead
+    placement, work-stealing, autoscaling — each worker runs the
+    elastic loop over its own shard block); the merged report carries
+    the fleet's steal and scaling logs in cluster shard numbering.
+
     Returns per-worker reports plus the merged fleet report; merged
     counters are exact sums of the per-worker ones (see
     :func:`merge_reports`).
@@ -485,6 +497,7 @@ def serve_multiproc(
                 else None
             ),
             shard_offset=offsets[worker],
+            elastic=elastic,
         )
         for worker in range(n_workers)
     ]
@@ -618,7 +631,10 @@ def merge_reports(
     Fault-tolerance state merges the same way: ``failed`` /
     ``fault_events`` / ``breaker_transitions`` concatenate in worker
     order with shard ids re-mapped (records with ``shard=None`` pass
-    through), and supervision counters sum.
+    through), and supervision counters sum.  Elastic-runtime logs do
+    too: ``steals`` re-map both endpoints (``from_shard`` /
+    ``to_shard``) and ``scaling_events`` re-map ``shard``, so the
+    fleet view names shards in cluster numbering.
 
     Per-worker ``cache_stats`` namespaces are qualified as
     ``worker<N>/<namespace>`` — each worker owns a private store (plus
@@ -648,6 +664,8 @@ def merge_reports(
     failed: List[object] = []
     fault_events: List[object] = []
     breaker_transitions: List[object] = []
+    steals: List[object] = []
+    scaling_events: List[object] = []
     shard_cycles: Dict[int, int] = {}
     shard_busy: Dict[int, float] = {}
     tenant_cycles: Dict[str, int] = {}
@@ -686,6 +704,18 @@ def merge_reports(
             replace(transition, shard=transition.shard + offset)
             for transition in report.breaker_transitions
         )
+        steals.extend(
+            replace(
+                steal,
+                from_shard=steal.from_shard + offset,
+                to_shard=steal.to_shard + offset,
+            )
+            for steal in report.steals
+        )
+        scaling_events.extend(
+            replace(event, shard=event.shard + offset)
+            for event in report.scaling_events
+        )
         for shard, cycles in report.shard_cycles.items():
             shard_cycles[shard + offset] = (
                 shard_cycles.get(shard + offset, 0) + cycles
@@ -718,4 +748,6 @@ def merge_reports(
         breaker_transitions=tuple(breaker_transitions),
         worker_restarts=worker_restarts,
         worker_redistributions=worker_redistributions,
+        steals=tuple(steals),
+        scaling_events=tuple(scaling_events),
     )

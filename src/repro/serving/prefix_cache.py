@@ -154,6 +154,7 @@ class PrefixCache:
         self.evictions = 0
         self.rejections = 0
         self.collisions = 0
+        self.migrations = 0
         self.fabric_hits = 0
         self.fabric_misses = 0
 
@@ -287,6 +288,49 @@ class PrefixCache:
             self._fabric.put(PREFIX_FABRIC_NAMESPACE, key, entry, nbytes=size)
         return True
 
+    def migrate(
+        self,
+        from_shard: int,
+        to_shard: int,
+        tenant: str,
+        model: str,
+        prefix_key: str,
+    ) -> bool:
+        """Move one resident entry between shards through the store.
+
+        Work-stealing calls this when load breaks placement affinity:
+        migrating the payload with the stolen batch preserves the hit
+        on the destination shard instead of forcing a cold recompute.
+        The source entry is released only after the destination
+        accepted it (an entry is never lost to a failed move), and a
+        fabric tier, when attached, is written through so other
+        workers keep seeing the payload.  Returns False when nothing
+        is resident on ``from_shard`` under this key, the shards are
+        equal, or the entry alone exceeds the destination budget.
+        """
+        if from_shard == to_shard:
+            return False
+        key = self._key(tenant, model, prefix_key)
+        source = self._namespace(from_shard)
+        entry = self._store.get(source, key, touch=False)
+        if entry is None:
+            return False
+        size = entry.nbytes
+        if size > self.shard_budget_bytes:
+            self.rejections += 1
+            return False
+        destination = self._namespace(to_shard)
+        evictions_before = self._store.stats(destination)["evictions"]
+        self._store.put(destination, key, entry, nbytes=size)
+        self.evictions += (
+            self._store.stats(destination)["evictions"] - evictions_before
+        )
+        self._store.delete(source, key)
+        self.migrations += 1
+        if self._fabric is not None:
+            self._fabric.put(PREFIX_FABRIC_NAMESPACE, key, entry, nbytes=size)
+        return True
+
     def clear(self) -> None:
         """Drop every entry on every shard (counters are kept).
 
@@ -315,6 +359,7 @@ class PrefixCache:
             "evictions": self.evictions,
             "rejections": self.rejections,
             "collisions": self.collisions,
+            "migrations": self.migrations,
             "fabric_hits": self.fabric_hits,
             "fabric_misses": self.fabric_misses,
             "shard_budget_bytes": self.shard_budget_bytes,

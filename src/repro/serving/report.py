@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.serving.cluster import BreakerTransition, PlacementDecision
+from repro.serving.elastic import ScalingEvent, StealEvent
 from repro.serving.faults import FaultRecord
 from repro.serving.generation import DecodeStepRecord
 from repro.serving.prefix_cache import PrefixEvent
@@ -110,6 +111,8 @@ class ServingReport:
     worker_restarts: int = 0
     worker_redistributions: int = 0
     generation_steps: Tuple["DecodeStepRecord", ...] = ()
+    steals: Tuple[StealEvent, ...] = ()
+    scaling_events: Tuple[ScalingEvent, ...] = ()
 
     # -- request-level views --------------------------------------------
     @property
@@ -214,6 +217,22 @@ class ServingReport:
         busy = list(self.shard_busy.values())
         mean = sum(busy) / len(busy)
         return max(busy) / mean if mean > 0 else 0.0
+
+    def utilization_spread(self) -> Optional[float]:
+        """Max-over-min shard busy time (the bench's balance gate).
+
+        1.0 = perfectly balanced; ``inf`` when a shard sat completely
+        idle while another worked — the greedy-concentration pathology
+        the elastic runtime removes.  None for single-shard pools or
+        when nothing ran.
+        """
+        if len(self.shard_busy) < 2:
+            return None
+        busy = list(self.shard_busy.values())
+        if max(busy) <= 0:
+            return None
+        low = min(busy)
+        return float("inf") if low <= 0 else max(busy) / low
 
     def placement_section(self) -> str:
         """Per-shard block of the summary: decisions, busy, utilization."""
@@ -431,6 +450,59 @@ class ServingReport:
                 f"  supervision        : {self.worker_restarts} worker "
                 f"restart(s), {self.worker_redistributions} redistribution(s)"
             )
+        return "\n".join(lines)
+
+    # -- elastic-runtime views --------------------------------------------
+    @property
+    def steal_count(self) -> int:
+        """Queued batches migrated between shards during the run."""
+        return len(self.steals)
+
+    def steals_by_reason(self) -> Dict[str, int]:
+        """Steal counts grouped by trigger (drift / breaker / affinity)."""
+        counts: Dict[str, int] = {}
+        for steal in self.steals:
+            counts[steal.reason] = counts.get(steal.reason, 0) + 1
+        return counts
+
+    @property
+    def has_elastic_activity(self) -> bool:
+        return bool(self.steals or self.scaling_events)
+
+    def elastic_section(self) -> str:
+        """Elastic-runtime block: steals, scalings, and the per-shard /
+        per-model stats descriptor tree all three decisions read."""
+        from repro.serving.stats import cluster_desc, render_cluster_desc
+
+        lines = []
+        if self.steals:
+            reasons = ", ".join(
+                f"{reason} {count}"
+                for reason, count in sorted(self.steals_by_reason().items())
+            )
+            migrated = sum(1 for steal in self.steals if steal.cache_migrated)
+            lines.append(
+                f"work stealing        : {self.steal_count} batches re-placed "
+                f"({reasons}; {migrated} cache migrations)"
+            )
+        if self.scaling_events:
+            grows = sum(1 for e in self.scaling_events if e.action == "grow")
+            shrinks = len(self.scaling_events) - grows
+            lines.append(
+                f"autoscaling          : {grows} grow / {shrinks} shrink "
+                f"(final pool power "
+                f"{self.scaling_events[-1].pool_power_watts:.2f} W)"
+            )
+            for event in self.scaling_events:
+                lines.append(
+                    f"  {event.action:<6s} shard {event.shard} at "
+                    f"{event.at * 1e6:,.1f} us ({event.reason}; "
+                    f"slo {event.slo_attainment:.0%}, "
+                    f"shed {event.shed_rate:.0%})"
+                )
+        tree = render_cluster_desc(cluster_desc(self))
+        lines.append("cluster stats        :")
+        lines.extend("  " + line for line in tree.split("\n"))
         return "\n".join(lines)
 
     # -- generation views ------------------------------------------------
@@ -683,6 +755,8 @@ class ServingReport:
             lines.append(self.generation_section())
         if self.has_fault_activity:
             lines.append(self.fault_section())
+        if self.has_elastic_activity:
+            lines.append(self.elastic_section())
         tenant_ids = self.tenant_ids
         # Per-tenant block for any named tenant, or whenever deadlines
         # were in play (even on the implicit default tenant).

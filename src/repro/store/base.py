@@ -174,6 +174,13 @@ class CacheStore:
       exceeding the byte budget is rejected (``False``), and
       re-putting an existing key replaces it (old bytes released
       first) at most-recently-used position.
+    * *Mutable* entries may carry a **version stamp** (``put(...,
+      version=N)``, a writer-monotonic integer); :meth:`version_of`
+      reads it back.  Versions exist for read-through invalidation:
+      :class:`~repro.store.tiered.TieredStore` revalidates a local hit
+      against the shared tier's version and re-reads when the shared
+      copy is newer.  Unversioned entries (``version=None``, the
+      default) keep the historical never-revalidate behavior.
     * :meth:`contains` / :meth:`keys` / :meth:`values` are pure reads:
       no recency effect, no counter effect.
     * Namespaces are fully isolated: keys, budgets, eviction and stats
@@ -184,8 +191,21 @@ class CacheStore:
     def get(self, namespace: str, key, default=None, touch: bool = True):
         raise NotImplementedError
 
-    def put(self, namespace: str, key, value, nbytes: int = 0) -> bool:
+    def put(
+        self,
+        namespace: str,
+        key,
+        value,
+        nbytes: int = 0,
+        version: Optional[int] = None,
+    ) -> bool:
         raise NotImplementedError
+
+    def version_of(self, namespace: str, key) -> Optional[int]:
+        """Version stamp of a resident entry (``None`` when absent or
+        unversioned).  Backends that do not track versions may rely on
+        this default."""
+        return None
 
     def contains(self, namespace: str, key) -> bool:
         raise NotImplementedError

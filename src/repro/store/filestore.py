@@ -290,7 +290,14 @@ class FileStore(CacheStore):
         stats.hits += 1
         return value
 
-    def put(self, namespace: str, key, value, nbytes: int = 0) -> bool:
+    def put(
+        self,
+        namespace: str,
+        key,
+        value,
+        nbytes: int = 0,
+        version: Optional[int] = None,
+    ) -> bool:
         stats = self._pstats(namespace)
         nbytes = int(nbytes)
         limit = self._limit(namespace)
@@ -306,10 +313,20 @@ class FileStore(CacheStore):
             )
             self._dump(os.path.join(ns_dir, fname), key, value)
             index["seq"] += 1
-            index["entries"][fname] = {"nbytes": nbytes, "seq": index["seq"]}
+            meta = {"nbytes": nbytes, "seq": index["seq"]}
+            if version is not None:
+                meta["version"] = int(version)
+            index["entries"][fname] = meta
             self._write_index(ns_dir, index)
         stats.insertions += 1
         return True
+
+    def version_of(self, namespace: str, key) -> Optional[int]:
+        fname = _key_filename(key, self._suffix)
+        with self._locked(namespace) as ns_dir:
+            meta = self._read_index(ns_dir)["entries"].get(fname)
+        # Pre-versioning indexes have no "version" field: unversioned.
+        return None if meta is None else meta.get("version")
 
     def contains(self, namespace: str, key) -> bool:
         fname = _key_filename(key, self._suffix)

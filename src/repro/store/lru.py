@@ -35,8 +35,10 @@ class _Namespace:
     __slots__ = ("entries", "limit", "stats")
 
     def __init__(self, limit: NamespaceLimit) -> None:
-        # key -> (value, nbytes)
-        self.entries: "OrderedDict[object, Tuple[object, int]]" = OrderedDict()
+        # key -> (value, nbytes, version)
+        self.entries: "OrderedDict[object, Tuple[object, int, Optional[int]]]" = (
+            OrderedDict()
+        )
         self.limit = limit
         self.stats = NamespaceStats()
 
@@ -67,7 +69,14 @@ class InProcessLRU(CacheStore):
         ns.stats.hits += 1
         return entry[0]
 
-    def put(self, namespace: str, key, value, nbytes: int = 0) -> bool:
+    def put(
+        self,
+        namespace: str,
+        key,
+        value,
+        nbytes: int = 0,
+        version: Optional[int] = None,
+    ) -> bool:
         ns = self._ns(namespace)
         nbytes = int(nbytes)
         limit = ns.limit
@@ -79,11 +88,15 @@ class InProcessLRU(CacheStore):
             ns.stats.bytes -= old[1]
             ns.stats.entries -= 1
         self._evict_for(ns, incoming_bytes=nbytes)
-        ns.entries[key] = (value, nbytes)
+        ns.entries[key] = (value, nbytes, version)
         ns.stats.bytes += nbytes
         ns.stats.entries += 1
         ns.stats.insertions += 1
         return True
+
+    def version_of(self, namespace: str, key) -> Optional[int]:
+        entry = self._ns(namespace).entries.get(key)
+        return None if entry is None else entry[2]
 
     def _evict_for(self, ns: _Namespace, incoming_bytes: int) -> None:
         """Evict LRU entries until budgets hold with one entry of
@@ -99,7 +112,7 @@ class InProcessLRU(CacheStore):
                 and ns.stats.bytes + incoming_bytes > limit.max_bytes
             )
         ):
-            _, (_, evicted_bytes) = ns.entries.popitem(last=False)
+            _, (_, evicted_bytes, _) = ns.entries.popitem(last=False)
             ns.stats.bytes -= evicted_bytes
             ns.stats.entries -= 1
             ns.stats.evictions += 1
@@ -136,7 +149,7 @@ class InProcessLRU(CacheStore):
         return list(self._ns(namespace).entries.keys())
 
     def values(self, namespace: str) -> List[object]:
-        return [value for value, _ in self._ns(namespace).entries.values()]
+        return [entry[0] for entry in self._ns(namespace).entries.values()]
 
     def nbytes_of(self, namespace: str, key) -> int:
         entry = self._ns(namespace).entries.get(key)
@@ -158,7 +171,7 @@ class InProcessLRU(CacheStore):
             (limit.max_entries is not None and ns.stats.entries > limit.max_entries)
             or (limit.max_bytes is not None and ns.stats.bytes > limit.max_bytes)
         ):
-            _, (_, evicted_bytes) = ns.entries.popitem(last=False)
+            _, (_, evicted_bytes, _) = ns.entries.popitem(last=False)
             ns.stats.bytes -= evicted_bytes
             ns.stats.entries -= 1
             ns.stats.evictions += 1

@@ -95,6 +95,31 @@ class TieredStore(CacheStore):
         stats = self._pstats(namespace)
         value = self.local.get(namespace, key, MISSING, touch=touch)
         if value is not MISSING:
+            # Read-through invalidation for *versioned* entries: a
+            # local hit is stale when another worker wrote a newer
+            # version to the shared tier.  Unversioned entries (the
+            # overwhelming majority — plans, prefix payloads) skip the
+            # probe entirely and keep the historical local-hit path.
+            local_version = self.local.version_of(namespace, key)
+            if local_version is not None:
+                shared_version = self._shared(
+                    lambda: self.shared.version_of(namespace, key), None
+                )
+                if shared_version is not None and shared_version > local_version:
+                    fresh = self._shared(
+                        lambda: self.shared.get(namespace, key, MISSING, touch=touch),
+                        MISSING,
+                    )
+                    if fresh is not MISSING:
+                        nbytes = self._shared(
+                            lambda: self.shared.nbytes_of(namespace, key), 0
+                        )
+                        self.local.put(
+                            namespace, key, fresh,
+                            nbytes=nbytes, version=shared_version,
+                        )
+                        stats.hits += 1
+                        return fresh
             stats.hits += 1
             return value
         value = self._shared(
@@ -103,27 +128,45 @@ class TieredStore(CacheStore):
         )
         if value is not MISSING:
             # Promote: later reads are local dict hits.  The shared
-            # tier knows the entry's declared byte charge.
+            # tier knows the entry's declared byte charge and version.
             nbytes = self._shared(
                 lambda: self.shared.nbytes_of(namespace, key), 0
             )
-            self.local.put(namespace, key, value, nbytes=nbytes)
+            version = self._shared(
+                lambda: self.shared.version_of(namespace, key), None
+            )
+            self.local.put(namespace, key, value, nbytes=nbytes, version=version)
             stats.hits += 1
             return value
         stats.misses += 1
         return default
 
-    def put(self, namespace: str, key, value, nbytes: int = 0) -> bool:
+    def put(
+        self,
+        namespace: str,
+        key,
+        value,
+        nbytes: int = 0,
+        version: Optional[int] = None,
+    ) -> bool:
         stats = self._pstats(namespace)
-        accepted = self.local.put(namespace, key, value, nbytes=nbytes)
+        accepted = self.local.put(namespace, key, value, nbytes=nbytes, version=version)
         self._shared(
-            lambda: self.shared.put(namespace, key, value, nbytes=nbytes), False
+            lambda: self.shared.put(namespace, key, value, nbytes=nbytes,
+                                    version=version),
+            False,
         )
         if accepted:
             stats.insertions += 1
         else:
             stats.rejections += 1
         return accepted
+
+    def version_of(self, namespace: str, key) -> Optional[int]:
+        local = self.local.version_of(namespace, key)
+        if local is not None:
+            return local
+        return self._shared(lambda: self.shared.version_of(namespace, key), None)
 
     def contains(self, namespace: str, key) -> bool:
         return self.local.contains(namespace, key) or bool(

@@ -21,6 +21,7 @@ from repro.serving import (
     BreakerConfig,
     ClusterDispatcher,
     ClusterSpec,
+    ElasticConfig,
     FabricFault,
     FaultPlan,
     InferenceEngine,
@@ -441,3 +442,73 @@ class TestFabricChaos:
         assert tiered.recover()
         tiered.put("ns", "after-recovery", 4)
         assert shared.get("ns", "after-recovery") == 4  # write-through is back
+
+
+class TestElasticChaos:
+    """The elastic runtime under fire: with look-ahead, stealing and
+    autoscaling all on, seeded crashes and slowdowns must not breach
+    the exactly-once, bit-identical completion-or-reported-failure
+    contract — re-placement moves work and resizing moves capacity,
+    neither ever changes arithmetic or double-answers a request."""
+
+    ELASTIC = ElasticConfig(
+        lookahead=True, steal=True, autoscale=True,
+        autoscale_window=4, autoscale_cooldown=0.0, min_shards=2,
+    )
+
+    def _elastic_engine(self, faults=None):
+        return _engine(
+            4,
+            faults=faults,
+            placement="lookahead",
+            breaker=BreakerConfig(failure_threshold=1),
+            elastic=self.ELASTIC,
+        )
+
+    def test_elastic_outputs_match_healthy_run_under_faults(self):
+        tokens = _tokens(24, seed=5)
+        _, healthy = _run(self._elastic_engine(), tokens)
+        plan = FaultPlan(events=(
+            ShardCrash(shard=0, at=0.0, until=5e-4),
+            ShardSlowdown(shard=1, at=0.0, until=1e-3, factor=8.0),
+        ))
+        ids, chaotic = _run(self._elastic_engine(faults=plan), tokens)
+        _check_invariants(ids, chaotic)
+        healthy_outputs = _outputs_by_input(healthy)
+        for inputs, outputs in _outputs_by_input(chaotic).items():
+            assert outputs == healthy_outputs[inputs]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_seeded_sweep_with_all_elastic_knobs(self, seed):
+        tokens = _tokens(20, seed=seed)
+        plan = FaultPlan.from_seed(
+            seed, n_shards=4, horizon=1e-3,
+            crash_rate=0.6, slowdown_rate=0.6,
+        )
+        ids, report = _run(self._elastic_engine(faults=plan), tokens)
+        _check_invariants(ids, report)
+        repeat_ids, repeat = _run(self._elastic_engine(faults=plan), tokens)
+        _check_invariants(repeat_ids, repeat)
+        assert _outputs_by_input(report) == _outputs_by_input(repeat)
+
+    def test_steal_and_scaling_logs_replay_identically(self):
+        plan = FaultPlan(events=(
+            ShardSlowdown(shard=0, at=0.0, until=1e-3, factor=8.0),
+        ))
+        tokens = _tokens(16, seed=9)
+        _, first = _run(self._elastic_engine(faults=plan), tokens)
+        _, second = _run(self._elastic_engine(faults=plan), tokens)
+        assert first.steals == second.steals
+        assert first.scaling_events == second.scaling_events
+
+    def test_autoscaler_never_strands_work_when_shards_crash(self):
+        """Shrinking under headroom + a crash on a survivor: parked
+        batches must still drain (the all-down wake ignores retired
+        shards, not crashed ones)."""
+        plan = FaultPlan(events=(
+            ShardCrash(shard=1, at=0.0, until=3e-4),
+        ))
+        tokens = _tokens(20, seed=13)
+        ids, report = _run(self._elastic_engine(faults=plan), tokens)
+        _check_invariants(ids, report)
+        assert len(report.completed) + len(report.failed) == len(ids)
